@@ -1,0 +1,144 @@
+package opt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// VertexTriangleCounts runs a disk-based triangulation and returns, for
+// every vertex, the number of triangles it participates in — the local
+// triangle count behind the spam-detection application of Becchetti et
+// al. cited in the paper's introduction. The options' OnTriangles field
+// must be nil (the function installs its own).
+func VertexTriangleCounts(st *Store, opts Options) ([]int64, error) {
+	if opts.OnTriangles != nil {
+		return nil, fmt.Errorf("opt: VertexTriangleCounts requires a nil OnTriangles")
+	}
+	counts := make([]int64, st.NumVertices())
+	var mu sync.Mutex
+	opts.OnTriangles = func(u, v uint32, ws []uint32) {
+		mu.Lock()
+		for _, w := range ws {
+			counts[u]++
+			counts[v]++
+			counts[w]++
+		}
+		mu.Unlock()
+	}
+	if _, err := Triangulate(st, opts); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// EdgeSupport runs a disk-based triangulation and returns the support of
+// every edge — the number of triangles containing it — as a map keyed by
+// the ordered pair [2]uint32{min, max}. Edge support is the quantity
+// k-truss decomposition and the triangle-based community detection of
+// Prat-Pérez et al. build on. Edges in no triangle are absent from the
+// map. The options' OnTriangles field must be nil.
+func EdgeSupport(st *Store, opts Options) (map[[2]uint32]int, error) {
+	if opts.OnTriangles != nil {
+		return nil, fmt.Errorf("opt: EdgeSupport requires a nil OnTriangles")
+	}
+	support := make(map[[2]uint32]int)
+	var mu sync.Mutex
+	key := func(a, b uint32) [2]uint32 {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]uint32{a, b}
+	}
+	opts.OnTriangles = func(u, v uint32, ws []uint32) {
+		mu.Lock()
+		for _, w := range ws {
+			support[key(u, v)]++
+			support[key(u, w)]++
+			support[key(v, w)]++
+		}
+		mu.Unlock()
+	}
+	if _, err := Triangulate(st, opts); err != nil {
+		return nil, err
+	}
+	return support, nil
+}
+
+// TrussDecomposition computes the k-truss number of every triangle edge
+// from a store: the largest k such that the edge survives in the k-truss
+// (the maximal subgraph where every edge has at least k−2 triangles). It
+// returns a map from edge to its truss number (≥ 3 for any edge in a
+// triangle). The paper positions subgraph problems like this as the
+// framework's follow-on applications.
+func TrussDecomposition(g *Graph, st *Store, opts Options) (map[[2]uint32]int, error) {
+	support, err := EdgeSupport(st, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Peeling: repeatedly remove the edge with minimum support, updating
+	// the support of edges that shared triangles with it.
+	adjSupport := func(u, v uint32) (int, bool) {
+		s, ok := support[[2]uint32{min32(u, v), max32(u, v)}]
+		return s, ok
+	}
+	truss := make(map[[2]uint32]int, len(support))
+	removed := make(map[[2]uint32]bool, len(support))
+	k := 3
+	for len(removed) < len(support) {
+		progress := true
+		for progress {
+			progress = false
+			for e, s := range support {
+				if removed[e] || s > k-2 {
+					continue
+				}
+				// Edge e dies at level k.
+				removed[e] = true
+				truss[e] = k
+				progress = true
+				// Decrement support of the co-triangle edges.
+				u, v := e[0], e[1]
+				for _, w := range g.Neighbors(u) {
+					if w == v {
+						continue
+					}
+					if _, ok := adjSupport(u, w); !ok {
+						continue
+					}
+					if _, ok := adjSupport(v, w); !ok {
+						continue
+					}
+					e1 := [2]uint32{min32(u, w), max32(u, w)}
+					e2 := [2]uint32{min32(v, w), max32(v, w)}
+					if removed[e1] || removed[e2] {
+						continue
+					}
+					if !g.HasEdge(v, w) {
+						continue
+					}
+					support[e1]--
+					support[e2]--
+				}
+			}
+		}
+		k++
+		if k > g.NumVertices()+3 {
+			return nil, fmt.Errorf("opt: truss peeling failed to converge")
+		}
+	}
+	return truss, nil
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

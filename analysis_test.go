@@ -1,0 +1,124 @@
+package opt
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func storeFor(t *testing.T, g *Graph) *Store {
+	t.Helper()
+	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestVertexTriangleCounts(t *testing.T) {
+	g := PaperExampleGraph()
+	st := storeFor(t, g)
+	counts, err := VertexTriangleCounts(st, Options{Algorithm: OPT, MemoryPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against the in-memory computation.
+	want := g.LocalTriangleCounts()
+	for v := range want {
+		if counts[v] != want[v] {
+			t.Fatalf("vertex %d: %d, want %d", v, counts[v], want[v])
+		}
+	}
+	// Rejects a non-nil OnTriangles.
+	if _, err := VertexTriangleCounts(st, Options{OnTriangles: func(u, v uint32, ws []uint32) {}}); err == nil {
+		t.Fatal("want error for non-nil OnTriangles")
+	}
+}
+
+func TestEdgeSupportK4(t *testing.T) {
+	g := CompleteGraph(4)
+	st := storeFor(t, g)
+	sup, err := EdgeSupport(st, Options{Algorithm: OPTSerial, MemoryPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every edge of K4 lies in exactly 2 triangles.
+	if len(sup) != 6 {
+		t.Fatalf("support for %d edges, want 6", len(sup))
+	}
+	for e, s := range sup {
+		if s != 2 {
+			t.Fatalf("edge %v support %d, want 2", e, s)
+		}
+	}
+}
+
+func TestEdgeSupportPaperExample(t *testing.T) {
+	g := PaperExampleGraph()
+	st := storeFor(t, g)
+	sup, err := EdgeSupport(st, Options{Algorithm: OPT, MemoryPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge (c=2, f=5) lies in Δcdf and Δcfg: support 2.
+	if got := sup[[2]uint32{2, 5}]; got != 2 {
+		t.Fatalf("support(c,f) = %d, want 2", got)
+	}
+	// Edge (a=0, b=1) lies only in Δabc.
+	if got := sup[[2]uint32{0, 1}]; got != 1 {
+		t.Fatalf("support(a,b) = %d, want 1", got)
+	}
+	// Sum of supports = 3 × triangles.
+	total := 0
+	for _, s := range sup {
+		total += s
+	}
+	if total != 15 {
+		t.Fatalf("Σ support = %d, want 15", total)
+	}
+}
+
+func TestTrussDecomposition(t *testing.T) {
+	// K5 is a 5-truss: every edge has truss number 5.
+	g := CompleteGraph(5)
+	st := storeFor(t, g)
+	truss, err := TrussDecomposition(g, st, Options{Algorithm: OPTSerial, MemoryPages: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truss) != 10 {
+		t.Fatalf("truss for %d edges, want 10", len(truss))
+	}
+	for e, k := range truss {
+		if k != 5 {
+			t.Fatalf("edge %v truss %d, want 5", e, k)
+		}
+	}
+}
+
+func TestTrussDecompositionMixed(t *testing.T) {
+	// A K4 (4-truss) plus one pendant triangle (3-truss).
+	edges := []Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}, // K4
+		{U: 3, V: 4}, {U: 3, V: 5}, {U: 4, V: 5}, // pendant triangle
+	}
+	g, err := NewGraph(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := storeFor(t, g)
+	truss, err := TrussDecomposition(g, st, Options{Algorithm: OPTSerial, MemoryPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}} {
+		if truss[e] != 4 {
+			t.Fatalf("K4 edge %v truss = %d, want 4", e, truss[e])
+		}
+	}
+	for _, e := range [][2]uint32{{3, 4}, {3, 5}, {4, 5}} {
+		if truss[e] != 3 {
+			t.Fatalf("pendant edge %v truss = %d, want 3", e, truss[e])
+		}
+	}
+}

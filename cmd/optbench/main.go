@@ -1,0 +1,79 @@
+// Command optbench regenerates the tables and figures of the paper's
+// evaluation (§5) at laptop scale, printing paper-style rows. See
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	optbench -exp all                # every experiment (takes a while)
+//	optbench -exp fig5 -scale 0.5    # one experiment, smaller workloads
+//	optbench -list                   # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/optlab/opt/internal/bench"
+	"github.com/optlab/opt/internal/ssd"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table2..table7, fig3a..fig7c) or 'all'")
+		scale    = flag.Float64("scale", 1.0, "workload scale multiplier")
+		threads  = flag.Int("threads", 6, "maximum CPU cores exercised")
+		pageSize = flag.Int("pagesize", 4096, "store page size in bytes")
+		latRead  = flag.Duration("lat-read", 20*time.Microsecond, "simulated per-read device latency")
+		latPage  = flag.Duration("lat-page", 5*time.Microsecond, "simulated per-page device latency")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		format   = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Experiments(), "\n"))
+		return
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Threads = *threads
+	cfg.PageSize = *pageSize
+	cfg.Latency = ssd.Latency{PerRead: *latRead, PerPage: *latPage}
+
+	h, err := bench.NewHarness(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer h.Close()
+
+	ids := bench.Experiments()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := h.Table(strings.TrimSpace(id))
+		if err != nil {
+			fail(err)
+		}
+		switch *format {
+		case "csv":
+			err = t.RenderCSV(os.Stdout)
+		default:
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "optbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command optgen generates synthetic graphs (R-MAT, Erdős–Rényi,
+// Holme–Kim, or the paper's dataset proxies) as edge-list files.
+//
+// Usage:
+//
+//	optgen -model rmat -v 1048576 -e 16777216 -seed 1 -out graph.el
+//	optgen -model hk -v 100000 -m 8 -triad 0.5 -out clustered.el
+//	optgen -model proxy -dataset twitter -v 200000 -out twitter.el
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	opt "github.com/optlab/opt"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "rmat", "generator: rmat, er, hk, proxy")
+		v       = flag.Int("v", 1<<16, "number of vertices")
+		e       = flag.Int64("e", 1<<20, "number of edges (rmat, er)")
+		m       = flag.Int("m", 8, "edges per vertex (hk)")
+		triad   = flag.Float64("triad", 0.5, "triad-formation probability (hk)")
+		dataset = flag.String("dataset", "lj", "dataset proxy name (proxy): lj, orkut, twitter, uk, yahoo")
+		seed    = flag.Int64("seed", 1, "random seed")
+		order   = flag.Bool("order", true, "apply the degree-based vertex ordering")
+		out     = flag.String("out", "", "output edge-list path (default stdout)")
+	)
+	flag.Parse()
+
+	g, err := generate(*model, *v, *e, *m, *triad, *dataset, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *order {
+		g = g.DegreeOrdered()
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := opt.WriteEdgeList(w, g); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: |V|=%d |E|=%d maxdeg=%d\n",
+		*model, g.NumVertices(), g.NumEdges(), g.MaxDegree())
+}
+
+func generate(model string, v int, e int64, m int, triad float64, dataset string, seed int64) (*opt.Graph, error) {
+	switch model {
+	case "rmat":
+		return opt.GenerateRMAT(opt.RMATConfig{Vertices: v, Edges: e, Seed: seed})
+	case "er":
+		return opt.GenerateErdosRenyi(v, e, seed)
+	case "hk":
+		return opt.GenerateHolmeKim(opt.HolmeKimConfig{Vertices: v, EdgesPerVertex: m, TriadProb: triad, Seed: seed})
+	case "proxy":
+		return opt.GenerateDatasetProxy(dataset, v)
+	default:
+		return nil, fmt.Errorf("unknown model %q (want rmat, er, hk or proxy)", model)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "optgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command opttri triangulates a slotted-page graph store with any of the
+// implemented disk-based methods and reports the count, timings and I/O
+// statistics.
+//
+// Usage:
+//
+//	opttri -store graph.optstore -algo opt -threads 6 -mem 0.15
+//	opttri -store graph.optstore -algo mgt -list triangles.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	opt "github.com/optlab/opt"
+)
+
+func main() {
+	var (
+		store    = flag.String("store", "graph.optstore", "input store path")
+		algo     = flag.String("algo", "opt", "algorithm: opt, opt-serial, mgt, cc-seq, cc-ds, graphchi")
+		model    = flag.String("model", "edge", "iterator model for opt: edge, vertex")
+		threads  = flag.Int("threads", 2, "worker threads")
+		mem      = flag.Float64("mem", 0.15, "memory budget as a fraction of the graph size")
+		memPages = flag.Int("mempages", 0, "memory budget in pages (overrides -mem)")
+		list     = flag.String("list", "", "write triangles (nested binary representation) to this file")
+		perRead  = flag.Duration("lat-read", 0, "simulated per-read device latency")
+		perPage  = flag.Duration("lat-page", 0, "simulated per-page device latency")
+	)
+	flag.Parse()
+
+	algorithm, err := parseAlgo(*algo)
+	if err != nil {
+		fail(err)
+	}
+	st, err := opt.OpenStore(*store)
+	if err != nil {
+		fail(err)
+	}
+	opts := opt.Options{
+		Algorithm:      algorithm,
+		Threads:        *threads,
+		MemoryFraction: *mem,
+		MemoryPages:    *memPages,
+		Latency:        opt.DeviceLatency{PerRead: *perRead, PerPage: *perPage},
+	}
+	if *model == "vertex" {
+		opts.Model = opt.VertexIteratorModel
+	}
+
+	var lf *os.File
+	var mu sync.Mutex
+	if *list != "" {
+		lf, err = os.Create(*list)
+		if err != nil {
+			fail(err)
+		}
+		defer lf.Close()
+		bw := newNestedFileWriter(lf)
+		opts.OnTriangles = func(u, v uint32, ws []uint32) {
+			mu.Lock()
+			bw.emit(u, v, ws)
+			mu.Unlock()
+		}
+		defer bw.flush()
+	}
+
+	res, err := opt.Triangulate(st, opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("algorithm     %v\n", res.Algorithm)
+	fmt.Printf("triangles     %d\n", res.Triangles)
+	fmt.Printf("elapsed       %v\n", res.Elapsed)
+	fmt.Printf("iterations    %d\n", res.Iterations)
+	fmt.Printf("pages read    %d\n", res.PagesRead)
+	fmt.Printf("pages written %d\n", res.PagesWritten)
+	fmt.Printf("pages reused  %d\n", res.ReusedPages)
+	fmt.Printf("intersect ops %d\n", res.IntersectOps)
+}
+
+func parseAlgo(s string) (opt.Algorithm, error) {
+	switch s {
+	case "opt":
+		return opt.OPT, nil
+	case "opt-serial":
+		return opt.OPTSerial, nil
+	case "mgt":
+		return opt.MGT, nil
+	case "cc-seq":
+		return opt.CCSeq, nil
+	case "cc-ds":
+		return opt.CCDS, nil
+	case "graphchi":
+		return opt.GraphChiTri, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+// nestedFileWriter buffers nested records into a file in the same compact
+// binary form the library's NestedWriter uses.
+type nestedFileWriter struct {
+	f   *os.File
+	buf []byte
+}
+
+func newNestedFileWriter(f *os.File) *nestedFileWriter {
+	return &nestedFileWriter{f: f, buf: make([]byte, 0, 1<<20)}
+}
+
+func (w *nestedFileWriter) emit(u, v uint32, ws []uint32) {
+	w.buf = appendU32(w.buf, u)
+	w.buf = appendU32(w.buf, v)
+	w.buf = appendU32(w.buf, uint32(len(ws)))
+	for _, x := range ws {
+		w.buf = appendU32(w.buf, x)
+	}
+	if len(w.buf) >= 1<<20 {
+		w.flush()
+	}
+}
+
+func (w *nestedFileWriter) flush() {
+	if len(w.buf) > 0 {
+		if _, err := w.f.Write(w.buf); err != nil {
+			fail(err)
+		}
+		w.buf = w.buf[:0]
+	}
+}
+
+func appendU32(b []byte, x uint32) []byte {
+	return append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "opttri:", err)
+	os.Exit(1)
+}

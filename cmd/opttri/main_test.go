@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	opt "github.com/optlab/opt"
+)
+
+func TestParseAlgo(t *testing.T) {
+	cases := map[string]opt.Algorithm{
+		"opt":        opt.OPT,
+		"opt-serial": opt.OPTSerial,
+		"mgt":        opt.MGT,
+		"cc-seq":     opt.CCSeq,
+		"cc-ds":      opt.CCDS,
+		"graphchi":   opt.GraphChiTri,
+	}
+	for in, want := range cases {
+		got, err := parseAlgo(in)
+		if err != nil {
+			t.Fatalf("parseAlgo(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("parseAlgo(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := parseAlgo("bogus"); err == nil {
+		t.Fatal("parseAlgo(bogus): want error")
+	}
+}
+
+func TestNestedFileWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.tri")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newNestedFileWriter(f)
+	w.emit(1, 2, []uint32{3, 4})
+	w.emit(5, 6, []uint32{7})
+	w.flush()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records: (1,2,2,3,4) and (5,6,1,7) -> 9 uint32s = 36 bytes.
+	if len(data) != 36 {
+		t.Fatalf("wrote %d bytes, want 36", len(data))
+	}
+	if data[0] != 1 || data[4] != 2 || data[8] != 2 || data[12] != 3 || data[16] != 4 {
+		t.Fatalf("first record bytes wrong: %v", data[:20])
+	}
+}
+
+func TestAppendU32(t *testing.T) {
+	b := appendU32(nil, 0x04030201)
+	if len(b) != 4 || b[0] != 1 || b[1] != 2 || b[2] != 3 || b[3] != 4 {
+		t.Fatalf("appendU32 = %v", b)
+	}
+}

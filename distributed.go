@@ -1,0 +1,104 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/optlab/opt/internal/cluster"
+)
+
+// DistributedMethod selects one of the distributed triangle-counting
+// systems the paper compares against in Table 7.
+type DistributedMethod int
+
+// Simulated distributed methods.
+const (
+	// SV is the MapReduce partition algorithm of Suri & Vassilvitskii
+	// (WWW'11), with its Θ(ρ)-duplicated, disk-materialised shuffle.
+	SV DistributedMethod = iota
+	// AKM is the PATRIC MPI triangulation of Arifuzzaman, Khan & Marathe
+	// (CIKM'13) over work-balanced overlapping partitions.
+	AKM
+	// PowerGraph is the GAS triangle counter of Gonzalez et al. (OSDI'12)
+	// over a 2D grid vertex-cut.
+	PowerGraph
+)
+
+// String implements fmt.Stringer.
+func (m DistributedMethod) String() string {
+	switch m {
+	case SV:
+		return "SV"
+	case AKM:
+		return "AKM"
+	case PowerGraph:
+		return "PowerGraph"
+	default:
+		return fmt.Sprintf("DistributedMethod(%d)", int(m))
+	}
+}
+
+// ClusterConfig describes the simulated cluster (see DESIGN.md §3: node
+// compute is real Go work on real partitions; network, shuffle-disk and
+// framework costs are modelled from actual byte volumes).
+type ClusterConfig struct {
+	// Nodes is the machine count (the paper uses 31 workers). Default 31.
+	Nodes int
+	// CoresPerNode is the per-machine core count (paper: 12). Default 12.
+	CoresPerNode int
+	// SVColors is the ρ parameter of SV's universal hash (default 6).
+	SVColors int
+}
+
+// DistributedResult reports a simulated distributed run.
+type DistributedResult struct {
+	Method    DistributedMethod
+	Triangles int64
+	// Elapsed is the modelled wall-clock time.
+	Elapsed time.Duration
+	// ComputeMax is the bottleneck node's ideal-scaled compute time.
+	ComputeMax time.Duration
+	// CommTime is the priced communication time.
+	CommTime time.Duration
+	// BytesShuffled is the bytes moved between nodes.
+	BytesShuffled int64
+}
+
+// SimulateDistributed counts triangles with a simulated distributed
+// system, as in the paper's Table 7 comparison. Counts are exact; timings
+// combine measured per-partition compute with a modelled network.
+func SimulateDistributed(g *Graph, method DistributedMethod, cfg ClusterConfig) (*DistributedResult, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 31
+	}
+	if cfg.CoresPerNode <= 0 {
+		cfg.CoresPerNode = 12
+	}
+	if cfg.SVColors <= 0 {
+		cfg.SVColors = 6
+	}
+	ccfg := cluster.Config{Nodes: cfg.Nodes, CoresPerNode: cfg.CoresPerNode, Net: cluster.DefaultNet()}
+	var res *cluster.Result
+	var err error
+	switch method {
+	case SV:
+		res, err = cluster.RunSV(g.internal(), cfg.SVColors, ccfg)
+	case AKM:
+		res, err = cluster.RunAKM(g.internal(), ccfg)
+	case PowerGraph:
+		res, err = cluster.RunPowerGraph(g.internal(), ccfg)
+	default:
+		return nil, fmt.Errorf("opt: unknown distributed method %v", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DistributedResult{
+		Method:        method,
+		Triangles:     res.Triangles,
+		Elapsed:       res.SimElapsed,
+		ComputeMax:    res.ComputeMax,
+		CommTime:      res.CommTime,
+		BytesShuffled: res.BytesShuffled,
+	}, nil
+}

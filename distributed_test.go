@@ -1,0 +1,43 @@
+package opt
+
+import "testing"
+
+func TestSimulateDistributedExact(t *testing.T) {
+	g, err := GenerateRMAT(RMATConfig{Vertices: 1 << 9, Edges: 6000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.DegreeOrdered()
+	want := g.CountTriangles()
+	for _, m := range []DistributedMethod{SV, AKM, PowerGraph} {
+		res, err := SimulateDistributed(g, m, ClusterConfig{Nodes: 8, CoresPerNode: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Triangles != want {
+			t.Errorf("%v: triangles = %d, want %d", m, res.Triangles, want)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%v: elapsed = %v", m, res.Elapsed)
+		}
+		if res.Method != m {
+			t.Errorf("result method = %v, want %v", res.Method, m)
+		}
+	}
+	// Defaults applied.
+	if _, err := SimulateDistributed(g, SV, ClusterConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateDistributed(g, DistributedMethod(9), ClusterConfig{}); err == nil {
+		t.Fatal("unknown method: want error")
+	}
+}
+
+func TestDistributedMethodString(t *testing.T) {
+	if SV.String() != "SV" || AKM.String() != "AKM" || PowerGraph.String() != "PowerGraph" {
+		t.Fatal("String wrong")
+	}
+	if DistributedMethod(9).String() == "" {
+		t.Fatal("unknown String empty")
+	}
+}

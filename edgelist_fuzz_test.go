@@ -1,0 +1,45 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: arbitrary text must parse or error, never panic, and a
+// successful parse must produce a well-formed simple graph.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n3 1\n")
+	f.Add("# comment\n% other\n\n10 20\n")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add("")
+	f.Add("18446744073709551615 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			t.Skip()
+		}
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		n := g.NumVertices()
+		for v := 0; v < n; v++ {
+			prev := int64(-1)
+			for _, w := range g.Neighbors(uint32(v)) {
+				if int(w) >= n {
+					t.Fatalf("neighbor %d out of range %d", w, n)
+				}
+				if w == uint32(v) {
+					t.Fatal("self-loop survived")
+				}
+				if int64(w) <= prev {
+					t.Fatal("adjacency not strictly increasing")
+				}
+				prev = int64(w)
+			}
+		}
+		if g.CountTriangles() < 0 {
+			t.Fatal("negative count")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+// Clustering analysis: the network-analysis application from the paper's
+// introduction — clustering coefficients [19] and transitivity [18] are
+// obtained directly from triangulation. This example contrasts a
+// high-clustering social-style network (Holme–Kim) with a random graph of
+// the same density, listing triangles through the disk-based framework.
+//
+// Run with: go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	opt "github.com/optlab/opt"
+)
+
+func main() {
+	const n = 20_000
+	social, err := opt.GenerateHolmeKim(opt.HolmeKimConfig{
+		Vertices: n, EdgesPerVertex: 8, TriadProb: 0.6, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	random, err := opt.GenerateErdosRenyi(n, social.NumEdges(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("network           |V|     |E|      triangles  avg-CC  transitivity")
+	for _, tc := range []struct {
+		name string
+		g    *opt.Graph
+	}{
+		{"social (HK)", social},
+		{"random (ER)", random},
+	} {
+		tris := countViaDisk(tc.g)
+		fmt.Printf("%-14s %7d %8d %10d  %.4f  %.4f\n",
+			tc.name, tc.g.NumVertices(), tc.g.NumEdges(), tris,
+			tc.g.AverageClusteringCoefficient(), tc.g.Transitivity())
+	}
+
+	// Per-vertex clustering: the social network's hubs sit in dense
+	// neighborhoods; list the 5 most clustered high-degree vertices.
+	cc := social.ClusteringCoefficients()
+	type vc struct {
+		v  int
+		cc float64
+	}
+	var hubs []vc
+	for v := 0; v < social.NumVertices(); v++ {
+		if social.Degree(uint32(v)) >= 30 {
+			hubs = append(hubs, vc{v, cc[v]})
+		}
+	}
+	sort.Slice(hubs, func(i, j int) bool { return hubs[i].cc > hubs[j].cc })
+	fmt.Println("\nmost clustered hubs (degree ≥ 30):")
+	for i := 0; i < 5 && i < len(hubs); i++ {
+		fmt.Printf("  vertex %6d  degree %3d  C(v) = %.3f\n",
+			hubs[i].v, social.Degree(uint32(hubs[i].v)), hubs[i].cc)
+	}
+}
+
+// countViaDisk stores the graph and triangulates it with OPT, counting via
+// the listing callback to demonstrate exact enumeration.
+func countViaDisk(g *opt.Graph) int64 {
+	dir, err := os.MkdirTemp("", "opt-clustering-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := opt.BuildStore(filepath.Join(dir, "g.optstore"), g.DegreeOrdered(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mu sync.Mutex
+	var tris int64
+	_, err = opt.Triangulate(st, opt.Options{
+		Algorithm: opt.OPT, Threads: 4, MemoryFraction: 0.15,
+		OnTriangles: func(_, _ uint32, ws []uint32) {
+			mu.Lock()
+			tris += int64(len(ws))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tris
+}

@@ -1,0 +1,74 @@
+// One machine vs a cluster — the Table 7 story: a single machine running
+// the OPT framework against simulated 31-node deployments of SV (Hadoop),
+// AKM (MPI) and PowerGraph on the same graph. Distributed counts are
+// exact (real computation on real partitions); their network, shuffle and
+// framework costs are modelled (see DESIGN.md §3).
+//
+// Run with: go run ./examples/onemachine
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	opt "github.com/optlab/opt"
+)
+
+func main() {
+	g, err := opt.GenerateDatasetProxy("twitter", 12_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %v (TWITTER proxy)\n\n", g)
+
+	// One machine: the OPT framework with all cores.
+	dir, err := os.MkdirTemp("", "opt-onemachine-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := opt.BuildStore(filepath.Join(dir, "g.optstore"), g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	one, err := opt.Triangulate(st, opt.Options{
+		Algorithm: opt.OPT, Threads: runtime.NumCPU(), MemoryFraction: 0.15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("method       machines  triangles   elapsed     shuffled")
+	fmt.Printf("%-12s %8d  %10d  %-10v  %s\n", "OPT", 1, one.Triangles, one.Elapsed.Round(time.Millisecond), "-")
+
+	cfg := opt.ClusterConfig{Nodes: 31, CoresPerNode: 12}
+	for _, m := range []opt.DistributedMethod{opt.SV, opt.AKM, opt.PowerGraph} {
+		res, err := opt.SimulateDistributed(g, m, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Triangles != one.Triangles {
+			log.Fatalf("%v count %d != OPT %d", m, res.Triangles, one.Triangles)
+		}
+		fmt.Printf("%-12s %8d  %10d  %-10v  %s\n",
+			m, cfg.Nodes, res.Triangles, res.Elapsed.Round(time.Millisecond), mb(res.BytesShuffled))
+	}
+
+	fmt.Println("\nper-machine relative performance (elapsed × machines, normalised to OPT):")
+	for _, m := range []opt.DistributedMethod{opt.SV, opt.AKM, opt.PowerGraph} {
+		res, err := opt.SimulateDistributed(g, m, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := float64(res.Elapsed) * float64(cfg.Nodes) / float64(one.Elapsed)
+		fmt.Printf("  %-12s %8.1f× the resources per unit of work\n", m, rel)
+	}
+}
+
+func mb(b int64) string {
+	return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+}

@@ -1,0 +1,109 @@
+package opt
+
+import (
+	"github.com/optlab/opt/internal/gen"
+	"github.com/optlab/opt/internal/graph"
+)
+
+// RMATConfig configures the R-MAT generator [Chakrabarti et al., SDM'04]
+// used throughout the paper's synthetic experiments (§5.8). Zero quadrant
+// probabilities select the GTgraph defaults (a=0.45, b=0.15, c=0.15,
+// d=0.25) with 10% noise.
+type RMATConfig struct {
+	Vertices   int
+	Edges      int64
+	A, B, C, D float64
+	Noise      float64
+	Seed       int64
+}
+
+// GenerateRMAT samples an R-MAT graph and simplifies it.
+func GenerateRMAT(cfg RMATConfig) (*Graph, error) {
+	p := gen.RMATParams{
+		NumVertices: cfg.Vertices,
+		NumEdges:    cfg.Edges,
+		A:           cfg.A, B: cfg.B, C: cfg.C, D: cfg.D,
+		Noise: cfg.Noise,
+		Seed:  cfg.Seed,
+	}
+	if p.A == 0 && p.B == 0 && p.C == 0 && p.D == 0 {
+		p.A, p.B, p.C, p.D = 0.45, 0.15, 0.15, 0.25
+		if p.Noise == 0 {
+			p.Noise = 0.1
+		}
+	}
+	g, err := gen.RMAT(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// GenerateErdosRenyi samples a G(n, m) random graph and simplifies it.
+func GenerateErdosRenyi(n int, m int64, seed int64) (*Graph, error) {
+	g, err := gen.ErdosRenyi(n, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// HolmeKimConfig configures the tunable-clustering scale-free generator
+// [Holme & Kim, Phys. Rev. E 2002] used for the Figure 7c sweep.
+type HolmeKimConfig struct {
+	Vertices int
+	// EdgesPerVertex is M: edges attached per new vertex (avg degree ≈ 2M).
+	EdgesPerVertex int
+	// TriadProb is the probability of a triad-formation step after each
+	// preferential attachment; larger values raise the clustering
+	// coefficient at near-constant density.
+	TriadProb float64
+	Seed      int64
+}
+
+// GenerateHolmeKim grows a Holme–Kim graph.
+func GenerateHolmeKim(cfg HolmeKimConfig) (*Graph, error) {
+	g, err := gen.HolmeKim(gen.HolmeKimParams{
+		NumVertices: cfg.Vertices,
+		M:           cfg.EdgesPerVertex,
+		TriadProb:   cfg.TriadProb,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// DatasetNames lists the Table 2 dataset proxies available from
+// GenerateDatasetProxy, in paper order: lj, orkut, twitter, uk, yahoo.
+func DatasetNames() []string {
+	names := make([]string, len(gen.Datasets))
+	for i, d := range gen.Datasets {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// GenerateDatasetProxy generates a degree-ordered R-MAT proxy of one of
+// the paper's five real-world datasets at the given vertex count,
+// preserving the original's |E|/|V| density (see DESIGN.md §3 for the
+// substitution rationale).
+func GenerateDatasetProxy(name string, vertices int) (*Graph, error) {
+	d, err := gen.DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := d.Proxy(vertices)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// CompleteGraph returns K_n (useful for tests and demos: C(n,3) triangles).
+func CompleteGraph(n int) *Graph { return &Graph{g: graph.Complete(n)} }
+
+// PaperExampleGraph returns the 8-vertex example graph of the paper's
+// Figure 1, which contains exactly five triangles.
+func PaperExampleGraph() *Graph { return &Graph{g: graph.PaperExample()} }

@@ -1,0 +1,3 @@
+module github.com/optlab/opt
+
+go 1.22

@@ -1,0 +1,229 @@
+// Package baselines_test cross-validates every disk-based baseline (MGT,
+// CC-Seq, CC-DS, GraphChi-Tri) against the in-memory reference count on a
+// shared set of workloads, and checks the I/O-cost orderings the paper's
+// analysis predicts (Eq. 7, the slow-group/fast-group split of §5.5).
+package baselines_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/optlab/opt/internal/baselines/cc"
+	"github.com/optlab/opt/internal/baselines/gchi"
+	"github.com/optlab/opt/internal/baselines/mgt"
+	"github.com/optlab/opt/internal/core"
+	"github.com/optlab/opt/internal/gen"
+	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/storage"
+)
+
+func buildStore(t testing.TB, g *graph.Graph, pageSize int) (*storage.Store, *ssd.FileDevice) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.optstore")
+	st, err := storage.BuildFile(path, g, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := st.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dev.Close() })
+	return st, dev
+}
+
+func workloads(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	raw, err := gen.RMAT(gen.DefaultRMAT(1<<10, 12_000, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, _ := graph.DegreeOrder(raw)
+	return map[string]*graph.Graph{
+		"paper": graph.PaperExample(),
+		"k25":   graph.Complete(25),
+		"rmat":  ordered,
+		"star":  graph.Star(300),
+	}
+}
+
+func TestMGTMatchesReference(t *testing.T) {
+	for name, g := range workloads(t) {
+		want := graph.CountTrianglesReference(g)
+		for _, budget := range []int{0, 2, 6} { // 0 -> default
+			st, dev := buildStore(t, g, 128)
+			res, err := mgt.Run(st, dev, mgt.Options{MemoryPages: budget})
+			if err != nil {
+				t.Fatalf("%s budget=%d: %v", name, budget, err)
+			}
+			if res.Triangles != want {
+				t.Errorf("%s budget=%d: MGT = %d, want %d", name, budget, res.Triangles, want)
+			}
+			if res.Blocks < 1 {
+				t.Errorf("%s: blocks = %d", name, res.Blocks)
+			}
+		}
+	}
+}
+
+func TestMGTIOCostEq7(t *testing.T) {
+	// MGT's read I/O is (1 + #blocks) · P(G): one block-load pass plus one
+	// full scan per block.
+	raw, _ := gen.RMAT(gen.DefaultRMAT(512, 8000, 3))
+	g, _ := graph.DegreeOrder(raw)
+	st, dev := buildStore(t, g, 128)
+	mx := metrics.NewCollector()
+	res, err := mgt.Run(st, dev, mgt.Options{MemoryPages: int(st.NumPages) / 4, Metrics: mx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPages := int64(res.Blocks+1) * int64(st.NumPages)
+	if got := mx.PagesRead(); got != wantPages {
+		t.Fatalf("MGT pages read = %d, want (1+%d)·%d = %d", got, res.Blocks, st.NumPages, wantPages)
+	}
+	if mx.PagesWritten() != 0 {
+		t.Fatalf("MGT wrote %d pages; it must be read-only", mx.PagesWritten())
+	}
+}
+
+func TestCCMatchesReference(t *testing.T) {
+	for name, g := range workloads(t) {
+		want := graph.CountTrianglesReference(g)
+		for _, variant := range []cc.Variant{cc.Seq, cc.DS} {
+			st, dev := buildStore(t, g, 128)
+			res, err := cc.Run(st, dev, cc.Options{Variant: variant, MemoryPages: 4, TempDir: t.TempDir()})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, variant, err)
+			}
+			if res.Triangles != want {
+				t.Errorf("%s/%v: CC = %d, want %d", name, variant, res.Triangles, want)
+			}
+		}
+	}
+}
+
+func TestCCListsTriangles(t *testing.T) {
+	g := graph.PaperExample()
+	for _, variant := range []cc.Variant{cc.Seq, cc.DS} {
+		st, dev := buildStore(t, g, 64)
+		out := &core.CollectingOutput{}
+		if _, err := cc.Run(st, dev, cc.Options{Variant: variant, MemoryPages: 2, Output: out, TempDir: t.TempDir()}); err != nil {
+			t.Fatal(err)
+		}
+		tris := out.Triangles()
+		if len(tris) != 5 {
+			t.Fatalf("%v listed %d triangles, want 5: %v", variant, len(tris), tris)
+		}
+		// CC-DS emits in original ids: check the known set.
+		want := []core.Triangle{{U: 0, V: 1, W: 2}, {U: 2, V: 3, W: 5}, {U: 2, V: 5, W: 6}, {U: 2, V: 6, W: 7}, {U: 3, V: 4, W: 5}}
+		for i := range want {
+			if tris[i] != want[i] {
+				t.Fatalf("%v triangles = %v, want %v", variant, tris, want)
+			}
+		}
+	}
+}
+
+func TestCCWritesRemainders(t *testing.T) {
+	// The slow-group signature: CC writes remainder files every iteration.
+	raw, _ := gen.RMAT(gen.DefaultRMAT(512, 8000, 3))
+	g, _ := graph.DegreeOrder(raw)
+	st, dev := buildStore(t, g, 128)
+	mx := metrics.NewCollector()
+	res, err := cc.Run(st, dev, cc.Options{MemoryPages: int(st.NumPages) / 5, Metrics: mx, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("iterations = %d, want >= 2 with a small buffer", res.Iterations)
+	}
+	if mx.PagesWritten() == 0 {
+		t.Fatal("CC wrote no pages; the remainder rewrite is missing")
+	}
+	if mx.PagesRead() <= int64(st.NumPages) {
+		t.Fatalf("CC read %d pages, want more than one pass (%d)", mx.PagesRead(), st.NumPages)
+	}
+}
+
+func TestGraphChiMatchesReference(t *testing.T) {
+	for name, g := range workloads(t) {
+		want := graph.CountTrianglesReference(g)
+		for _, threads := range []int{1, 4} {
+			st, dev := buildStore(t, g, 128)
+			res, err := gchi.Run(st, dev, gchi.Options{MemoryPages: 6, Threads: threads, TempDir: t.TempDir(), BatchRecords: 16})
+			if err != nil {
+				t.Fatalf("%s threads=%d: %v", name, threads, err)
+			}
+			if res.Triangles != want {
+				t.Errorf("%s threads=%d: GraphChi-Tri = %d, want %d", name, threads, res.Triangles, want)
+			}
+		}
+	}
+}
+
+func TestGraphChiDoesMoreIOThanCC(t *testing.T) {
+	// GraphChi-Tri pays two read passes plus a write per pivot block at
+	// half the buffer; with equal budgets its total I/O exceeds CC's.
+	raw, _ := gen.RMAT(gen.DefaultRMAT(512, 8000, 17))
+	g, _ := graph.DegreeOrder(raw)
+	budget := 8
+
+	stCC, devCC := buildStore(t, g, 128)
+	mxCC := metrics.NewCollector()
+	if _, err := cc.Run(stCC, devCC, cc.Options{MemoryPages: budget, Metrics: mxCC, TempDir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	stG, devG := buildStore(t, g, 128)
+	mxG := metrics.NewCollector()
+	if _, err := gchi.Run(stG, devG, gchi.Options{MemoryPages: budget, Metrics: mxG, TempDir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	ioCC := mxCC.PagesRead() + mxCC.PagesWritten()
+	ioG := mxG.PagesRead() + mxG.PagesWritten()
+	if ioG <= ioCC {
+		t.Fatalf("GraphChi I/O %d <= CC I/O %d; expected more", ioG, ioCC)
+	}
+}
+
+func TestSlowGroupVsFastGroupIO(t *testing.T) {
+	// §5.5: the fast group (MGT) performs read-only I/O; the slow group
+	// (CC, GraphChi) reads AND writes, and with a small buffer the slow
+	// group's total I/O exceeds MGT's.
+	raw, _ := gen.RMAT(gen.DefaultRMAT(1024, 16000, 23))
+	g, _ := graph.DegreeOrder(raw)
+	budget := 6
+
+	stM, devM := buildStore(t, g, 128)
+	mxM := metrics.NewCollector()
+	if _, err := mgt.Run(stM, devM, mgt.Options{MemoryPages: budget, Metrics: mxM}); err != nil {
+		t.Fatal(err)
+	}
+	stC, devC := buildStore(t, g, 128)
+	mxC := metrics.NewCollector()
+	if _, err := cc.Run(stC, devC, cc.Options{MemoryPages: budget, Metrics: mxC, TempDir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if mxC.PagesWritten() == 0 || mxM.PagesWritten() != 0 {
+		t.Fatalf("write split wrong: CC wrote %d, MGT wrote %d", mxC.PagesWritten(), mxM.PagesWritten())
+	}
+}
+
+func TestBaselinesOnFaultyDevice(t *testing.T) {
+	raw, _ := gen.RMAT(gen.DefaultRMAT(256, 3000, 29))
+	g, _ := graph.DegreeOrder(raw)
+	st, dev := buildStore(t, g, 128)
+	faulty := &ssd.FaultyDevice{PageDevice: dev, FailEveryN: 5}
+	if _, err := mgt.Run(st, faulty, mgt.Options{MemoryPages: 4}); err == nil {
+		t.Error("MGT on faulty device: want error")
+	}
+	faulty2 := &ssd.FaultyDevice{PageDevice: dev, FailEveryN: 3}
+	if _, err := cc.Run(st, faulty2, cc.Options{MemoryPages: 4, TempDir: t.TempDir()}); err == nil {
+		t.Error("CC on faulty device: want error")
+	}
+	faulty3 := &ssd.FaultyDevice{PageDevice: dev, FailEveryN: 3}
+	if _, err := gchi.Run(st, faulty3, gchi.Options{MemoryPages: 4, TempDir: t.TempDir()}); err == nil {
+		t.Error("GraphChi on faulty device: want error")
+	}
+}

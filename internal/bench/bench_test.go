@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/optlab/opt/internal/ssd"
+)
+
+// tinyConfig keeps the integration sweep fast.
+func tinyConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Scale = 0.06
+	cfg.Threads = 3
+	cfg.WorkDir = t.TempDir()
+	cfg.Latency = ssd.Latency{} // raw device speed
+	return cfg
+}
+
+// TestEveryExperimentRuns executes every registered experiment end to end
+// at tiny scale: the whole reproduction pipeline (generators, stores, all
+// algorithms, cluster sims) must hold together for each table and figure.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	h, err := NewHarness(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := h.Run(id, &buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "== "+id+":") {
+				t.Fatalf("output missing header: %q", out[:min(len(out), 80)])
+			}
+			if strings.Count(out, "\n") < 4 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	h, err := NewHarness(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Run("fig99", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment: want error")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"note one"},
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "333", "note: note one"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentsListStable(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 14 {
+		t.Fatalf("got %d experiments, want 14 (one per table/figure)", len(ids))
+	}
+	want := map[string]bool{
+		"table2": true, "table3": true, "table4": true, "table5": true,
+		"table6": true, "table7": true, "fig3a": true, "fig3b": true,
+		"fig4": true, "fig5": true, "fig6": true, "fig7a": true,
+		"fig7b": true, "fig7c": true,
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Fatalf("unexpected experiment %q", id)
+		}
+	}
+}
+
+func TestHarnessProxyCache(t *testing.T) {
+	h, err := NewHarness(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	g1, err := h.proxy("lj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := h.proxy("lj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("proxy not cached")
+	}
+	if _, err := h.proxy("nope"); err == nil {
+		t.Fatal("unknown proxy: want error")
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := &Table{
+		ID:     "x",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "with,comma"}, {"2", `with"quote`}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"a,b\n", `"with,comma"`, `"with""quote"`, "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q:\n%s", want, out)
+		}
+	}
+}

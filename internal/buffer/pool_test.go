@@ -1,0 +1,175 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+)
+
+func chunk(first uint32, pages int) *Chunk {
+	return &Chunk{FirstPage: first, NumPages: pages}
+}
+
+func TestPoolInsertLookup(t *testing.T) {
+	p := NewPool(4)
+	p.Insert(chunk(0, 1))
+	p.Insert(chunk(1, 2))
+	if p.UsedPages() != 3 {
+		t.Fatalf("UsedPages = %d, want 3", p.UsedPages())
+	}
+	c := p.Lookup(1)
+	if c == nil || c.NumPages != 2 {
+		t.Fatalf("Lookup(1) = %v", c)
+	}
+	if p.Lookup(9) != nil {
+		t.Fatal("Lookup(9) should be nil")
+	}
+	if !p.Contains(0) || p.Contains(9) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestPoolEvictionFIFO(t *testing.T) {
+	p := NewPool(3)
+	p.Insert(chunk(0, 1))
+	p.Insert(chunk(1, 1))
+	p.Insert(chunk(2, 1))
+	// All inserted pinned once; unpin 0 and 1 so they are evictable.
+	p.Unpin(0)
+	p.Unpin(1)
+	evicted := p.Insert(chunk(3, 2)) // needs 2 pages -> evicts 0 then 1
+	if evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", evicted)
+	}
+	if p.Contains(0) || p.Contains(1) {
+		t.Fatal("FIFO eviction order violated")
+	}
+	if !p.Contains(2) || !p.Contains(3) {
+		t.Fatal("wrong survivors")
+	}
+	if p.UsedPages() != 3 {
+		t.Fatalf("UsedPages = %d, want 3", p.UsedPages())
+	}
+}
+
+func TestPoolPinPreventsEviction(t *testing.T) {
+	p := NewPool(2)
+	p.Insert(chunk(0, 1)) // pinned
+	p.Insert(chunk(1, 1)) // pinned
+	// Everything pinned: insert overflows.
+	p.Insert(chunk(2, 1))
+	if !p.Contains(0) || !p.Contains(1) || !p.Contains(2) {
+		t.Fatal("pinned chunk was evicted")
+	}
+	if p.OverflowPages() != 1 {
+		t.Fatalf("OverflowPages = %d, want 1", p.OverflowPages())
+	}
+}
+
+func TestPoolUnpinThenEvictable(t *testing.T) {
+	p := NewPool(1)
+	p.Insert(chunk(0, 1))
+	c := p.Lookup(0) // second pin
+	if c == nil {
+		t.Fatal("Lookup failed")
+	}
+	p.Unpin(0)
+	p.Unpin(0) // now unpinned
+	p.Insert(chunk(1, 1))
+	if p.Contains(0) {
+		t.Fatal("chunk 0 should have been evicted")
+	}
+}
+
+func TestPoolUnpinPanics(t *testing.T) {
+	p := NewPool(2)
+	p.Insert(chunk(0, 1))
+	p.Unpin(0)
+	assertPanics(t, func() { p.Unpin(0) }, "double unpin")
+	assertPanics(t, func() { p.Unpin(7) }, "unpin absent")
+	assertPanics(t, func() { p.Insert(chunk(0, 1)) }, "duplicate insert")
+}
+
+func assertPanics(t *testing.T, fn func(), name string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestPoolTake(t *testing.T) {
+	p := NewPool(4)
+	p.Insert(chunk(0, 2))
+	p.Insert(chunk(2, 1))
+	c := p.Take(0) // still pinned; Take succeeds regardless
+	if c == nil || c.NumPages != 2 {
+		t.Fatalf("Take = %v", c)
+	}
+	if p.Contains(0) {
+		t.Fatal("Take left chunk resident")
+	}
+	if p.UsedPages() != 1 {
+		t.Fatalf("UsedPages = %d, want 1", p.UsedPages())
+	}
+	if p.Take(0) != nil {
+		t.Fatal("second Take should be nil")
+	}
+}
+
+func TestPoolClearAndResident(t *testing.T) {
+	p := NewPool(4)
+	p.Insert(chunk(0, 1))
+	p.Insert(chunk(5, 1))
+	res := p.Resident()
+	if len(res) != 2 {
+		t.Fatalf("Resident = %v", res)
+	}
+	p.Clear()
+	if p.UsedPages() != 0 || len(p.Resident()) != 0 {
+		t.Fatal("Clear did not empty pool")
+	}
+}
+
+func TestPoolOversizedChunkAdmitted(t *testing.T) {
+	p := NewPool(2)
+	p.Insert(chunk(0, 5)) // bigger than capacity
+	if !p.Contains(0) {
+		t.Fatal("oversized chunk rejected")
+	}
+	if p.OverflowPages() != 3 {
+		t.Fatalf("OverflowPages = %d, want 3", p.OverflowPages())
+	}
+}
+
+func TestPoolMinimumCapacity(t *testing.T) {
+	p := NewPool(0)
+	if p.Capacity() != 1 {
+		t.Fatalf("Capacity = %d, want 1", p.Capacity())
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint32(w * 100)
+			for i := uint32(0); i < 50; i++ {
+				p.Insert(chunk(base+i, 1))
+				if c := p.Lookup(base + i); c != nil {
+					p.Unpin(base + i)
+				}
+				p.Unpin(base + i) // release insert pin
+			}
+		}()
+	}
+	wg.Wait()
+	if p.UsedPages() > 64 {
+		t.Fatalf("UsedPages = %d exceeds capacity with everything unpinned", p.UsedPages())
+	}
+}

@@ -1,0 +1,116 @@
+// Package cluster provides the simulated distributed substrate for the
+// Table 7 comparison: SV, the MapReduce partition-based triangle counter of
+// Suri & Vassilvitskii (WWW'11); AKM, the MPI vertex-iterator triangulation
+// of Arifuzzaman, Khan & Marathe (PATRIC, CIKM'13); and the PowerGraph
+// GAS triangle counter of Gonzalez et al. (OSDI'12).
+//
+// Substitution note (see DESIGN.md §3): the paper runs these on a 32-node
+// Xeon cluster. Here each "node" is a goroutine executing the method's real
+// per-node computation on its real partition of the graph — triangle counts
+// are exact — while network, shuffle-disk and framework costs are modelled
+// from the actual byte volumes each method ships. Per-node multi-core
+// scaling is granted at the Amdahl-free ideal (work / CoresPerNode), which
+// flatters the distributed baselines and therefore makes OPT's Table 7
+// relative-efficiency win conservative.
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// NetModel prices the communication a method performs.
+type NetModel struct {
+	// BytesPerSec is the aggregate network bandwidth available to the job.
+	BytesPerSec float64
+	// DiskBytesPerSec prices materialised shuffles (Hadoop writes map
+	// output to disk and reducers read it back).
+	DiskBytesPerSec float64
+	// LatencyPerRound is charged once per communication round/superstep.
+	LatencyPerRound time.Duration
+	// JobOverhead is charged once per framework job (Hadoop startup etc.).
+	JobOverhead time.Duration
+}
+
+// DefaultNet approximates the paper's 32-node cluster fabric: roughly
+// gigabit per node, aggregated across the fleet for all-to-all exchanges.
+func DefaultNet() NetModel {
+	return NetModel{
+		BytesPerSec:     4 << 30, // ~128 MiB/s × ~31 nodes aggregate
+		DiskBytesPerSec: 800 << 20,
+		LatencyPerRound: 20 * time.Millisecond,
+		JobOverhead:     5 * time.Second,
+	}
+}
+
+// Config describes the simulated cluster.
+type Config struct {
+	Nodes        int
+	CoresPerNode int
+	Net          NetModel
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("cluster: Nodes = %d, want >= 1", c.Nodes)
+	}
+	if c.CoresPerNode < 1 {
+		return fmt.Errorf("cluster: CoresPerNode = %d, want >= 1", c.CoresPerNode)
+	}
+	if c.Net.BytesPerSec <= 0 {
+		return fmt.Errorf("cluster: BytesPerSec must be positive")
+	}
+	return nil
+}
+
+// Result reports a simulated distributed run.
+type Result struct {
+	Triangles int64
+	// SimElapsed is the modelled wall-clock time: per-node ideal-scaled
+	// compute plus priced communication plus framework overheads.
+	SimElapsed time.Duration
+	// ComputeMax is the bottleneck node's ideal-scaled compute time.
+	ComputeMax time.Duration
+	// CommTime is the priced communication time.
+	CommTime time.Duration
+	// BytesShuffled is the total bytes moved between nodes.
+	BytesShuffled int64
+	// Rounds is the number of communication rounds/supersteps.
+	Rounds int
+}
+
+// nodeWork runs fn(node) for every node and returns the per-node measured
+// compute durations. Nodes execute sequentially so the measurements are
+// uncontended regardless of the host's CPU count; the cluster's
+// parallelism enters through scaleCompute (max over nodes, divided by
+// per-node cores).
+func nodeWork(nodes int, fn func(node int)) []time.Duration {
+	durs := make([]time.Duration, nodes)
+	for i := 0; i < nodes; i++ {
+		start := time.Now()
+		fn(i)
+		durs[i] = time.Since(start)
+	}
+	return durs
+}
+
+// scaleCompute applies the ideal per-node multi-core scaling.
+func scaleCompute(durs []time.Duration, cores int) time.Duration {
+	var mx time.Duration
+	for _, d := range durs {
+		s := d / time.Duration(cores)
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// priceBytes converts a byte volume to time at the given rate.
+func priceBytes(bytes int64, rate float64) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / rate * float64(time.Second))
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/optlab/opt/internal/gen"
+	"github.com/optlab/opt/internal/graph"
+)
+
+func defaultCfg(nodes int) Config {
+	return Config{Nodes: nodes, CoresPerNode: 12, Net: DefaultNet()}
+}
+
+func workloads(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	raw, err := gen.RMAT(gen.DefaultRMAT(1<<10, 14_000, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, _ := graph.DegreeOrder(raw)
+	return map[string]*graph.Graph{
+		"paper": graph.PaperExample(),
+		"k20":   graph.Complete(20),
+		"rmat":  ordered,
+		"cycle": graph.Cycle(64),
+	}
+}
+
+func TestSVExactCounts(t *testing.T) {
+	for name, g := range workloads(t) {
+		want := graph.CountTrianglesReference(g)
+		for _, rho := range []int{1, 2, 3, 5} {
+			res, err := RunSV(g, rho, defaultCfg(31))
+			if err != nil {
+				t.Fatalf("%s rho=%d: %v", name, rho, err)
+			}
+			if res.Triangles != want {
+				t.Errorf("%s rho=%d: SV = %d, want %d", name, rho, res.Triangles, want)
+			}
+		}
+	}
+}
+
+func TestSVShuffleGrowsWithRho(t *testing.T) {
+	g := workloads(t)["rmat"]
+	res2, err := RunSV(g, 2, defaultCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res6, err := RunSV(g, 6, defaultCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res6.BytesShuffled <= res2.BytesShuffled {
+		t.Fatalf("shuffle bytes rho=6 (%d) <= rho=2 (%d)", res6.BytesShuffled, res2.BytesShuffled)
+	}
+	// The Θ(ρ) duplication: with ρ=6, a two-color edge reaches ρ reducers
+	// and a same-color edge C(ρ+1, 2) = 21, for an expectation of
+	// (5/6)·6 + (1/6)·21 = 8.5 copies.
+	perEdge := float64(res6.BytesShuffled) / 12 / float64(g.NumEdges())
+	if perEdge < 6 || perEdge > 11 {
+		t.Fatalf("edge duplication factor = %.1f, want ≈8.5", perEdge)
+	}
+}
+
+func TestAKMExactCounts(t *testing.T) {
+	for name, g := range workloads(t) {
+		want := graph.CountTrianglesReference(g)
+		for _, nodes := range []int{1, 4, 31} {
+			res, err := RunAKM(g, defaultCfg(nodes))
+			if err != nil {
+				t.Fatalf("%s nodes=%d: %v", name, nodes, err)
+			}
+			if res.Triangles != want {
+				t.Errorf("%s nodes=%d: AKM = %d, want %d", name, nodes, res.Triangles, want)
+			}
+		}
+	}
+}
+
+func TestPowerGraphExactCounts(t *testing.T) {
+	for name, g := range workloads(t) {
+		want := graph.CountTrianglesReference(g)
+		for _, nodes := range []int{1, 4, 31} {
+			res, err := RunPowerGraph(g, defaultCfg(nodes))
+			if err != nil {
+				t.Fatalf("%s nodes=%d: %v", name, nodes, err)
+			}
+			if res.Triangles != want {
+				t.Errorf("%s nodes=%d: PowerGraph = %d, want %d", name, nodes, res.Triangles, want)
+			}
+		}
+	}
+}
+
+func TestTable7Ordering(t *testing.T) {
+	// The Table 7 shape: SV is far slower than AKM and PowerGraph, because
+	// of its materialised, duplicated shuffle and Hadoop overhead.
+	g := workloads(t)["rmat"]
+	cfg := defaultCfg(31)
+	sv, err := RunSV(g, 6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	akm, err := RunAKM(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := RunPowerGraph(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.SimElapsed <= akm.SimElapsed || sv.SimElapsed <= pg.SimElapsed {
+		t.Fatalf("SV (%v) should be slowest; AKM %v, PG %v", sv.SimElapsed, akm.SimElapsed, pg.SimElapsed)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	g := graph.PaperExample()
+	if _, err := RunSV(g, 2, Config{Nodes: 0, CoresPerNode: 1, Net: DefaultNet()}); err == nil {
+		t.Error("Nodes=0: want error")
+	}
+	if _, err := RunAKM(g, Config{Nodes: 1, CoresPerNode: 0, Net: DefaultNet()}); err == nil {
+		t.Error("CoresPerNode=0: want error")
+	}
+	bad := DefaultNet()
+	bad.BytesPerSec = 0
+	if _, err := RunPowerGraph(g, Config{Nodes: 1, CoresPerNode: 1, Net: bad}); err == nil {
+		t.Error("BytesPerSec=0: want error")
+	}
+}
+
+func TestPriceBytes(t *testing.T) {
+	if got := priceBytes(1<<30, 1<<30); got != time.Second {
+		t.Fatalf("priceBytes = %v, want 1s", got)
+	}
+	if got := priceBytes(100, 0); got != 0 {
+		t.Fatalf("priceBytes rate 0 = %v, want 0", got)
+	}
+}
+
+func TestScaleCompute(t *testing.T) {
+	durs := []time.Duration{10 * time.Millisecond, 40 * time.Millisecond, 20 * time.Millisecond}
+	if got := scaleCompute(durs, 4); got != 10*time.Millisecond {
+		t.Fatalf("scaleCompute = %v, want 10ms", got)
+	}
+}
+
+func TestAKMSingleNodeNoComm(t *testing.T) {
+	g := workloads(t)["rmat"]
+	res, err := RunAKM(g, defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesShuffled != 0 {
+		t.Fatalf("single-node AKM shuffled %d bytes, want 0", res.BytesShuffled)
+	}
+}

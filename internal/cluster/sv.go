@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/intersect"
+)
+
+// RunSV simulates the Suri–Vassilvitskii MapReduce partition algorithm
+// ("Counting triangles and the curse of the last reducer", WWW'11).
+//
+// Map: a universal hash colors vertices with ρ colors; each edge is
+// replicated to every reducer triple (i ≤ j ≤ k) whose color set covers the
+// edge's colors. Reduce: each reducer counts triangles in its received
+// subgraph, crediting each triangle 1/occ where occ is the number of
+// triples that also see it — a pure function of the triangle's colors.
+// The shuffle is materialised through disk, as Hadoop does; that plus the
+// Θ(ρ)-fold edge duplication is what makes SV the slowest entry of Table 7.
+func RunSV(g *graph.Graph, rho int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rho < 1 {
+		rho = 1
+	}
+	// Enumerate reducer triples (i ≤ j ≤ k).
+	type triple struct{ i, j, k int }
+	var triples []triple
+	for i := 0; i < rho; i++ {
+		for j := i; j < rho; j++ {
+			for k := j; k < rho; k++ {
+				triples = append(triples, triple{i, j, k})
+			}
+		}
+	}
+	tid := make(map[triple]int, len(triples))
+	for idx, t := range triples {
+		tid[t] = idx
+	}
+
+	color := func(v graph.VertexID) int {
+		// Multiplicative universal-style hash.
+		return int((uint64(v)*2654435761 + 40503) % uint64(rho))
+	}
+
+	// occWeight[c] = number of triples whose color set covers color set c,
+	// precomputed by enumeration for |c| in {1,2,3}.
+	covers := func(t triple, cs []int) bool {
+		for _, c := range cs {
+			if t.i != c && t.j != c && t.k != c {
+				return false
+			}
+		}
+		return true
+	}
+	occOf := func(cs []int) int64 {
+		var n int64
+		for _, t := range triples {
+			if covers(t, cs) {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Map phase: route each edge to its triples. Reducer subgraphs are edge
+	// lists; shuffle volume is 12 bytes per routed edge copy (two ids plus
+	// framework framing).
+	reducerEdges := make([][]graph.Edge, len(triples))
+	var copies int64
+	g.Edges(func(u, v graph.VertexID) bool {
+		cu, cv := color(u), color(v)
+		seen := map[int]struct{}{}
+		for _, t := range triples {
+			if covers(t, []int{cu, cv}) {
+				idx := tid[t]
+				if _, dup := seen[idx]; dup {
+					continue
+				}
+				seen[idx] = struct{}{}
+				reducerEdges[idx] = append(reducerEdges[idx], graph.Edge{U: u, V: v})
+				copies++
+			}
+		}
+		return true
+	})
+
+	// Precompute, for every color multiset signature, the number of triples
+	// that see a triangle of those colors (occ). Each such triangle is
+	// credited 1/occ by each of the occ reducers seeing it, so the global
+	// sum is exact when accumulated as per-occ integer counters.
+	occCache := map[[3]int]int64{}
+	var occKey func(a, b, c int) [3]int
+	occKey = func(a, b, c int) [3]int {
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return [3]int{a, b, c}
+	}
+	for a := 0; a < rho; a++ {
+		for b := a; b < rho; b++ {
+			for c := b; c < rho; c++ {
+				set := []int{a}
+				if b != a {
+					set = append(set, b)
+				}
+				if c != a && c != b {
+					set = append(set, c)
+				}
+				occCache[[3]int{a, b, c}] = occOf(set)
+			}
+		}
+	}
+
+	// Reduce phase: reducers are distributed round-robin over nodes. Each
+	// node tallies hits per occ value; the merge divides exactly.
+	var mu sync.Mutex
+	occHits := map[int64]int64{}
+	durs := nodeWork(cfg.Nodes, func(node int) {
+		local := map[int64]int64{}
+		for idx := node; idx < len(triples); idx += cfg.Nodes {
+			edges := reducerEdges[idx]
+			if len(edges) == 0 {
+				continue
+			}
+			// Build the reducer-local adjacency.
+			adj := map[graph.VertexID][]uint32{}
+			for _, e := range edges {
+				adj[e.U] = append(adj[e.U], e.V)
+				adj[e.V] = append(adj[e.V], e.U)
+			}
+			for v := range adj {
+				sortU32(adj[v])
+			}
+			for _, e := range edges {
+				nsU := nsuccOf(adj[e.U], e.U)
+				nsV := nsuccOf(adj[e.V], e.V)
+				common := intersect.Merge(nil, nsU, nsV)
+				for _, w := range common {
+					occ := occCache[occKey(color(e.U), color(e.V), color(graph.VertexID(w)))]
+					local[occ]++
+				}
+			}
+		}
+		mu.Lock()
+		for occ, n := range local {
+			occHits[occ] += n
+		}
+		mu.Unlock()
+	})
+
+	var total int64
+	for occ, n := range occHits {
+		if n%occ != 0 {
+			// Every triangle of a color class is seen by exactly occ
+			// reducers, so the tally must divide; a remainder indicates a
+			// routing bug.
+			return nil, fmt.Errorf("cluster: SV occ tally %d not divisible by %d", n, occ)
+		}
+		total += n / occ
+	}
+
+	shuffleBytes := copies * 12
+	comm := priceBytes(shuffleBytes, cfg.Net.BytesPerSec) +
+		2*priceBytes(shuffleBytes, cfg.Net.DiskBytesPerSec) + // write + read the materialised shuffle
+		cfg.Net.LatencyPerRound
+	compute := scaleCompute(durs, cfg.CoresPerNode)
+	return &Result{
+		Triangles:     total,
+		SimElapsed:    cfg.Net.JobOverhead + comm + compute,
+		ComputeMax:    compute,
+		CommTime:      comm,
+		BytesShuffled: shuffleBytes,
+		Rounds:        1,
+	}, nil
+}
+
+func sortU32(a []uint32) { slices.Sort(a) }
+
+func nsuccOf(adj []uint32, v graph.VertexID) []uint32 {
+	return adj[intersect.UpperBound(adj, uint32(v)):]
+}

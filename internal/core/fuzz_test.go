@@ -1,0 +1,35 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadNested feeds arbitrary bytes to the nested-representation
+// decoder: it must return records or an error, never panic or allocate
+// absurdly.
+func FuzzReadNested(f *testing.F) {
+	var buf bytes.Buffer
+	nw := NewNestedWriter(&buf)
+	nw.Emit(1, 2, []uint32{3, 4, 5})
+	nw.Emit(9, 10, []uint32{11})
+	if err := nw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 255, 255, 255, 255}) // huge k
+	f.Add(buf.Bytes()[:7])
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var n int64
+		err := ReadNested(bytes.NewReader(raw), func(u, v uint32, ws []uint32) error {
+			n += int64(len(ws))
+			return nil
+		})
+		_ = err
+		if n < 0 {
+			t.Fatal("negative count")
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// Package core implements the paper's primary contribution: the OPT
+// framework for overlapped and parallel disk-based triangulation
+// (Algorithms 3, 4, 5, 7 and 9), with the pluggable iterator models that
+// make it generic — EdgeIterator≻ (Algorithms 6, 8, 10) and
+// VertexIterator≻ (Algorithms 11, 12, 13) — plus the two-level overlapping
+// strategy, thread morphing and multi-core parallelism of §3.2–§3.5.
+package core
+
+import (
+	"sync"
+
+	"github.com/optlab/opt/internal/intersect"
+	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/storage"
+)
+
+// ModelKind selects the iterator model plugged into the framework.
+type ModelKind int
+
+// Supported iterator models.
+const (
+	EdgeIterator ModelKind = iota
+	VertexIterator
+	// MGTInstance plugs Hu et al.'s MGT into the framework as the §3.5
+	// degenerate instance: no internal triangulation, every adjacent
+	// vertex an external candidate, vertex-iterator pair kernel. Pair it
+	// with DisableMicroOverlap for the original's synchronous behaviour.
+	MGTInstance
+)
+
+// String implements fmt.Stringer.
+func (k ModelKind) String() string {
+	switch k {
+	case EdgeIterator:
+		return "EdgeIterator"
+	case VertexIterator:
+		return "VertexIterator"
+	case MGTInstance:
+		return "MGTInstance"
+	default:
+		return "UnknownModel"
+	}
+}
+
+// Model is the plug-in interface of the OPT framework (§3.2). Implementations
+// must be safe for concurrent calls: the framework invokes them from
+// multiple worker goroutines.
+type Model interface {
+	// InternalTriangle identifies the internal triangles contributed by the
+	// internal-area record u (InternalTriangleImpl in Algorithm 5).
+	InternalTriangle(ctx *Ctx, u storage.VertexRec)
+	// ExternalCandidates reports the external candidate vertices derived
+	// from the freshly loaded internal record u
+	// (ExternalCandidateVertexImpl in Algorithm 7).
+	ExternalCandidates(ctx *Ctx, u storage.VertexRec, emit func(v uint32))
+	// ExternalTriangle identifies the external triangles contributed by the
+	// external-area record v (ExternalTriangleImpl in Algorithm 9).
+	ExternalTriangle(ctx *Ctx, v storage.VertexRec)
+}
+
+// NewModel returns the Model for kind.
+func NewModel(kind ModelKind) Model {
+	switch kind {
+	case VertexIterator:
+		return vertexIteratorModel{}
+	case MGTInstance:
+		return mgtModel{}
+	default:
+		return edgeIteratorModel{}
+	}
+}
+
+// Ctx gives models access to the internal area, the output sink, and the
+// cost counters for the current iteration. Because storage order matches
+// id order, the internal area is a contiguous vertex range [loVertex,
+// hiVertex): residency is one comparison and adjacency lookup one slice
+// index. The area is immutable while triangulation runs, so reads need no
+// locking.
+type Ctx struct {
+	store    *storage.Store
+	loPage   uint32     // internal range start (inclusive)
+	hiPage   uint32     // internal range end (exclusive)
+	loVertex uint32     // first vertex whose record starts in the range
+	hiVertex uint32     // one past the last such vertex
+	adj      [][]uint32 // adj[v-loVertex] = n(v); reused across iterations
+	out      Output
+	mx       *metrics.Collector
+	scratch  sync.Pool
+}
+
+func newCtx(store *storage.Store, out Output, mx *metrics.Collector) *Ctx {
+	c := &Ctx{store: store, out: out, mx: mx}
+	c.scratch.New = func() any { b := make([]uint32, 0, 256); return &b }
+	return c
+}
+
+// beginIteration resets the internal area for a new page range.
+func (c *Ctx) beginIteration(lo, hi uint32) {
+	c.loPage, c.hiPage = lo, hi
+	c.loVertex = c.store.FirstRecordOf(lo)
+	c.hiVertex = c.store.FirstRecordOf(hi)
+	n := int(c.hiVertex - c.loVertex)
+	if cap(c.adj) < n {
+		c.adj = make([][]uint32, n)
+	} else {
+		c.adj = c.adj[:n]
+		for i := range c.adj {
+			c.adj[i] = nil
+		}
+	}
+}
+
+// addInternal registers a decoded record in the internal area. It is called
+// only from the load phase (single goroutine at a time per framework
+// invariant) guarded by the caller.
+func (c *Ctx) addInternal(rec storage.VertexRec) {
+	c.adj[rec.ID-c.loVertex] = rec.Adj
+}
+
+// InInternal reports whether n(v) is resident in the internal area: one
+// range comparison, thanks to the id-ordered storage layout.
+func (c *Ctx) InInternal(v uint32) bool {
+	return v >= c.loVertex && v < c.hiVertex
+}
+
+// InternalAdj returns n(v) from the internal area; v must satisfy
+// InInternal.
+func (c *Ctx) InternalAdj(v uint32) []uint32 {
+	return c.adj[v-c.loVertex]
+}
+
+// Emit outputs the triangles ⟨u, v, {w…}⟩ in the nested representation.
+func (c *Ctx) Emit(u, v uint32, ws []uint32) {
+	c.out.Emit(u, v, ws)
+	if c.mx != nil {
+		c.mx.AddTriangles(int64(len(ws)))
+	}
+}
+
+// countIntersect records one intersection under the Eq. 3 min cost model.
+func (c *Ctx) countIntersect(a, b []uint32) {
+	if c.mx != nil {
+		c.mx.AddIntersect(intersect.MinCost(a, b))
+	}
+}
+
+// getScratch borrows a reusable slice for intersection results.
+func (c *Ctx) getScratch() *[]uint32 {
+	return c.scratch.Get().(*[]uint32)
+}
+
+func (c *Ctx) putScratch(b *[]uint32) {
+	*b = (*b)[:0]
+	c.scratch.Put(b)
+}
+
+// nsucc returns n≻(v): the suffix of adj with ids greater than v.
+func nsucc(adj []uint32, v uint32) []uint32 {
+	return adj[intersect.UpperBound(adj, v):]
+}
+
+// npred returns n≺(v): the prefix of adj with ids less than v.
+func npred(adj []uint32, v uint32) []uint32 {
+	return adj[:intersect.LowerBound(adj, v)]
+}
+
+// edgeIteratorModel is the EdgeIterator≻ instance of OPT (§3.2).
+type edgeIteratorModel struct{}
+
+// InternalTriangle is Algorithm 6: for every edge (u, v) with both
+// adjacency lists internal, output n≻(u) ∩ n≻(v).
+func (edgeIteratorModel) InternalTriangle(ctx *Ctx, u storage.VertexRec) {
+	nsU := nsucc(u.Adj, u.ID)
+	if len(nsU) == 0 {
+		return
+	}
+	buf := ctx.getScratch()
+	defer ctx.putScratch(buf)
+	for _, v := range nsU {
+		if !ctx.InInternal(v) {
+			continue
+		}
+		nsV := nsucc(ctx.InternalAdj(v), v)
+		ctx.countIntersect(nsU, nsV)
+		ws := intersect.Adaptive((*buf)[:0], nsU, nsV)
+		if len(ws) > 0 {
+			ctx.Emit(u.ID, v, ws)
+		}
+	}
+}
+
+// ExternalCandidates is Algorithm 8: v ∈ n≻(u) with n(v) outside the
+// internal area must be fetched to the external area.
+func (edgeIteratorModel) ExternalCandidates(ctx *Ctx, u storage.VertexRec, emit func(v uint32)) {
+	for _, v := range nsucc(u.Adj, u.ID) {
+		if !ctx.InInternal(v) {
+			emit(v)
+		}
+	}
+}
+
+// ExternalTriangle is Algorithms 9 (lines 4–7) and 10: for the external
+// record v, every u ∈ n≺(v) with n(u) internal forms V_req^v; intersect
+// n≻(u) ∩ n≻(v) for each.
+func (edgeIteratorModel) ExternalTriangle(ctx *Ctx, v storage.VertexRec) {
+	nsV := nsucc(v.Adj, v.ID)
+	buf := ctx.getScratch()
+	defer ctx.putScratch(buf)
+	for _, u := range npred(v.Adj, v.ID) {
+		if !ctx.InInternal(u) {
+			continue
+		}
+		nsU := nsucc(ctx.InternalAdj(u), u)
+		ctx.countIntersect(nsU, nsV)
+		ws := intersect.Adaptive((*buf)[:0], nsU, nsV)
+		if len(ws) > 0 {
+			ctx.Emit(u, v.ID, ws)
+		}
+	}
+}
+
+// vertexIteratorModel is the VertexIterator≻ instance of OPT (§3.5).
+type vertexIteratorModel struct{}
+
+// InternalTriangle is Algorithm 11: for the internal record u, check every
+// ordered pair (v, w) ∈ n≻(u) × n≻(u) with n(v) internal against E_in.
+func (vertexIteratorModel) InternalTriangle(ctx *Ctx, u storage.VertexRec) {
+	vertexIteratorPairs(ctx, u)
+}
+
+// ExternalCandidates is Algorithm 12 (with the §3.5 filter): every
+// u ∈ n≺(v) whose list is not internal is a candidate — its pairs can only
+// be checked while v's list is resident.
+func (vertexIteratorModel) ExternalCandidates(ctx *Ctx, v storage.VertexRec, emit func(u uint32)) {
+	for _, u := range npred(v.Adj, v.ID) {
+		if !ctx.InInternal(u) {
+			emit(u)
+		}
+	}
+}
+
+// ExternalTriangle is Algorithm 13 (corrected per the §3.5 prose): for the
+// external record u, check pairs (v, w) ∈ n≻(u) × n≻(u), id(v) ≺ id(w),
+// with n(v) internal, against E_in.
+func (vertexIteratorModel) ExternalTriangle(ctx *Ctx, u storage.VertexRec) {
+	vertexIteratorPairs(ctx, u)
+}
+
+// vertexIteratorPairs performs the shared pair-checking kernel of
+// Algorithms 11 and 13. A triangle Δuvw is reported exactly once over the
+// whole run: in the single iteration whose internal area holds n(v).
+func vertexIteratorPairs(ctx *Ctx, u storage.VertexRec) {
+	ns := nsucc(u.Adj, u.ID)
+	if len(ns) < 2 {
+		return
+	}
+	buf := ctx.getScratch()
+	defer ctx.putScratch(buf)
+	for i, v := range ns[:len(ns)-1] {
+		if !ctx.InInternal(v) {
+			continue
+		}
+		adjV := ctx.InternalAdj(v)
+		rest := ns[i+1:]
+		if ctx.mx != nil {
+			ctx.mx.AddIntersect(int64(len(rest)))
+		}
+		ws := (*buf)[:0]
+		for _, w := range rest {
+			if intersect.Contains(adjV, w) {
+				ws = append(ws, w)
+			}
+		}
+		if len(ws) > 0 {
+			ctx.Emit(u.ID, v, ws)
+		}
+		*buf = ws[:0]
+	}
+}

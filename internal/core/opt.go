@@ -1,0 +1,633 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/optlab/opt/internal/bits"
+	"github.com/optlab/opt/internal/buffer"
+	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/storage"
+)
+
+// Mode selects between the serial framework variant of §3.3 and the fully
+// overlapped parallel variant of §3.2/§3.4.
+type Mode int
+
+const (
+	// Serial is OPT_serial: the macro-level overlap is disabled — at each
+	// iteration the external triangulation starts only after the internal
+	// triangulation has completed — but the micro-level overlap (async
+	// external I/O hidden behind external CPU work) remains.
+	Serial Mode = iota
+	// Parallel is full OPT: both overlap levels plus multi-core
+	// parallelism and (optionally) thread morphing.
+	Parallel
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Serial {
+		return "OPT_serial"
+	}
+	return "OPT"
+}
+
+// Options configures a framework run.
+type Options struct {
+	// Model selects the iterator model (default EdgeIterator, as in §5.1).
+	Model ModelKind
+	// Mode selects Serial or Parallel.
+	Mode Mode
+	// Threads is the worker count in Parallel mode (default 2: the main
+	// thread and the callback thread).
+	Threads int
+	// MemoryPages is the total buffer budget m. Defaults to one quarter of
+	// the store when 0.
+	MemoryPages int
+	// InternalPages (m_in) and ExternalPages (m_ex) override the default
+	// even split m_in = m_ex = m/2 of §5.1.
+	InternalPages int
+	ExternalPages int
+	// QueueDepth is the FlashSSD channel parallelism (default 8).
+	QueueDepth int
+	// Latency simulates device latency; zero runs at raw device speed.
+	Latency ssd.Latency
+	// DisableMorphing turns off thread morphing (§3.4) for the Figure 4
+	// comparison. Ignored in Serial mode.
+	DisableMorphing bool
+	// VirtualCores, when positive, executes the Parallel mode on a single
+	// real worker but list-schedules the measured task durations onto this
+	// many virtual cores, reporting virtual phase times and elapsed. It
+	// reproduces the paper's multi-core experiments on hosts with fewer
+	// physical CPUs (DESIGN.md §3); Threads is ignored.
+	VirtualCores int
+	// VirtualCoreSet schedules the same run onto several core counts at
+	// once; Result.VirtualElapsed reports the modelled elapsed per count.
+	// Result.Elapsed reports the first entry's. Overrides VirtualCores.
+	VirtualCoreSet []int
+	// DisableMicroOverlap replaces asynchronous external reads with
+	// synchronous ones, an ablation that degrades OPT towards MGT's I/O
+	// behaviour.
+	DisableMicroOverlap bool
+	// Output receives triangles; defaults to a CountingOutput.
+	Output Output
+	// Metrics receives cost counters; optional.
+	Metrics *metrics.Collector
+	// CollectIterStats enables the per-iteration records used by Figure 4.
+	CollectIterStats bool
+}
+
+// IterationStat describes one outer-loop iteration (Figure 4).
+type IterationStat struct {
+	Index         int
+	InternalPages int           // pages covered by the internal area
+	ReusedPages   int           // of those, served from buffered frames (Δin)
+	ExternalReqs  int           // |L_i|: external chunk requests
+	InternalTime  time.Duration // busy time of the main (internal-home) thread side
+	ExternalTime  time.Duration // busy time of the callback (external-home) thread side
+	LoadTime      time.Duration // wall time of the internal-area load phase
+	PhaseVirtual  time.Duration // virtual-core makespan of the triangulation phase
+	Elapsed       time.Duration // wall (or modelled) time of the whole iteration
+}
+
+// Result reports a completed run.
+type Result struct {
+	Triangles  int64
+	Iterations int
+	// Elapsed is the wall-clock run time — or, when Options.VirtualCores
+	// is set, the modelled elapsed time on that many cores.
+	Elapsed   time.Duration
+	IterStats []IterationStat
+	Metrics   metrics.Snapshot
+	// VirtualElapsed maps each entry of Options.VirtualCoreSet to its
+	// modelled elapsed time.
+	VirtualElapsed map[int]time.Duration
+}
+
+// extReq is one element of the request list L of Algorithm 4: a chunk to
+// load into the external area together with V_ex^i, the candidate vertices
+// whose records it holds.
+type extReq struct {
+	first uint32
+	span  int
+	cands []uint32 // sorted
+}
+
+// Run executes the OPT framework over a store whose data pages are served
+// by base. It is the entry point corresponding to Algorithm 3.
+func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) {
+	r := newRunner(st, base, opts)
+	defer r.close()
+	return r.run()
+}
+
+type runner struct {
+	st     *storage.Store
+	dev    *ssd.AsyncDevice
+	opts   Options
+	model  Model
+	ctx    *Ctx
+	out    Output
+	mx     *metrics.Collector
+	mIn    int
+	mEx    int
+	pool   *buffer.Pool // external area, persists across iterations
+	counts *CountingOutput
+
+	// Per-iteration state.
+	internalChunks []*buffer.Chunk
+	candSeen       *bits.Set
+	vex            []uint32
+	pairScratch    []uint64
+
+	// External request list state (Algorithm 4/9), shared by workers.
+	lmu       sync.Mutex
+	later     []extReq
+	remaining int
+	extDone   chan struct{}
+
+	errOnce sync.Once
+	err     error
+	vset    []int // resolved virtual core set, nil when disabled
+	vtotals []time.Duration
+}
+
+func newRunner(st *storage.Store, base ssd.PageDevice, opts Options) *runner {
+	if opts.Threads <= 0 {
+		opts.Threads = 2
+	}
+	if len(opts.VirtualCoreSet) == 0 && opts.VirtualCores > 0 {
+		opts.VirtualCoreSet = []int{opts.VirtualCores}
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 8
+	}
+	if opts.MemoryPages <= 0 {
+		opts.MemoryPages = int(st.NumPages)/4 + 2
+	}
+	mIn, mEx := opts.InternalPages, opts.ExternalPages
+	if mIn <= 0 && mEx <= 0 {
+		mIn = opts.MemoryPages / 2
+		mEx = opts.MemoryPages - mIn
+	} else if mIn <= 0 {
+		mIn = opts.MemoryPages - mEx
+	} else if mEx <= 0 {
+		mEx = opts.MemoryPages - mIn
+	}
+	if mIn < 1 {
+		mIn = 1
+	}
+	if mEx < 1 {
+		mEx = 1
+	}
+	mx := opts.Metrics
+	out := opts.Output
+	var counts *CountingOutput
+	if out == nil {
+		counts = &CountingOutput{}
+		out = counts
+	}
+	r := &runner{
+		st:     st,
+		opts:   opts,
+		model:  NewModel(opts.Model),
+		out:    out,
+		mx:     mx,
+		mIn:    mIn,
+		mEx:    mEx,
+		pool:   buffer.NewPool(mEx),
+		counts: counts,
+	}
+	r.vset = opts.VirtualCoreSet
+	r.vtotals = make([]time.Duration, len(r.vset))
+	r.dev = ssd.NewAsyncDevice(base, ssd.AsyncOptions{
+		QueueDepth: opts.QueueDepth,
+		Latency:    opts.Latency,
+		Metrics:    mx,
+	})
+	r.ctx = newCtx(st, out, mx)
+	return r
+}
+
+func (r *runner) close() { r.dev.Close() }
+
+func (r *runner) fail(err error) {
+	if err == nil {
+		return
+	}
+	r.errOnce.Do(func() { r.err = err })
+}
+
+// run is Algorithm 3's outer loop.
+func (r *runner) run() (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	var lo uint32
+	for lo < r.st.NumPages {
+		count := r.mIn
+		if rem := int(r.st.NumPages - lo); count > rem {
+			count = rem
+		}
+		count = r.st.AlignedRange(lo, count)
+		hi := lo + uint32(count)
+
+		itStart := time.Now()
+		stat, err := r.iteration(res.Iterations, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		stat.Elapsed = time.Since(itStart)
+		if len(r.vset) > 0 {
+			// Replace the triangulation phase's real (single-CPU) duration
+			// with the virtual-schedule makespan; the load phase stays real.
+			stat.Elapsed = stat.LoadTime + stat.PhaseVirtual
+		}
+		if r.opts.CollectIterStats {
+			res.IterStats = append(res.IterStats, stat)
+		}
+		res.Iterations++
+		lo = hi
+	}
+	res.Elapsed = time.Since(start)
+	if len(r.vset) > 0 {
+		res.VirtualElapsed = make(map[int]time.Duration, len(r.vset))
+		for i, c := range r.vset {
+			res.VirtualElapsed[c] = r.vtotals[i]
+		}
+		res.Elapsed = r.vtotals[0]
+	}
+	if r.counts != nil {
+		res.Triangles = r.counts.Triangles()
+	} else if r.mx != nil {
+		res.Triangles = r.mx.Triangles()
+	}
+	if r.mx != nil {
+		res.Metrics = r.mx.Snapshot()
+	}
+	return res, r.err
+}
+
+// iteration performs lines 5–13 of Algorithm 3 for the page range [lo, hi).
+func (r *runner) iteration(index int, lo, hi uint32) (IterationStat, error) {
+	stat := IterationStat{Index: index, InternalPages: int(hi - lo)}
+	loadStart := time.Now()
+	r.ctx.beginIteration(lo, hi)
+	r.internalChunks = r.internalChunks[:0]
+
+	// V_ex ← ∅ (line 2; per-iteration in practice, reset after delegation).
+	// Candidates are deduplicated with a bitset and collected as a slice:
+	// far cheaper than a hash set at the rates Algorithm 7 produces them.
+	if r.candSeen == nil || r.candSeen.Len() < r.st.NumVertices {
+		r.candSeen = bits.NewSet(r.st.NumVertices)
+	} else {
+		r.candSeen.Clear()
+	}
+	r.vex = r.vex[:0]
+	emit := func(v uint32) {
+		if !r.candSeen.Contains(int(v)) {
+			r.candSeen.Add(int(v))
+			r.vex = append(r.vex, v)
+		}
+	}
+
+	// --- Load the internal area (lines 6–8). ---
+	// Pass 1: chunks retained in the external area from the previous
+	// iteration are donated without I/O (the Δin credit enabled by the
+	// Algorithm 4 loading order).
+	type pendingLoad struct {
+		idx   int
+		first uint32
+		span  int
+	}
+	var toLoad []pendingLoad
+	for p := lo; p < hi; {
+		span := r.st.AlignedRange(p, 1)
+		if c := r.pool.Take(p); c != nil {
+			r.internalChunks = append(r.internalChunks, c)
+			for _, rec := range c.Recs {
+				r.ctx.addInternal(rec)
+				r.model.ExternalCandidates(r.ctx, rec, emit)
+			}
+			stat.ReusedPages += c.NumPages
+			if r.mx != nil {
+				r.mx.AddReusedPages(int64(c.NumPages))
+			}
+		} else {
+			r.internalChunks = append(r.internalChunks, nil)
+			toLoad = append(toLoad, pendingLoad{idx: len(r.internalChunks) - 1, first: p, span: span})
+		}
+		p += uint32(span)
+	}
+	// Pass 2: asynchronous reads; IdentifyExternalCandidateVertex
+	// (Algorithm 7) runs on the callback thread per completed page.
+	for _, pl := range toLoad {
+		pl := pl
+		r.dev.AsyncRead(pl.first, pl.span, func(data []byte, err error) {
+			if err != nil {
+				r.fail(fmt.Errorf("core: loading internal pages [%d,+%d): %w", pl.first, pl.span, err))
+				return
+			}
+			recs, err := r.st.Decode(data)
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			c := &buffer.Chunk{FirstPage: pl.first, NumPages: pl.span, Recs: recs}
+			r.internalChunks[pl.idx] = c
+			for _, rec := range recs {
+				r.ctx.addInternal(rec)
+				r.model.ExternalCandidates(r.ctx, rec, emit)
+			}
+		})
+	}
+	r.dev.Drain() // line 8: wait for IdentifyExternalCandidateVertex
+	stat.LoadTime = time.Since(loadStart)
+	if r.err != nil {
+		return stat, r.err
+	}
+
+	// --- Build the request list L (Algorithm 4 lines 2–7). ---
+	reqs := r.buildRequests(r.vex)
+	stat.ExternalReqs = len(reqs)
+
+	r.lmu.Lock()
+	r.remaining = len(reqs)
+	r.extDone = make(chan struct{})
+	if len(reqs) == 0 {
+		close(r.extDone)
+	}
+	r.lmu.Unlock()
+
+	if r.opts.Mode == Serial {
+		r.runSerial(reqs, &stat)
+	} else {
+		r.runParallel(reqs, &stat)
+	}
+	if r.err != nil {
+		return stat, r.err
+	}
+
+	// Lines 12–13: unpin the internal area. Chunks are simply dropped; the
+	// external pool retains the pages for the next iteration's Δin credit.
+	for i := range r.internalChunks {
+		r.internalChunks[i] = nil
+	}
+	return stat, nil
+}
+
+// buildRequests groups V_ex by chunk and orders the list so that the pages
+// of the next iteration's internal area are loaded last (Algorithm 4
+// line 3: i ← (…, id_e + m_in, …, id_e + 1)), which leaves them resident in
+// the external pool when the iteration ends.
+func (r *runner) buildRequests(vex []uint32) []extReq {
+	// Sort (page, vertex) pairs once; groups then fall out contiguously.
+	pairs := r.pairScratch[:0]
+	for _, v := range vex {
+		pairs = append(pairs, uint64(r.st.FirstPageOf(v))<<32|uint64(v))
+	}
+	slices.Sort(pairs)
+	r.pairScratch = pairs
+
+	var reqs []extReq
+	for i := 0; i < len(pairs); {
+		first := uint32(pairs[i] >> 32)
+		j := i
+		for j < len(pairs) && uint32(pairs[j]>>32) == first {
+			j++
+		}
+		cands := make([]uint32, 0, j-i)
+		for k := i; k < j; k++ {
+			cands = append(cands, uint32(pairs[k]))
+		}
+		reqs = append(reqs, extReq{first: first, span: r.st.AlignedRange(first, 1), cands: cands})
+		i = j
+	}
+	slices.Reverse(reqs) // descending page order
+	return reqs
+}
+
+// splitNow takes the L_now prefix: up to m_ex pages worth of requests
+// (always at least one), leaving the rest as L_later.
+func (r *runner) splitNow(reqs []extReq) (now, later []extReq) {
+	pages := 0
+	i := 0
+	for i < len(reqs) {
+		if i > 0 && pages+reqs[i].span > r.mEx {
+			break
+		}
+		pages += reqs[i].span
+		i++
+	}
+	return reqs[:i], reqs[i:]
+}
+
+// runSerial executes the iteration tail in OPT_serial order: internal
+// triangulation first (single-threaded), then the external triangulation
+// with micro-level overlap only.
+func (r *runner) runSerial(reqs []extReq, stat *IterationStat) {
+	t0 := time.Now()
+	for _, c := range r.internalChunks {
+		if c == nil {
+			continue
+		}
+		for _, rec := range c.Recs {
+			r.model.InternalTriangle(r.ctx, rec)
+		}
+	}
+	stat.InternalTime = time.Since(t0)
+	if r.mx != nil {
+		r.mx.AddSerialWork(stat.InternalTime)
+	}
+
+	t1 := time.Now()
+	now, later := r.splitNow(reqs)
+	r.lmu.Lock()
+	r.later = later
+	r.lmu.Unlock()
+	for _, req := range now {
+		r.issue(req, nil)
+	}
+	<-r.extDone
+	stat.ExternalTime = time.Since(t1)
+	if r.mx != nil {
+		r.mx.AddSerialWork(stat.ExternalTime)
+	}
+}
+
+// runParallel executes the iteration tail with the macro-level overlap:
+// internal and external triangulation proceed concurrently on a morphing
+// worker pool (Algorithm 3 lines 9–11, §3.4).
+func (r *runner) runParallel(reqs []extReq, stat *IterationStat) {
+	var s *sched
+	realWorkers := r.opts.Threads
+	if len(r.vset) > 0 {
+		s = newVirtualSched(!r.opts.DisableMorphing, r.vset)
+		realWorkers = 1
+	} else {
+		s = newSched(!r.opts.DisableMorphing || r.opts.Threads == 1)
+	}
+	s.run(realWorkers, func() {
+		// DelegateExternalTriangle (line 9) precedes InternalTriangle
+		// (line 10): issue L_now, then submit the internal page tasks.
+		now, later := r.splitNow(reqs)
+		r.lmu.Lock()
+		r.later = later
+		r.lmu.Unlock()
+		for _, req := range now {
+			r.issue(req, s)
+		}
+		for _, c := range r.internalChunks {
+			if c == nil {
+				continue
+			}
+			c := c
+			s.submit(classInternal, func() {
+				for _, rec := range c.Recs {
+					r.model.InternalTriangle(r.ctx, rec)
+				}
+			})
+		}
+		s.close(classInternal)
+		// classExternal closes when the last request completes; if there
+		// are none, close it here.
+		r.lmu.Lock()
+		rem := r.remaining
+		r.lmu.Unlock()
+		if rem == 0 {
+			s.close(classExternal)
+		}
+	})
+	stat.InternalTime = s.classWork(classInternal)
+	stat.ExternalTime = s.classWork(classExternal)
+	if len(r.vset) > 0 {
+		stat.PhaseVirtual = s.maxClock(0)
+		for i := range r.vset {
+			r.vtotals[i] += stat.LoadTime + s.maxClock(i)
+		}
+	}
+	if r.mx != nil {
+		r.mx.AddParallelWork(stat.InternalTime + stat.ExternalTime)
+	}
+}
+
+// issue loads one external request. In the default configuration it uses
+// an asynchronous read whose completion triggers ExternalTriangle
+// (Algorithm 9) — on the callback thread directly in Serial mode, or as an
+// external-class task on the worker pool in Parallel mode. A request whose
+// chunk is still resident in the external pool is served without I/O.
+func (r *runner) issue(req extReq, s *sched) {
+	process := func(c *buffer.Chunk, pinned bool) {
+		run := func() {
+			r.processExternal(c, req)
+			if pinned {
+				r.pool.Unpin(c.FirstPage)
+			}
+			r.completeOne(s)
+		}
+		if s != nil {
+			s.submit(classExternal, run)
+		} else {
+			run()
+		}
+	}
+	if c := r.pool.Lookup(req.first); c != nil {
+		if r.mx != nil {
+			r.mx.AddReusedPages(int64(c.NumPages))
+		}
+		process(c, true)
+		return
+	}
+	// decodeAndProcess decodes the raw pages and runs the external
+	// triangulation. In Parallel mode it runs as an external-class task so
+	// the (CPU-significant) decode does not serialise on the callback
+	// dispatcher; in Serial mode it runs on the dispatcher itself, which is
+	// the paper's callback thread.
+	decodeAndProcess := func(data []byte) {
+		recs, derr := r.st.Decode(data)
+		if derr != nil {
+			r.fail(derr)
+			r.completeOne(s)
+			return
+		}
+		c := &buffer.Chunk{FirstPage: req.first, NumPages: req.span, Recs: recs}
+		r.pool.Insert(c) // pinned once
+		r.processExternal(c, req)
+		r.pool.Unpin(c.FirstPage)
+		r.completeOne(s)
+	}
+	onData := func(data []byte, err error) {
+		if err != nil {
+			r.fail(fmt.Errorf("core: loading external pages [%d,+%d): %w", req.first, req.span, err))
+			r.completeOne(s)
+			return
+		}
+		if s != nil {
+			s.submit(classExternal, func() { decodeAndProcess(data) })
+		} else {
+			decodeAndProcess(data)
+		}
+	}
+	if r.opts.DisableMicroOverlap {
+		data, err := r.dev.ReadPages(req.first, req.span)
+		onData(data, err)
+		return
+	}
+	r.dev.AsyncRead(req.first, req.span, onData)
+}
+
+// processExternal runs ExternalTriangle (Algorithm 9 lines 4–7) for every
+// candidate record in the chunk.
+func (r *runner) processExternal(c *buffer.Chunk, req extReq) {
+	for _, rec := range c.Recs {
+		if !containsSorted(req.cands, rec.ID) {
+			continue
+		}
+		r.model.ExternalTriangle(r.ctx, rec)
+	}
+}
+
+// completeOne retires one external request and chains the next one from
+// L_later (Algorithm 9 lines 9–13; the pop is atomic per the paper's note).
+func (r *runner) completeOne(s *sched) {
+	r.lmu.Lock()
+	var next *extReq
+	if len(r.later) > 0 {
+		next = &r.later[0]
+		r.later = r.later[1:]
+	}
+	r.remaining--
+	done := r.remaining == 0 && next == nil
+	ch := r.extDone
+	r.lmu.Unlock()
+
+	if next != nil {
+		r.issue(*next, s)
+	}
+	if done {
+		close(ch)
+		if s != nil {
+			s.close(classExternal)
+		}
+	}
+}
+
+func containsSorted(a []uint32, x uint32) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	return i < len(a) && a[i] == x
+}
+
+// RunFile is a convenience wrapper that opens the store's own file device
+// and runs the framework.
+func RunFile(st *storage.Store, opts Options) (*Result, error) {
+	dev, err := st.Device()
+	if err != nil {
+		return nil, err
+	}
+	defer dev.Close()
+	return Run(st, dev, opts)
+}

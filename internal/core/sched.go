@@ -1,0 +1,243 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// taskClass distinguishes the two thread roles of §3.2: internal
+// triangulation (the main thread's job) and external triangulation (the
+// callback thread's job).
+type taskClass int
+
+const (
+	classInternal taskClass = iota
+	classExternal
+)
+
+// task is one unit of triangulation work: a chunk's worth of records.
+type task struct {
+	class taskClass
+	run   func()
+}
+
+// sched is the per-iteration work scheduler that realises the macro-level
+// overlap and thread morphing. Workers have a home class — internal workers
+// play the main thread, external workers play the callback thread. A worker
+// whose home queue is empty "morphs" into the other type and steals from
+// the other queue (§3.4), unless morphing is disabled (the Figure 4
+// without-morphing configuration, where an idle thread stays idle).
+type sched struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [2][]task
+	closed   [2]bool // no more tasks of this class will arrive
+	inflight [2]int  // queued + running tasks per class
+	morphing bool
+
+	// Virtual-core mode: tasks execute on the real workers as usual, but
+	// their measured durations are list-scheduled onto virtual cores
+	// (respecting vMorph as the stealing policy). Several core counts can
+	// be scheduled simultaneously from the same task stream, giving
+	// internally consistent speed-up curves from a single run. This
+	// reproduces the multi-core timing experiments on hosts with fewer
+	// physical CPUs than the paper's 6-core machine; see DESIGN.md §3.
+	virtual []int
+	vMorph  bool
+	vclocks [][]int64 // [set][core] nanoseconds
+
+	// busy wall-clock accounting per worker HOME, for the Figure 4
+	// thread-time series: without morphing each home only runs its own
+	// class and the idle home shows near-zero time; with morphing the two
+	// homes balance because idle workers steal the other class's tasks.
+	workTime [2]int64 // nanoseconds, guarded by mu
+}
+
+func newSched(morphing bool) *sched {
+	s := &sched{morphing: morphing}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// newVirtualSched returns a scheduler that executes tasks serially but
+// accounts their durations on each core count in coreSet under the given
+// morphing policy. The real execution always morphs (a single real worker
+// must run both classes).
+func newVirtualSched(policyMorph bool, coreSet []int) *sched {
+	if len(coreSet) == 0 {
+		coreSet = []int{1}
+	}
+	s := &sched{morphing: true, virtual: coreSet, vMorph: policyMorph}
+	s.vclocks = make([][]int64, len(coreSet))
+	for i, c := range coreSet {
+		if c < 1 {
+			c = 1
+		}
+		s.vclocks[i] = make([]int64, c)
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// vHome reports the home class of virtual core i: even cores play the main
+// thread, odd cores the callback thread.
+func vHome(i int) taskClass {
+	if i%2 == 1 {
+		return classExternal
+	}
+	return classInternal
+}
+
+// assignVirtualLocked places a completed task of the given class and
+// duration on the least-loaded eligible virtual core of every set. A
+// single-core set always accepts both classes (one thread must run
+// everything, as in OPT_serial).
+func (s *sched) assignVirtualLocked(class taskClass, d int64) {
+	for _, clocks := range s.vclocks {
+		best := -1
+		for i := range clocks {
+			if !s.vMorph && len(clocks) > 1 && vHome(i) != class {
+				continue
+			}
+			if best == -1 || clocks[i] < clocks[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			best = 0
+		}
+		clocks[best] += d
+	}
+}
+
+// submit enqueues one task.
+func (s *sched) submit(class taskClass, run func()) {
+	s.mu.Lock()
+	s.queues[class] = append(s.queues[class], run0(run))
+	s.inflight[class]++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func run0(fn func()) task { return task{run: fn} }
+
+// close marks a class as complete: no further submissions will arrive.
+func (s *sched) close(class taskClass) {
+	s.mu.Lock()
+	s.closed[class] = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// done reports whether a class has finished all its work.
+func (s *sched) doneLocked(class taskClass) bool {
+	return s.closed[class] && s.inflight[class] == 0
+}
+
+// worker runs tasks until both classes are done. home determines which
+// queue it prefers.
+func (s *sched) worker(home taskClass) {
+	other := 1 - home
+	for {
+		s.mu.Lock()
+		var picked taskClass
+		var fn func()
+		for {
+			if len(s.queues[home]) > 0 {
+				picked = home
+			} else if s.morphing && len(s.queues[other]) > 0 {
+				picked = other
+			} else if s.doneLocked(home) && (s.morphing && s.doneLocked(other) ||
+				!s.morphing) {
+				// Home drained. Without morphing the worker retires once its
+				// own class is done; with morphing it retires only when all
+				// work is done.
+				s.mu.Unlock()
+				return
+			} else {
+				s.cond.Wait()
+				continue
+			}
+			q := s.queues[picked]
+			fn = q[len(q)-1].run
+			s.queues[picked] = q[:len(q)-1]
+			break
+		}
+		s.mu.Unlock()
+
+		start := time.Now()
+		fn()
+		d := time.Since(start).Nanoseconds()
+
+		s.mu.Lock()
+		if len(s.virtual) > 0 {
+			s.assignVirtualLocked(picked, d)
+		} else {
+			s.workTime[home] += d
+		}
+		s.inflight[picked]--
+		finished := s.doneLocked(picked)
+		s.mu.Unlock()
+		if finished {
+			s.cond.Broadcast()
+		}
+	}
+}
+
+// run starts the worker pool and blocks until every submitted task in both
+// classes has completed. threads is split between the two home classes:
+// even indices are internal workers (the main thread and its OpenMP-style
+// helpers), odd indices are external workers (the callback thread's side).
+// submitFn runs on the caller's goroutine and performs the submissions; it
+// may keep submitting while workers run (the macro overlap).
+func (s *sched) run(threads int, submitFn func()) {
+	if threads < 1 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		home := classInternal
+		if i%2 == 1 {
+			home = classExternal
+		}
+		wg.Add(1)
+		go func(h taskClass) {
+			defer wg.Done()
+			s.worker(h)
+		}(home)
+	}
+	submitFn()
+	wg.Wait()
+}
+
+// classWork returns the accumulated busy time of the workers whose home is
+// the given class. In virtual mode it reports the first core set's maximum
+// clock among cores of that home.
+func (s *sched) classWork(class taskClass) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.virtual) > 0 {
+		var mx int64
+		for i, c := range s.vclocks[0] {
+			if vHome(i) == class && c > mx {
+				mx = c
+			}
+		}
+		return time.Duration(mx)
+	}
+	return time.Duration(s.workTime[class])
+}
+
+// maxClock returns the makespan of virtual core set `set`: the modelled
+// duration of the overlapped triangulation phase on that many cores.
+func (s *sched) maxClock(set int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var mx int64
+	for _, c := range s.vclocks[set] {
+		if c > mx {
+			mx = c
+		}
+	}
+	return time.Duration(mx)
+}

@@ -1,0 +1,188 @@
+// Package diskio provides the sequential working-file format shared by the
+// iterative "slow group" baselines (CC-Seq, CC-DS, GraphChi-Tri): a flat
+// sequence of (id, deg, neighbors…) little-endian uint32 records. Reads and
+// writes are charged to a metrics collector at page granularity and pass
+// through the simulated device-latency model, so remainder-file I/O costs
+// are comparable with the slotted-page stores used by OPT and MGT.
+package diskio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/ssd"
+)
+
+// CostModel bundles the per-page accounting applied to stream I/O.
+type CostModel struct {
+	PageSize int
+	Latency  ssd.Latency
+	Metrics  *metrics.Collector
+	// ReadAhead is the number of pages per priced device request: streams
+	// read and write sequentially, so the fixed PerRead latency is paid
+	// once per ReadAhead pages rather than per page. Default 16.
+	ReadAhead int
+}
+
+// readAhead returns the effective read-ahead window.
+func (cm CostModel) readAhead() int {
+	if cm.ReadAhead <= 0 {
+		return 16
+	}
+	return cm.ReadAhead
+}
+
+// chargePages charges the latency of n sequential pages to th, amortising
+// PerRead over the read-ahead window. reqPages tracks pages since the last
+// priced request and is returned updated.
+func (cm CostModel) chargePages(th *ssd.Throttle, n int64, reqPages int) int {
+	if cm.Latency.PerRead == 0 && cm.Latency.PerPage == 0 {
+		return reqPages
+	}
+	ra := cm.readAhead()
+	d := time.Duration(n) * cm.Latency.PerPage
+	for i := int64(0); i < n; i++ {
+		reqPages++
+		if reqPages >= ra {
+			d += cm.Latency.PerRead
+			reqPages = 0
+		}
+	}
+	th.Charge(d)
+	return reqPages
+}
+
+// StreamWriter writes working-file records with page-granular cost
+// accounting.
+type StreamWriter struct {
+	f        *os.File
+	bw       *bufio.Writer
+	bytes    int64
+	reqPages int
+	th       ssd.Throttle
+	cm       CostModel
+}
+
+// NewStreamWriter creates (truncating) the working file at path.
+func NewStreamWriter(path string, cm CostModel) (*StreamWriter, error) {
+	if cm.PageSize <= 0 {
+		return nil, fmt.Errorf("diskio: page size %d", cm.PageSize)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamWriter{f: f, bw: bufio.NewWriterSize(f, 1<<20), cm: cm}, nil
+}
+
+// WriteRecord appends one (id, adj) record.
+func (w *StreamWriter) WriteRecord(id uint32, adj []uint32) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], id)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(adj)))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var nb [4]byte
+	for _, x := range adj {
+		binary.LittleEndian.PutUint32(nb[:], x)
+		if _, err := w.bw.Write(nb[:]); err != nil {
+			return err
+		}
+	}
+	before := w.bytes / int64(w.cm.PageSize)
+	w.bytes += int64(8 + 4*len(adj))
+	w.charge(w.bytes/int64(w.cm.PageSize) - before)
+	return nil
+}
+
+func (w *StreamWriter) charge(pages int64) {
+	if pages <= 0 {
+		return
+	}
+	if w.cm.Metrics != nil {
+		w.cm.Metrics.AddPagesWritten(pages)
+	}
+	w.reqPages = w.cm.chargePages(&w.th, pages, w.reqPages)
+}
+
+// BytesWritten returns the payload size so far.
+func (w *StreamWriter) BytesWritten() int64 { return w.bytes }
+
+// Close charges the final partial page, settles the latency debt, and
+// closes the file.
+func (w *StreamWriter) Close() error {
+	if w.bytes%int64(w.cm.PageSize) != 0 {
+		w.charge(1)
+	}
+	w.th.Flush()
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// StreamReader reads working-file records with page-granular cost
+// accounting.
+type StreamReader struct {
+	f        *os.File
+	br       *bufio.Reader
+	bytes    int64
+	reqPages int
+	th       ssd.Throttle
+	cm       CostModel
+}
+
+// NewStreamReader opens the working file at path.
+func NewStreamReader(path string, cm CostModel) (*StreamReader, error) {
+	if cm.PageSize <= 0 {
+		return nil, fmt.Errorf("diskio: page size %d", cm.PageSize)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamReader{f: f, br: bufio.NewReaderSize(f, 1<<20), cm: cm}, nil
+}
+
+// ReadRecord returns the next (id, adj) record, or io.EOF at end of file.
+func (r *StreamReader) ReadRecord() (uint32, []uint32, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("diskio: truncated record header")
+		}
+		return 0, nil, err
+	}
+	id := binary.LittleEndian.Uint32(hdr[0:])
+	deg := int(binary.LittleEndian.Uint32(hdr[4:]))
+	body := make([]byte, 4*deg)
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return 0, nil, fmt.Errorf("diskio: truncated record body: %w", err)
+	}
+	adj := make([]uint32, deg)
+	for i := range adj {
+		adj[i] = binary.LittleEndian.Uint32(body[4*i:])
+	}
+	before := r.bytes / int64(r.cm.PageSize)
+	r.bytes += int64(8 + 4*deg)
+	if pages := r.bytes/int64(r.cm.PageSize) - before; pages > 0 {
+		if r.cm.Metrics != nil {
+			r.cm.Metrics.AddPagesRead(pages)
+		}
+		r.reqPages = r.cm.chargePages(&r.th, pages, r.reqPages)
+	}
+	return id, adj, nil
+}
+
+// Close settles the latency debt and closes the file.
+func (r *StreamReader) Close() error {
+	r.th.Flush()
+	return r.f.Close()
+}

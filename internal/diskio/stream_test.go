@@ -1,0 +1,186 @@
+package diskio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/ssd"
+)
+
+func TestStreamRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.ccg")
+	mx := metrics.NewCollector()
+	cm := CostModel{PageSize: 64, Metrics: mx}
+	w, err := NewStreamWriter(path, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := map[uint32][]uint32{
+		1: {2, 3, 4},
+		5: {},
+		9: make([]uint32, 100), // spans several pages
+	}
+	for i := range recs[9] {
+		recs[9][i] = uint32(i)
+	}
+	order := []uint32{1, 5, 9}
+	for _, id := range order {
+		if err := w.WriteRecord(id, recs[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.BytesWritten() != int64(8+12+8+8+400) {
+		t.Fatalf("BytesWritten = %d", w.BytesWritten())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantPages := (int64(8+12+8+8+400) + 63) / 64
+	if mx.PagesWritten() != wantPages {
+		t.Fatalf("PagesWritten = %d, want %d", mx.PagesWritten(), wantPages)
+	}
+
+	r, err := NewStreamReader(path, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var gotOrder []uint32
+	for {
+		id, adj, err := r.ReadRecord()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOrder = append(gotOrder, id)
+		want := recs[id]
+		if len(want) == 0 && len(adj) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(adj, want) {
+			t.Fatalf("record %d = %v, want %v", id, adj, want)
+		}
+	}
+	if !reflect.DeepEqual(gotOrder, order) {
+		t.Fatalf("order = %v, want %v", gotOrder, order)
+	}
+	if mx.PagesRead() == 0 {
+		t.Fatal("PagesRead = 0")
+	}
+}
+
+func TestStreamReaderMissingFile(t *testing.T) {
+	if _, err := NewStreamReader(filepath.Join(t.TempDir(), "absent"), CostModel{PageSize: 64}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestStreamBadPageSize(t *testing.T) {
+	if _, err := NewStreamWriter(filepath.Join(t.TempDir(), "x"), CostModel{}); err == nil {
+		t.Fatal("want error for page size 0")
+	}
+	if _, err := NewStreamReader(filepath.Join(t.TempDir(), "x"), CostModel{}); err == nil {
+		t.Fatal("want error for page size 0")
+	}
+}
+
+func TestStreamLatencyCharging(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lat.ccg")
+	mx := metrics.NewCollector()
+	cm := CostModel{
+		PageSize:  64,
+		Latency:   ssd.Latency{PerRead: 100 * time.Microsecond, PerPage: 50 * time.Microsecond},
+		Metrics:   mx,
+		ReadAhead: 4,
+	}
+	w, err := NewStreamWriter(path, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	adj := make([]uint32, 30) // 128 bytes per record -> 2 pages
+	for i := 0; i < 20; i++ {
+		if err := w.WriteRecord(uint32(i), adj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// 20 records × 128B = 2560B = 40 pages; cost = 40×50µs + 10×100µs = 3ms.
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("write latency undercharged: %v", elapsed)
+	}
+	if mx.PagesWritten() != 40 {
+		t.Fatalf("PagesWritten = %d, want 40", mx.PagesWritten())
+	}
+
+	r, err := NewStreamReader(path, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	for {
+		if _, _, err := r.ReadRecord(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("read latency undercharged: %v", elapsed)
+	}
+}
+
+func TestStreamTruncatedBody(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.ccg")
+	cm := CostModel{PageSize: 64}
+	w, err := NewStreamWriter(path, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(7, []uint32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the body.
+	if err := os.WriteFile(path, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewStreamReader(path, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := r.ReadRecord(); err == nil {
+		t.Fatal("truncated body: want error")
+	}
+	// Cut into the header.
+	if err := os.WriteFile(path, data[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewStreamReader(path, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, _, err := r2.ReadRecord(); err == nil {
+		t.Fatal("truncated header: want error")
+	}
+}

@@ -1,0 +1,201 @@
+// Package extsort provides a bounded-memory external merge sort over
+// uint64 keys, the substrate behind the streaming store builder: edge
+// lists larger than RAM are spilled as sorted runs to temporary files and
+// merged with a k-way heap. The paper's premise is billion-edge graphs on
+// a single PC; preprocessing them into the slotted-page store must not
+// assume the edge list fits in memory.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+)
+
+// Sorter accumulates uint64 keys and streams them back in ascending order
+// using at most ~8·RunSize bytes of memory plus merge buffers.
+type Sorter struct {
+	dir     string
+	runSize int
+	buf     []uint64
+	runs    []string
+	closed  bool
+}
+
+// DefaultRunSize is the default in-memory run length (keys).
+const DefaultRunSize = 1 << 22 // 32 MiB of keys
+
+// NewSorter creates a Sorter spilling runs into dir. runSize ≤ 0 selects
+// DefaultRunSize.
+func NewSorter(dir string, runSize int) *Sorter {
+	if runSize <= 0 {
+		runSize = DefaultRunSize
+	}
+	return &Sorter{dir: dir, runSize: runSize, buf: make([]uint64, 0, min(runSize, 1<<20))}
+}
+
+// Push adds one key.
+func (s *Sorter) Push(key uint64) error {
+	if s.closed {
+		return fmt.Errorf("extsort: push after Sort")
+	}
+	s.buf = append(s.buf, key)
+	if len(s.buf) >= s.runSize {
+		return s.spill()
+	}
+	return nil
+}
+
+// spill sorts the buffer and writes it as a run file.
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	slices.Sort(s.buf)
+	f, err := os.CreateTemp(s.dir, "extsort-run-*")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var scratch [8]byte
+	for _, k := range s.buf {
+		binary.LittleEndian.PutUint64(scratch[:], k)
+		if _, err := bw.Write(scratch[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	s.runs = append(s.runs, f.Name())
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Sort finishes accumulation and calls fn for every key in ascending
+// order (duplicates included). The Sorter cannot be reused afterwards;
+// run files are removed.
+func (s *Sorter) Sort(fn func(key uint64) error) error {
+	if s.closed {
+		return fmt.Errorf("extsort: Sort called twice")
+	}
+	s.closed = true
+	defer s.cleanup()
+
+	// Common case: everything fit in memory.
+	if len(s.runs) == 0 {
+		slices.Sort(s.buf)
+		for _, k := range s.buf {
+			if err := fn(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := s.spill(); err != nil {
+		return err
+	}
+
+	// K-way merge over the run files.
+	h := &mergeHeap{}
+	readers := make([]*runReader, 0, len(s.runs))
+	defer func() {
+		for _, r := range readers {
+			r.close()
+		}
+	}()
+	for i, path := range s.runs {
+		r, err := newRunReader(path)
+		if err != nil {
+			return err
+		}
+		readers = append(readers, r)
+		k, ok, err := r.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Push(h, mergeItem{key: k, src: i})
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(mergeItem)
+		if err := fn(it.key); err != nil {
+			return err
+		}
+		k, ok, err := readers[it.src].next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Push(h, mergeItem{key: k, src: it.src})
+		}
+	}
+	return nil
+}
+
+func (s *Sorter) cleanup() {
+	for _, path := range s.runs {
+		os.Remove(path)
+	}
+	s.runs = nil
+	s.buf = nil
+}
+
+// Runs reports the number of spilled run files (for tests).
+func (s *Sorter) Runs() int { return len(s.runs) }
+
+type runReader struct {
+	f  *os.File
+	br *bufio.Reader
+}
+
+func newRunReader(path string) (*runReader, error) {
+	f, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return nil, err
+	}
+	return &runReader{f: f, br: bufio.NewReaderSize(f, 1<<20)}, nil
+}
+
+func (r *runReader) next() (uint64, bool, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r.br, b[:]); err != nil {
+		if err == io.EOF {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), true, nil
+}
+
+func (r *runReader) close() { r.f.Close() }
+
+type mergeItem struct {
+	key uint64
+	src int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int           { return len(h) }
+func (h mergeHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

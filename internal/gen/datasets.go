@@ -1,0 +1,69 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/optlab/opt/internal/graph"
+)
+
+// DatasetSpec describes one of the paper's five real-world datasets
+// (Table 2) and the R-MAT proxy we substitute for it. Scale 1.0 would
+// reproduce the original vertex count; the experiment harness uses small
+// scales so sweeps finish on commodity hardware, keeping the density
+// |E|/|V| of the original.
+type DatasetSpec struct {
+	Name          string
+	PaperVertices int64
+	PaperEdges    int64
+	PaperTris     int64
+	Density       float64 // |E| / |V| of the original
+	Seed          int64
+}
+
+// Datasets lists the Table 2 datasets in paper order.
+var Datasets = []DatasetSpec{
+	{Name: "lj", PaperVertices: 4_847_571, PaperEdges: 68_993_773, PaperTris: 285_730_264, Seed: 101},
+	{Name: "orkut", PaperVertices: 3_072_627, PaperEdges: 223_534_301, PaperTris: 627_584_181, Seed: 102},
+	{Name: "twitter", PaperVertices: 41_652_230, PaperEdges: 1_468_365_182, PaperTris: 34_824_916_864, Seed: 103},
+	{Name: "uk", PaperVertices: 105_896_555, PaperEdges: 3_738_733_648, PaperTris: 286_701_284_103, Seed: 104},
+	{Name: "yahoo", PaperVertices: 1_413_511_394, PaperEdges: 6_636_600_779, PaperTris: 85_782_928_684, Seed: 105},
+}
+
+func init() {
+	for i := range Datasets {
+		d := &Datasets[i]
+		d.Density = float64(d.PaperEdges) / float64(d.PaperVertices)
+	}
+}
+
+// DatasetByName returns the spec with the given name.
+func DatasetByName(name string) (DatasetSpec, error) {
+	for _, d := range Datasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	names := make([]string, len(Datasets))
+	for i, d := range Datasets {
+		names[i] = d.Name
+	}
+	sort.Strings(names)
+	return DatasetSpec{}, fmt.Errorf("gen: unknown dataset %q (have %v)", name, names)
+}
+
+// Proxy generates the R-MAT proxy of the dataset at the given vertex count,
+// preserving the original's edge density. The result is degree-ordered, as
+// every method in the paper assumes (§5.1).
+func (d DatasetSpec) Proxy(numVertices int) (*graph.Graph, error) {
+	if numVertices <= 0 {
+		return nil, fmt.Errorf("gen: proxy size %d, want > 0", numVertices)
+	}
+	edges := int64(float64(numVertices) * d.Density)
+	g, err := RMAT(DefaultRMAT(numVertices, edges, d.Seed))
+	if err != nil {
+		return nil, err
+	}
+	og, _ := graph.DegreeOrder(g)
+	return og, nil
+}

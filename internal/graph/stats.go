@@ -1,0 +1,110 @@
+package graph
+
+import "github.com/optlab/opt/internal/intersect"
+
+// Stats holds basic statistics reported in Table 2 of the paper.
+type Stats struct {
+	NumVertices int
+	NumEdges    int64
+	MaxDegree   int
+	AvgDegree   float64
+}
+
+// BasicStats computes the Table 2 statistics for g.
+func BasicStats(g *Graph) Stats {
+	s := Stats{
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumEdges(),
+		MaxDegree:   g.MaxDegree(),
+	}
+	if s.NumVertices > 0 {
+		s.AvgDegree = 2 * float64(s.NumEdges) / float64(s.NumVertices)
+	}
+	return s
+}
+
+// TriangleCountsPerVertex returns, for each vertex, the number of triangles
+// it participates in. This is the local triangle count used by the
+// Becchetti-style spam-detection example and by clustering coefficients.
+func TriangleCountsPerVertex(g *Graph) []int64 {
+	counts := make([]int64, g.NumVertices())
+	g.Edges(func(u, v VertexID) bool {
+		common := intersect.Adaptive(nil, g.NeighborsAfter(u), g.NeighborsAfter(v))
+		// For each triangle u<v<w all three corners participate.
+		for _, w := range common {
+			counts[u]++
+			counts[v]++
+			counts[w]++
+		}
+		return true
+	})
+	return counts
+}
+
+// LocalClusteringCoefficient returns C(v) = 2·tri(v) / (deg(v)·(deg(v)−1))
+// for every vertex, with C(v) = 0 for degree < 2.
+func LocalClusteringCoefficient(g *Graph) []float64 {
+	tri := TriangleCountsPerVertex(g)
+	out := make([]float64, g.NumVertices())
+	for v := range out {
+		d := g.Degree(VertexID(v))
+		if d >= 2 {
+			out[v] = 2 * float64(tri[v]) / (float64(d) * float64(d-1))
+		}
+	}
+	return out
+}
+
+// AverageClusteringCoefficient returns the Watts–Strogatz average of the
+// local clustering coefficients [19].
+func AverageClusteringCoefficient(g *Graph) float64 {
+	cc := LocalClusteringCoefficient(g)
+	if len(cc) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cc {
+		sum += c
+	}
+	return sum / float64(len(cc))
+}
+
+// Transitivity returns the global transitivity 3·#triangles / #wedges
+// (Harary–Kommel [18]), 0 when the graph has no wedges.
+func Transitivity(g *Graph) float64 {
+	var wedges, triangles int64
+	for v := 0; v < g.NumVertices(); v++ {
+		d := int64(g.Degree(VertexID(v)))
+		wedges += d * (d - 1) / 2
+	}
+	g.Edges(func(u, v VertexID) bool {
+		triangles += int64(intersect.AdaptiveCount(g.NeighborsAfter(u), g.NeighborsAfter(v)))
+		return true
+	})
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(triangles) / float64(wedges)
+}
+
+// CountTrianglesReference counts triangles with the plain in-memory
+// edge-iterator. It is the ground-truth oracle that every other method in
+// this repository is tested against.
+func CountTrianglesReference(g *Graph) int64 {
+	var total int64
+	g.Edges(func(u, v VertexID) bool {
+		total += int64(intersect.AdaptiveCount(g.NeighborsAfter(u), g.NeighborsAfter(v)))
+		return true
+	})
+	return total
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func DegreeHistogram(g *Graph) map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.NumVertices(); v++ {
+		h[g.Degree(VertexID(v))]++
+	}
+	return h
+}

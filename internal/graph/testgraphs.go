@@ -1,0 +1,63 @@
+package graph
+
+// PaperExampleEdges returns the edge list of the example graph G from
+// Figure 1 of the paper, with vertices a..h mapped to ids 0..7 in
+// alphabetical order. G contains exactly five triangles:
+// Δabc, Δcdf, Δdef, Δcfg, Δcgh.
+func PaperExampleEdges() []Edge {
+	const (
+		a = iota
+		b
+		c
+		d
+		e
+		f
+		gg
+		h
+	)
+	return []Edge{
+		{a, b}, {a, c}, {b, c}, // Δabc
+		{c, d}, {c, f}, {d, f}, // Δcdf
+		{d, e}, {e, f}, // Δdef (with d–f above)
+		{f, gg}, {c, gg}, // Δcfg (with c–f above)
+		{gg, h}, {c, h}, // Δcgh (with c–g above)
+	}
+}
+
+// PaperExample returns the Figure 1 graph itself.
+func PaperExample() *Graph {
+	g, err := FromEdges(8, PaperExampleEdges())
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n, which has C(n,3) triangles.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			_ = b.AddEdge(VertexID(u), VertexID(v))
+		}
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n, which has no triangles for n > 3.
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		_ = b.AddEdge(VertexID(u), VertexID((u+1)%n))
+	}
+	return b.Build()
+}
+
+// Star returns the star graph with one hub and n-1 leaves (no triangles).
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(0, VertexID(v))
+	}
+	return b.Build()
+}

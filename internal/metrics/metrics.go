@@ -1,0 +1,172 @@
+// Package metrics collects the cost counters used throughout the OPT
+// reproduction: page reads and writes, intersection operations (the
+// min(|n≻(u)|, |n≻(v)|) CPU-cost model of Eq. 3 in the paper), and wall-clock
+// phase timers. All counters are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Collector accumulates cost counters for one algorithm run.
+type Collector struct {
+	pagesRead     atomic.Int64
+	pagesWritten  atomic.Int64
+	asyncReads    atomic.Int64
+	syncReads     atomic.Int64
+	intersectOps  atomic.Int64 // min-model CPU operations
+	intersectCall atomic.Int64 // number of adjacency-list intersections
+	triangles     atomic.Int64
+	reusedPages   atomic.Int64 // internal-area loads served from buffered frames (Δin_io)
+	ioWait        atomic.Int64 // nanoseconds spent blocked on I/O completion
+	parallelWork  atomic.Int64 // nanoseconds of parallelisable work (intersections)
+	serialWork    atomic.Int64 // nanoseconds of inherently serial work
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// AddPagesRead records n page reads.
+func (c *Collector) AddPagesRead(n int64) { c.pagesRead.Add(n) }
+
+// AddPagesWritten records n page writes.
+func (c *Collector) AddPagesWritten(n int64) { c.pagesWritten.Add(n) }
+
+// AddAsyncReads records n asynchronous read submissions.
+func (c *Collector) AddAsyncReads(n int64) { c.asyncReads.Add(n) }
+
+// AddSyncReads records n synchronous read calls.
+func (c *Collector) AddSyncReads(n int64) { c.syncReads.Add(n) }
+
+// AddIntersect records one adjacency-list intersection whose min-model cost
+// is ops (= min(|a|, |b|) under the hash model of Eq. 3).
+func (c *Collector) AddIntersect(ops int64) {
+	c.intersectCall.Add(1)
+	c.intersectOps.Add(ops)
+}
+
+// AddTriangles records n discovered triangles.
+func (c *Collector) AddTriangles(n int64) { c.triangles.Add(n) }
+
+// AddReusedPages records n internal-area page loads that were served from
+// frames already resident in the buffer (the Δin_io credit of §3.3).
+func (c *Collector) AddReusedPages(n int64) { c.reusedPages.Add(n) }
+
+// AddIOWait records d spent blocked waiting for I/O.
+func (c *Collector) AddIOWait(d time.Duration) { c.ioWait.Add(int64(d)) }
+
+// AddParallelWork records d of parallelisable CPU work.
+func (c *Collector) AddParallelWork(d time.Duration) { c.parallelWork.Add(int64(d)) }
+
+// AddSerialWork records d of inherently serial work.
+func (c *Collector) AddSerialWork(d time.Duration) { c.serialWork.Add(int64(d)) }
+
+// PagesRead returns the page-read count.
+func (c *Collector) PagesRead() int64 { return c.pagesRead.Load() }
+
+// PagesWritten returns the page-write count.
+func (c *Collector) PagesWritten() int64 { return c.pagesWritten.Load() }
+
+// AsyncReads returns the asynchronous read submission count.
+func (c *Collector) AsyncReads() int64 { return c.asyncReads.Load() }
+
+// SyncReads returns the synchronous read count.
+func (c *Collector) SyncReads() int64 { return c.syncReads.Load() }
+
+// IntersectOps returns the accumulated min-model CPU cost.
+func (c *Collector) IntersectOps() int64 { return c.intersectOps.Load() }
+
+// Intersections returns the number of adjacency-list intersections executed.
+func (c *Collector) Intersections() int64 { return c.intersectCall.Load() }
+
+// Triangles returns the number of triangles recorded.
+func (c *Collector) Triangles() int64 { return c.triangles.Load() }
+
+// ReusedPages returns the Δin_io page-reuse credit.
+func (c *Collector) ReusedPages() int64 { return c.reusedPages.Load() }
+
+// IOWait returns the total time spent blocked on I/O.
+func (c *Collector) IOWait() time.Duration { return time.Duration(c.ioWait.Load()) }
+
+// ParallelFraction returns p, the fraction of recorded work that is
+// parallelisable, used for the Amdahl analysis of Table 5. It returns 0 when
+// no work has been recorded.
+func (c *Collector) ParallelFraction() float64 {
+	p := float64(c.parallelWork.Load())
+	s := float64(c.serialWork.Load())
+	if p+s == 0 {
+		return 0
+	}
+	return p / (p + s)
+}
+
+// Reset zeroes every counter.
+func (c *Collector) Reset() {
+	c.pagesRead.Store(0)
+	c.pagesWritten.Store(0)
+	c.asyncReads.Store(0)
+	c.syncReads.Store(0)
+	c.intersectOps.Store(0)
+	c.intersectCall.Store(0)
+	c.triangles.Store(0)
+	c.reusedPages.Store(0)
+	c.ioWait.Store(0)
+	c.parallelWork.Store(0)
+	c.serialWork.Store(0)
+}
+
+// Snapshot is an immutable copy of a Collector's counters.
+type Snapshot struct {
+	PagesRead, PagesWritten     int64
+	AsyncReads, SyncReads       int64
+	IntersectOps, Intersections int64
+	Triangles, ReusedPages      int64
+	IOWait                      time.Duration
+	ParallelWork, SerialWork    time.Duration
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *Collector) Snapshot() Snapshot {
+	return Snapshot{
+		PagesRead:     c.pagesRead.Load(),
+		PagesWritten:  c.pagesWritten.Load(),
+		AsyncReads:    c.asyncReads.Load(),
+		SyncReads:     c.syncReads.Load(),
+		IntersectOps:  c.intersectOps.Load(),
+		Intersections: c.intersectCall.Load(),
+		Triangles:     c.triangles.Load(),
+		ReusedPages:   c.reusedPages.Load(),
+		IOWait:        time.Duration(c.ioWait.Load()),
+		ParallelWork:  time.Duration(c.parallelWork.Load()),
+		SerialWork:    time.Duration(c.serialWork.Load()),
+	}
+}
+
+// String formats the snapshot for logs and experiment output.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("reads=%d writes=%d async=%d sync=%d ops=%d tri=%d reused=%d iowait=%v",
+		s.PagesRead, s.PagesWritten, s.AsyncReads, s.SyncReads, s.IntersectOps, s.Triangles, s.ReusedPages, s.IOWait)
+}
+
+// AmdahlBound returns the theoretical speed-up upper bound 1/((1-p)+p/c) for
+// parallel fraction p on c cores (Table 5). It returns 1 for c < 1 or p
+// outside (0, 1].
+func AmdahlBound(p float64, c int) float64 {
+	if c < 1 || p <= 0 || p > 1 {
+		return 1
+	}
+	return 1 / ((1 - p) + p/float64(c))
+}
+
+// Stopwatch measures one named phase.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartStopwatch begins timing.
+func StartStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

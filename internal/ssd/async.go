@@ -1,0 +1,253 @@
+package ssd
+
+import (
+	"sync"
+	"time"
+
+	"github.com/optlab/opt/internal/metrics"
+)
+
+// Latency is a simulated device latency model: a read of k consecutive
+// pages takes PerRead + k*PerPage inside one device channel. Zero values
+// disable simulation (reads cost only the backing device's real time).
+type Latency struct {
+	PerRead time.Duration // fixed submission/seek overhead per request
+	PerPage time.Duration // streaming cost per page
+}
+
+// Cost returns the simulated duration of a count-page read.
+func (l Latency) Cost(count int) time.Duration {
+	return l.PerRead + time.Duration(count)*l.PerPage
+}
+
+// AsyncOptions configures an AsyncDevice.
+type AsyncOptions struct {
+	// QueueDepth is the number of device channels (concurrently progressing
+	// requests), modelling FlashSSD internal parallelism. Default 8.
+	QueueDepth int
+	// Latency is the simulated latency model. Zero disables simulation.
+	Latency Latency
+	// Metrics, if non-nil, receives page-read/write and async counters.
+	Metrics *metrics.Collector
+}
+
+// request is one queued asynchronous operation.
+type request struct {
+	first uint32
+	count int
+	write []byte // nil for reads
+	cb    func(data []byte, err error)
+}
+
+// AsyncDevice adds AsyncRead/AsyncWrite semantics on top of a PageDevice.
+//
+// Requests enter an unbounded submission queue drained by QueueDepth worker
+// goroutines (the device channels). Each completion is handed, in completion
+// order, to a single dispatcher goroutine that runs the registered callback —
+// the role the paper assigns to the callback thread. Callbacks may submit
+// further asynchronous requests (Algorithm 9 lines 9–13) without deadlock
+// because the submission queue is unbounded.
+type AsyncDevice struct {
+	dev     PageDevice
+	opts    AsyncOptions
+	queue   *reqQueue
+	done    chan struct{}
+	compl   chan completion
+	pending sync.WaitGroup
+	once    sync.Once
+
+	syncMu sync.Mutex
+	syncTh Throttle // throttle for the synchronous path
+}
+
+type completion struct {
+	data []byte
+	err  error
+	cb   func(data []byte, err error)
+}
+
+// NewAsyncDevice starts the device channels and the callback dispatcher.
+// Close must be called to release them.
+func NewAsyncDevice(dev PageDevice, opts AsyncOptions) *AsyncDevice {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 8
+	}
+	d := &AsyncDevice{
+		dev:   dev,
+		opts:  opts,
+		queue: newReqQueue(),
+		done:  make(chan struct{}),
+		compl: make(chan completion, opts.QueueDepth*2),
+	}
+	for i := 0; i < opts.QueueDepth; i++ {
+		go d.worker()
+	}
+	go d.dispatcher()
+	return d
+}
+
+// PageSize returns the backing device's page size.
+func (d *AsyncDevice) PageSize() int { return d.dev.PageSize() }
+
+// NumPages returns the backing device's page count.
+func (d *AsyncDevice) NumPages() uint32 { return d.dev.NumPages() }
+
+// Metrics returns the collector, which may be nil.
+func (d *AsyncDevice) Metrics() *metrics.Collector { return d.opts.Metrics }
+
+// AsyncRead submits an asynchronous read of count pages starting at first.
+// cb runs on the callback dispatcher goroutine when the read completes; it
+// corresponds to AsyncRead(pid, Callback, Args) in the paper.
+func (d *AsyncDevice) AsyncRead(first uint32, count int, cb func(data []byte, err error)) {
+	if m := d.opts.Metrics; m != nil {
+		m.AddAsyncReads(1)
+	}
+	d.pending.Add(1)
+	d.queue.push(request{first: first, count: count, cb: cb})
+}
+
+// AsyncWrite submits an asynchronous write. cb may be nil; if non-nil it
+// runs on the dispatcher with a nil data slice.
+func (d *AsyncDevice) AsyncWrite(first uint32, data []byte, cb func(data []byte, err error)) {
+	d.pending.Add(1)
+	d.queue.push(request{first: first, write: data, cb: cb})
+}
+
+// ReadPages performs a synchronous read through the same latency model,
+// blocking the caller — the access pattern of the MGT baseline, which uses
+// synchronous I/O only (§3.5).
+func (d *AsyncDevice) ReadPages(first uint32, count int) ([]byte, error) {
+	sw := metrics.StartStopwatch()
+	d.syncMu.Lock()
+	d.syncTh.Charge(d.opts.Latency.Cost(count))
+	d.syncMu.Unlock()
+	data, err := d.dev.ReadPages(first, count)
+	if m := d.opts.Metrics; m != nil {
+		m.AddSyncReads(1)
+		m.AddPagesRead(int64(count))
+		m.AddIOWait(sw.Elapsed())
+	}
+	return data, err
+}
+
+// WritePages performs a synchronous write through the latency model.
+func (d *AsyncDevice) WritePages(first uint32, data []byte) error {
+	d.syncMu.Lock()
+	d.syncTh.Charge(d.opts.Latency.Cost(len(data) / d.dev.PageSize()))
+	d.syncMu.Unlock()
+	err := d.dev.WritePages(first, data)
+	if m := d.opts.Metrics; m != nil && err == nil {
+		m.AddPagesWritten(int64(len(data) / d.dev.PageSize()))
+	}
+	return err
+}
+
+// Drain blocks until every submitted asynchronous request has completed and
+// its callback has returned.
+func (d *AsyncDevice) Drain() { d.pending.Wait() }
+
+// Close drains outstanding requests and stops the device goroutines. The
+// backing device is not closed.
+func (d *AsyncDevice) Close() {
+	d.once.Do(func() {
+		d.pending.Wait()
+		close(d.done)
+		d.queue.close()
+	})
+}
+
+func (d *AsyncDevice) worker() {
+	// Each worker is one device channel with its own latency throttle, so
+	// aggregate throughput scales with QueueDepth as real NCQ channels do.
+	var th Throttle
+	for {
+		req, ok := d.queue.pop()
+		if !ok {
+			return
+		}
+		if req.write != nil {
+			th.Charge(d.opts.Latency.Cost(len(req.write) / d.dev.PageSize()))
+			err := d.dev.WritePages(req.first, req.write)
+			if m := d.opts.Metrics; m != nil && err == nil {
+				m.AddPagesWritten(int64(len(req.write) / d.dev.PageSize()))
+			}
+			if req.cb != nil {
+				d.compl <- completion{data: nil, err: err, cb: req.cb}
+			} else {
+				d.pending.Done()
+			}
+			continue
+		}
+		th.Charge(d.opts.Latency.Cost(req.count))
+		data, err := d.dev.ReadPages(req.first, req.count)
+		if m := d.opts.Metrics; m != nil && err == nil {
+			m.AddPagesRead(int64(req.count))
+		}
+		d.compl <- completion{data: data, err: err, cb: req.cb}
+	}
+}
+
+// dispatcher is the callback thread: it executes completion callbacks
+// serially in completion order.
+func (d *AsyncDevice) dispatcher() {
+	for {
+		select {
+		case c := <-d.compl:
+			c.cb(c.data, c.err)
+			d.pending.Done()
+		case <-d.done:
+			// Drain anything that raced with shutdown.
+			for {
+				select {
+				case c := <-d.compl:
+					c.cb(c.data, c.err)
+					d.pending.Done()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// reqQueue is an unbounded MPMC queue of requests.
+type reqQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []request
+	closed bool
+}
+
+func newReqQueue() *reqQueue {
+	q := &reqQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *reqQueue) push(r request) {
+	q.mu.Lock()
+	q.items = append(q.items, r)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *reqQueue) pop() (request, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return request{}, false
+	}
+	r := q.items[0]
+	q.items = q.items[1:]
+	return r, true
+}
+
+func (q *reqQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,112 @@
+// Package ssd provides the FlashSSD substrate: page-granular storage
+// devices with the AsyncRead(pid, callback, args) semantics the paper's
+// framework is built on (§3.2).
+//
+// The paper runs on a real Samsung 830 FlashSSD through Windows overlapped
+// I/O. What OPT exploits from that stack is precisely:
+//
+//  1. non-blocking reads — the requesting thread keeps computing,
+//  2. device-internal parallelism — several outstanding reads progress
+//     concurrently (NCQ), and
+//  3. completion callbacks — a callback thread runs CPU work per completion.
+//
+// AsyncDevice reproduces those three properties over any backing PageDevice:
+// submissions enter a bounded queue served by QueueDepth worker goroutines
+// (the device channels), and completions are dispatched in completion order
+// to a single dispatcher goroutine (the paper's callback thread). An
+// optional simulated latency makes the I/O-to-CPU cost ratio c of §3.3
+// controllable, so overlap effects are measurable regardless of host
+// hardware.
+package ssd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageDevice is synchronous page-granular storage.
+type PageDevice interface {
+	// ReadPages reads count consecutive pages starting at page first into a
+	// freshly allocated buffer of count*PageSize() bytes.
+	ReadPages(first uint32, count int) ([]byte, error)
+	// WritePages writes len(data)/PageSize() consecutive pages starting at
+	// page first. Implementations may extend the device.
+	WritePages(first uint32, data []byte) error
+	// NumPages returns the current number of pages on the device.
+	NumPages() uint32
+	// PageSize returns the page size in bytes.
+	PageSize() int
+	// Close releases resources.
+	Close() error
+}
+
+// Common device errors.
+var (
+	ErrOutOfRange = errors.New("ssd: page out of range")
+	ErrClosed     = errors.New("ssd: device closed")
+)
+
+// MemDevice is an in-memory PageDevice used by tests and by experiments
+// whose I/O is fully simulated.
+type MemDevice struct {
+	pageSize int
+	data     []byte
+	closed   bool
+}
+
+// NewMemDevice returns an empty MemDevice with the given page size.
+func NewMemDevice(pageSize int) *MemDevice {
+	if pageSize <= 0 {
+		panic("ssd: page size must be positive")
+	}
+	return &MemDevice{pageSize: pageSize}
+}
+
+// PageSize implements PageDevice.
+func (d *MemDevice) PageSize() int { return d.pageSize }
+
+// NumPages implements PageDevice.
+func (d *MemDevice) NumPages() uint32 { return uint32(len(d.data) / d.pageSize) }
+
+// ReadPages implements PageDevice.
+func (d *MemDevice) ReadPages(first uint32, count int) ([]byte, error) {
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("%w: count %d", ErrOutOfRange, count)
+	}
+	start := int64(first) * int64(d.pageSize)
+	end := start + int64(count)*int64(d.pageSize)
+	if end > int64(len(d.data)) {
+		return nil, fmt.Errorf("%w: pages [%d, %d) of %d", ErrOutOfRange, first, int64(first)+int64(count), d.NumPages())
+	}
+	out := make([]byte, end-start)
+	copy(out, d.data[start:end])
+	return out, nil
+}
+
+// WritePages implements PageDevice, extending the device as needed.
+func (d *MemDevice) WritePages(first uint32, data []byte) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if len(data)%d.pageSize != 0 {
+		return fmt.Errorf("ssd: write of %d bytes is not page aligned (page size %d)", len(data), d.pageSize)
+	}
+	start := int64(first) * int64(d.pageSize)
+	end := start + int64(len(data))
+	if end > int64(len(d.data)) {
+		grown := make([]byte, end)
+		copy(grown, d.data)
+		d.data = grown
+	}
+	copy(d.data[start:end], data)
+	return nil
+}
+
+// Close implements PageDevice.
+func (d *MemDevice) Close() error {
+	d.closed = true
+	return nil
+}

@@ -1,0 +1,38 @@
+package ssd
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is returned by FaultyDevice for injected failures.
+var ErrInjected = errors.New("ssd: injected fault")
+
+// FaultyDevice wraps a PageDevice and fails reads according to a schedule.
+// It is used by the failure-injection tests to verify that every disk-based
+// algorithm surfaces I/O errors instead of silently miscounting.
+type FaultyDevice struct {
+	PageDevice
+	// FailEveryN makes every Nth read fail (1-based count). 0 disables.
+	FailEveryN int64
+	// FailPage makes any read covering this page fail when FailPageSet.
+	FailPage    uint32
+	FailPageSet bool
+
+	reads atomic.Int64
+}
+
+// ReadPages implements PageDevice with fault injection.
+func (d *FaultyDevice) ReadPages(first uint32, count int) ([]byte, error) {
+	n := d.reads.Add(1)
+	if d.FailEveryN > 0 && n%d.FailEveryN == 0 {
+		return nil, ErrInjected
+	}
+	if d.FailPageSet && first <= d.FailPage && d.FailPage < first+uint32(count) {
+		return nil, ErrInjected
+	}
+	return d.PageDevice.ReadPages(first, count)
+}
+
+// Reads returns the number of read calls observed.
+func (d *FaultyDevice) Reads() int64 { return d.reads.Load() }

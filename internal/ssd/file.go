@@ -1,0 +1,113 @@
+package ssd
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileDevice is a PageDevice backed by a region of an os.File, starting at
+// a byte offset (so a store file can carry a header before its page area).
+// Reads use positional I/O and are safe for concurrent use; writes extend
+// the file as needed.
+type FileDevice struct {
+	f        *os.File
+	offset   int64
+	pageSize int
+
+	mu       sync.RWMutex
+	numPages uint32
+	closed   bool
+	ownsFile bool
+}
+
+// NewFileDevice wraps an open file. offset is the byte position of page 0;
+// numPages is the number of valid pages. If ownsFile is true, Close closes
+// the file.
+func NewFileDevice(f *os.File, offset int64, pageSize int, numPages uint32, ownsFile bool) *FileDevice {
+	if pageSize <= 0 {
+		panic("ssd: page size must be positive")
+	}
+	return &FileDevice{f: f, offset: offset, pageSize: pageSize, numPages: numPages, ownsFile: ownsFile}
+}
+
+// OpenFileDevice opens path read-only as a device whose pages start at
+// offset and run to the end of the file.
+func OpenFileDevice(path string, offset int64, pageSize int) (*FileDevice, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	n := (st.Size() - offset) / int64(pageSize)
+	if n < 0 {
+		n = 0
+	}
+	return NewFileDevice(f, offset, pageSize, uint32(n), true), nil
+}
+
+// PageSize implements PageDevice.
+func (d *FileDevice) PageSize() int { return d.pageSize }
+
+// NumPages implements PageDevice.
+func (d *FileDevice) NumPages() uint32 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.numPages
+}
+
+// ReadPages implements PageDevice.
+func (d *FileDevice) ReadPages(first uint32, count int) ([]byte, error) {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	n := d.numPages
+	d.mu.RUnlock()
+	if count <= 0 || int64(first)+int64(count) > int64(n) {
+		return nil, fmt.Errorf("%w: pages [%d, %d) of %d", ErrOutOfRange, first, int64(first)+int64(count), n)
+	}
+	buf := make([]byte, count*d.pageSize)
+	if _, err := d.f.ReadAt(buf, d.offset+int64(first)*int64(d.pageSize)); err != nil {
+		return nil, fmt.Errorf("ssd: read pages [%d,+%d): %w", first, count, err)
+	}
+	return buf, nil
+}
+
+// WritePages implements PageDevice.
+func (d *FileDevice) WritePages(first uint32, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if len(data)%d.pageSize != 0 {
+		return fmt.Errorf("ssd: write of %d bytes is not page aligned (page size %d)", len(data), d.pageSize)
+	}
+	if _, err := d.f.WriteAt(data, d.offset+int64(first)*int64(d.pageSize)); err != nil {
+		return fmt.Errorf("ssd: write pages at %d: %w", first, err)
+	}
+	if end := first + uint32(len(data)/d.pageSize); end > d.numPages {
+		d.numPages = end
+	}
+	return nil
+}
+
+// Close implements PageDevice.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.ownsFile {
+		return d.f.Close()
+	}
+	return nil
+}

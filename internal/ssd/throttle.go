@@ -1,0 +1,49 @@
+package ssd
+
+import "time"
+
+// Throttle converts fine-grained simulated latencies into accurate
+// aggregate delays. Sub-millisecond time.Sleep calls overshoot badly on
+// most kernels (often to hundreds of microseconds), which would throttle a
+// simulated device far below its configured rate. A Throttle instead
+// accumulates latency debt and sleeps only when at least SleepQuantum is
+// owed, crediting back the measured oversleep — so throughput converges to
+// the configured rate while individual operations stay cheap.
+//
+// A Throttle is not safe for concurrent use; give each goroutine its own
+// (e.g. one per device channel).
+type Throttle struct {
+	debt time.Duration
+}
+
+// SleepQuantum is the minimum owed latency that triggers a real sleep.
+const SleepQuantum = time.Millisecond
+
+// Charge adds d of simulated latency, sleeping if enough debt accumulated.
+func (t *Throttle) Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.debt += d
+	if t.debt < SleepQuantum {
+		return
+	}
+	start := time.Now()
+	time.Sleep(t.debt)
+	t.debt -= time.Since(start)
+	// Cap the credit from oversleeping so one bad scheduling hiccup does
+	// not grant unbounded free I/O.
+	if t.debt < -4*SleepQuantum {
+		t.debt = -4 * SleepQuantum
+	}
+}
+
+// Flush sleeps off any remaining debt (e.g. at end of a run).
+func (t *Throttle) Flush() {
+	if t.debt <= 0 {
+		return
+	}
+	start := time.Now()
+	time.Sleep(t.debt)
+	t.debt -= time.Since(start)
+}

@@ -1,0 +1,64 @@
+package ssd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestThrottleAccumulatesBelowQuantum(t *testing.T) {
+	var th Throttle
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		th.Charge(10 * time.Microsecond) // 100µs total, below the quantum
+	}
+	if elapsed := time.Since(start); elapsed > SleepQuantum {
+		t.Fatalf("sub-quantum charges slept %v", elapsed)
+	}
+	if th.debt != 100*time.Microsecond {
+		t.Fatalf("debt = %v, want 100µs", th.debt)
+	}
+}
+
+func TestThrottleSleepsAtQuantum(t *testing.T) {
+	var th Throttle
+	start := time.Now()
+	th.Charge(3 * SleepQuantum)
+	elapsed := time.Since(start)
+	if elapsed < 3*SleepQuantum {
+		t.Fatalf("slept only %v for a 3ms charge", elapsed)
+	}
+	// Oversleep must be credited: debt should be ≤ 0 now.
+	if th.debt > 0 {
+		t.Fatalf("debt = %v after sleep, want <= 0", th.debt)
+	}
+	if th.debt < -4*SleepQuantum {
+		t.Fatalf("credit cap violated: %v", th.debt)
+	}
+}
+
+func TestThrottleAggregateRate(t *testing.T) {
+	// 100 charges of 50µs = 5ms total; wall time should be close.
+	var th Throttle
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		th.Charge(50 * time.Microsecond)
+	}
+	th.Flush()
+	elapsed := time.Since(start)
+	if elapsed < 4*time.Millisecond {
+		t.Fatalf("aggregate undershoot: %v for 5ms of charges", elapsed)
+	}
+	if elapsed > 25*time.Millisecond {
+		t.Fatalf("aggregate overshoot: %v for 5ms of charges", elapsed)
+	}
+}
+
+func TestThrottleZeroAndNegative(t *testing.T) {
+	var th Throttle
+	th.Charge(0)
+	th.Charge(-time.Second)
+	if th.debt != 0 {
+		t.Fatalf("debt = %v, want 0", th.debt)
+	}
+	th.Flush() // no debt: returns immediately
+}

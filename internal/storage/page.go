@@ -1,0 +1,269 @@
+// Package storage implements the on-disk graph representation of §3.2: each
+// (v, n(v)) record is stored in slotted pages, in id order, with adjacency
+// lists larger than one page occupying a run of consecutive pages. A vertex
+// directory maps every vertex to the first page of its record, and a page
+// directory marks which pages begin a new record (so page ranges can be
+// aligned to record boundaries).
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Page kinds.
+const (
+	kindSlotted  = 0 // one or more complete records
+	kindRunStart = 1 // first page of an oversized record
+	kindRunCont  = 2 // continuation page of an oversized record
+)
+
+// pageHeaderSize is the fixed per-page header: numRecords (uint16),
+// kind (uint8), pad (uint8), contCount (uint32).
+const pageHeaderSize = 8
+
+// recHeaderSize is the per-record header inside a page: vertex id (uint32)
+// and degree (uint32).
+const recHeaderSize = 8
+
+// MinPageSize is the smallest supported page size: header plus one record
+// header plus one neighbor.
+const MinPageSize = pageHeaderSize + recHeaderSize + 4
+
+// VertexRec is a decoded (v, n(v)) record. Adj aliases the decode buffer.
+type VertexRec struct {
+	ID  uint32
+	Adj []uint32
+}
+
+// Errors returned by the codec.
+var (
+	ErrCorruptPage  = errors.New("storage: corrupt page")
+	ErrMisaligned   = errors.New("storage: page range starts inside a record run")
+	ErrTruncatedRun = errors.New("storage: page range ends inside a record run")
+)
+
+// pageWriter incrementally encodes records into fixed-size pages. With a
+// sink set, pages stream out as they fill (bounded memory); otherwise they
+// accumulate in pages/firstRec.
+type pageWriter struct {
+	pageSize int
+	cur      []byte
+	curRecs  int
+	curUsed  int
+	curFirst uint32 // id of the first record starting in the current page
+	pages    [][]byte
+	firstRec []uint32 // per emitted page: id of first record starting there, or NoRecord
+	emitted  uint32   // pages emitted so far (streamed or accumulated)
+	sink     func(page []byte, firstRec uint32) error
+	sinkErr  error
+}
+
+// NoRecord marks a page in which no record starts (a run continuation).
+const NoRecord = ^uint32(0)
+
+func newPageWriter(pageSize int) *pageWriter {
+	return &pageWriter{pageSize: pageSize}
+}
+
+func (w *pageWriter) payload() int { return w.pageSize - pageHeaderSize }
+
+// neighborsPerStartPage returns how many neighbors fit in a run-start page.
+func neighborsPerStartPage(pageSize int) int {
+	return (pageSize - pageHeaderSize - recHeaderSize) / 4
+}
+
+// neighborsPerContPage returns how many neighbors fit in a continuation page.
+func neighborsPerContPage(pageSize int) int {
+	return (pageSize - pageHeaderSize) / 4
+}
+
+// RecordSpan returns the number of pages the record of a degree-d vertex
+// occupies under the given page size: 1 when it shares a slotted page, more
+// when it needs a run.
+func RecordSpan(pageSize int, degree int) int {
+	if recHeaderSize+4*degree <= pageSize-pageHeaderSize {
+		return 1
+	}
+	rest := degree - neighborsPerStartPage(pageSize)
+	per := neighborsPerContPage(pageSize)
+	return 1 + (rest+per-1)/per
+}
+
+func (w *pageWriter) ensurePage() {
+	if w.cur == nil {
+		w.cur = make([]byte, w.pageSize)
+		w.curRecs = 0
+		w.curUsed = pageHeaderSize
+	}
+}
+
+func (w *pageWriter) flush(kind uint8, contCount uint32, firstRec uint32) {
+	if w.cur == nil {
+		return
+	}
+	binary.LittleEndian.PutUint16(w.cur[0:2], uint16(w.curRecs))
+	w.cur[2] = kind
+	binary.LittleEndian.PutUint32(w.cur[4:8], contCount)
+	w.emitted++
+	if w.sink != nil {
+		if err := w.sink(w.cur, firstRec); err != nil && w.sinkErr == nil {
+			w.sinkErr = err
+		}
+		w.firstRec = append(w.firstRec, firstRec)
+		w.cur = nil
+		return
+	}
+	w.pages = append(w.pages, w.cur)
+	w.firstRec = append(w.firstRec, firstRec)
+	w.cur = nil
+}
+
+// appendRecord adds one (id, adj) record, emitting pages as they fill.
+func (w *pageWriter) appendRecord(id uint32, adj []uint32) {
+	recSize := recHeaderSize + 4*len(adj)
+	if recSize <= w.payload() {
+		// Fits in a (possibly shared) slotted page.
+		w.ensurePage()
+		if w.curUsed+recSize > w.pageSize {
+			w.flush(kindSlotted, 0, w.pageFirst())
+			w.ensurePage()
+		}
+		if w.curRecs == 0 {
+			w.curFirst = id
+		}
+		binary.LittleEndian.PutUint32(w.cur[w.curUsed:], id)
+		binary.LittleEndian.PutUint32(w.cur[w.curUsed+4:], uint32(len(adj)))
+		off := w.curUsed + recHeaderSize
+		for _, x := range adj {
+			binary.LittleEndian.PutUint32(w.cur[off:], x)
+			off += 4
+		}
+		w.curUsed = off
+		w.curRecs++
+		return
+	}
+	// Oversized record: close the current shared page, then emit a run.
+	w.flush(kindSlotted, 0, w.pageFirst())
+	w.ensurePage()
+	w.curFirst = id
+	binary.LittleEndian.PutUint32(w.cur[pageHeaderSize:], id)
+	binary.LittleEndian.PutUint32(w.cur[pageHeaderSize+4:], uint32(len(adj)))
+	nStart := neighborsPerStartPage(w.pageSize)
+	off := pageHeaderSize + recHeaderSize
+	for i := 0; i < nStart; i++ {
+		binary.LittleEndian.PutUint32(w.cur[off:], adj[i])
+		off += 4
+	}
+	w.curRecs = 1
+	w.flush(kindRunStart, 0, id)
+	rest := adj[nStart:]
+	per := neighborsPerContPage(w.pageSize)
+	for len(rest) > 0 {
+		n := per
+		if n > len(rest) {
+			n = len(rest)
+		}
+		w.ensurePage()
+		off := pageHeaderSize
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(w.cur[off:], rest[i])
+			off += 4
+		}
+		w.flush(kindRunCont, uint32(n), NoRecord)
+		rest = rest[n:]
+	}
+}
+
+func (w *pageWriter) pageFirst() uint32 {
+	if w.curRecs == 0 {
+		return NoRecord
+	}
+	return w.curFirst
+}
+
+// finish flushes any partial page and returns pages plus the per-page
+// first-record directory (the pages slice is nil in sink mode).
+func (w *pageWriter) finish() ([][]byte, []uint32) {
+	if w.cur != nil && w.curRecs > 0 {
+		w.flush(kindSlotted, 0, w.pageFirst())
+	} else {
+		w.cur = nil
+	}
+	return w.pages, w.firstRec
+}
+
+// DecodeRange decodes the records of a contiguous span of raw pages
+// (len(data) must be a multiple of pageSize). The span must begin at a
+// record boundary and must not cut a record run short; use
+// Store.AlignedRange to obtain such spans.
+func DecodeRange(pageSize int, data []byte) ([]VertexRec, error) {
+	if len(data)%pageSize != 0 {
+		return nil, fmt.Errorf("%w: %d bytes not page aligned", ErrCorruptPage, len(data))
+	}
+	var out []VertexRec
+	numPages := len(data) / pageSize
+	for p := 0; p < numPages; p++ {
+		page := data[p*pageSize : (p+1)*pageSize]
+		numRecs := int(binary.LittleEndian.Uint16(page[0:2]))
+		kind := page[2]
+		switch kind {
+		case kindSlotted:
+			off := pageHeaderSize
+			for r := 0; r < numRecs; r++ {
+				if off+recHeaderSize > pageSize {
+					return nil, fmt.Errorf("%w: record header beyond page", ErrCorruptPage)
+				}
+				id := binary.LittleEndian.Uint32(page[off:])
+				deg := int(binary.LittleEndian.Uint32(page[off+4:]))
+				off += recHeaderSize
+				if off+4*deg > pageSize {
+					return nil, fmt.Errorf("%w: record body beyond page", ErrCorruptPage)
+				}
+				adj := make([]uint32, deg)
+				for i := 0; i < deg; i++ {
+					adj[i] = binary.LittleEndian.Uint32(page[off:])
+					off += 4
+				}
+				out = append(out, VertexRec{ID: id, Adj: adj})
+			}
+		case kindRunStart:
+			id := binary.LittleEndian.Uint32(page[pageHeaderSize:])
+			deg := int(binary.LittleEndian.Uint32(page[pageHeaderSize+4:]))
+			adj := make([]uint32, 0, deg)
+			off := pageHeaderSize + recHeaderSize
+			nStart := neighborsPerStartPage(pageSize)
+			for i := 0; i < nStart && len(adj) < deg; i++ {
+				adj = append(adj, binary.LittleEndian.Uint32(page[off:]))
+				off += 4
+			}
+			// Consume continuation pages.
+			for len(adj) < deg {
+				p++
+				if p >= numPages {
+					return nil, fmt.Errorf("%w: vertex %d needs %d more neighbors", ErrTruncatedRun, id, deg-len(adj))
+				}
+				page = data[p*pageSize : (p+1)*pageSize]
+				if page[2] != kindRunCont {
+					return nil, fmt.Errorf("%w: expected continuation page", ErrCorruptPage)
+				}
+				n := int(binary.LittleEndian.Uint32(page[4:8]))
+				off := pageHeaderSize
+				for i := 0; i < n; i++ {
+					adj = append(adj, binary.LittleEndian.Uint32(page[off:]))
+					off += 4
+				}
+			}
+			out = append(out, VertexRec{ID: id, Adj: adj})
+		case kindRunCont:
+			if p == 0 {
+				return nil, ErrMisaligned
+			}
+			return nil, fmt.Errorf("%w: unexpected continuation page at offset %d", ErrCorruptPage, p)
+		default:
+			return nil, fmt.Errorf("%w: unknown page kind %d", ErrCorruptPage, kind)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,303 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/optlab/opt/internal/gen"
+	"github.com/optlab/opt/internal/graph"
+)
+
+// buildAndOpen round-trips g through a store file and returns the reopened
+// store.
+func buildAndOpen(t *testing.T, g *graph.Graph, pageSize int) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.optstore")
+	built, err := BuildFile(path, g, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.NumVertices != built.NumVertices || opened.NumPages != built.NumPages ||
+		opened.NumEdges != built.NumEdges || opened.PageSize != built.PageSize {
+		t.Fatalf("reopened store differs: %+v vs %+v", opened, built)
+	}
+	return opened
+}
+
+// readAll decodes the full store through its device and returns adjacency
+// lists keyed by vertex.
+func readAll(t *testing.T, s *Store) map[uint32][]uint32 {
+	t.Helper()
+	dev, err := s.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if dev.NumPages() < s.NumPages {
+		t.Fatalf("device has %d pages, store says %d", dev.NumPages(), s.NumPages)
+	}
+	data, err := dev.ReadPages(0, int(s.NumPages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[uint32][]uint32, len(recs))
+	for _, r := range recs {
+		if _, dup := out[r.ID]; dup {
+			t.Fatalf("vertex %d decoded twice", r.ID)
+		}
+		out[r.ID] = r.Adj
+	}
+	return out
+}
+
+func verifyMatchesGraph(t *testing.T, g *graph.Graph, s *Store) {
+	t.Helper()
+	adj := readAll(t, s)
+	if len(adj) != g.NumVertices() {
+		t.Fatalf("decoded %d vertices, want %d", len(adj), g.NumVertices())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		want := g.Neighbors(graph.VertexID(v))
+		got := adj[uint32(v)]
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("vertex %d: decoded %v, want %v", v, got, want)
+		}
+	}
+	// Directory agrees with decode and with RecordSpan.
+	for v := 0; v < g.NumVertices(); v++ {
+		if s.DegreeOf(graph.VertexID(v)) != g.Degree(graph.VertexID(v)) {
+			t.Fatalf("DegreeOf(%d) = %d, want %d", v, s.DegreeOf(graph.VertexID(v)), g.Degree(graph.VertexID(v)))
+		}
+	}
+}
+
+func TestStoreRoundtripPaperExample(t *testing.T) {
+	g := graph.PaperExample()
+	for _, ps := range []int{MinPageSize, 64, 128, 4096} {
+		s := buildAndOpen(t, g, ps)
+		verifyMatchesGraph(t, g, s)
+	}
+}
+
+func TestStoreRoundtripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		n := 50 + rng.Intn(200)
+		b := graph.NewBuilder(n)
+		m := rng.Intn(2000)
+		for i := 0; i < m; i++ {
+			_ = b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		g := b.Build()
+		s := buildAndOpen(t, g, 128)
+		verifyMatchesGraph(t, g, s)
+	}
+}
+
+func TestStoreOversizedRecords(t *testing.T) {
+	// A star hub with degree 500 forces multi-page runs at page size 64
+	// (start page holds 12 neighbors, continuations 14).
+	g := graph.Star(501)
+	s := buildAndOpen(t, g, 64)
+	verifyMatchesGraph(t, g, s)
+	hub := graph.VertexID(0)
+	if got := s.SpanOf(hub); got < 2 {
+		t.Fatalf("SpanOf(hub) = %d, want >= 2", got)
+	}
+	// Continuation pages must not start records.
+	first := s.FirstPageOf(hub)
+	for p := first + 1; p < first+uint32(s.SpanOf(hub)); p++ {
+		if s.StartsRecord(p) {
+			t.Fatalf("continuation page %d claims to start a record", p)
+		}
+	}
+}
+
+func TestStoreEmptyAndIsolatedVertices(t *testing.T) {
+	g, err := graph.FromEdges(5, []graph.Edge{{U: 3, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildAndOpen(t, g, 64)
+	verifyMatchesGraph(t, g, s)
+	if s.DegreeOf(0) != 0 {
+		t.Fatalf("DegreeOf(0) = %d, want 0", s.DegreeOf(0))
+	}
+}
+
+func TestRecordSpan(t *testing.T) {
+	// Page 64: payload 56, record header 8 -> 12 neighbors in start page,
+	// 14 per continuation.
+	cases := []struct {
+		deg, want int
+	}{
+		{0, 1}, {1, 1}, {12, 1}, {13, 2}, {26, 2}, {27, 3},
+	}
+	for _, tc := range cases {
+		if got := RecordSpan(64, tc.deg); got != tc.want {
+			t.Errorf("RecordSpan(64, %d) = %d, want %d", tc.deg, got, tc.want)
+		}
+	}
+}
+
+func TestAlignedRange(t *testing.T) {
+	g := graph.Star(201) // hub spans several 64-byte pages
+	s := buildAndOpen(t, g, 64)
+	// Hub record is first (vertex 0). A 1-page range from its start must
+	// extend to the whole run.
+	first := s.FirstPageOf(0)
+	span := s.SpanOf(0)
+	if got := s.AlignedRange(first, 1); got != span {
+		t.Fatalf("AlignedRange = %d, want %d", got, span)
+	}
+	// A range already at a boundary stays unchanged.
+	after := first + uint32(span)
+	if after < s.NumPages {
+		if got := s.AlignedRange(after, 1); got < 1 {
+			t.Fatalf("AlignedRange at boundary = %d", got)
+		}
+	}
+	// Range reaching the end of the store is capped correctly.
+	if got := s.AlignedRange(0, int(s.NumPages)); got != int(s.NumPages) {
+		t.Fatalf("full range = %d, want %d", got, s.NumPages)
+	}
+}
+
+func TestDecodeMisalignedRange(t *testing.T) {
+	g := graph.Star(201)
+	s := buildAndOpen(t, g, 64)
+	dev, err := s.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	// Page 1 is a continuation of the hub's run.
+	if s.StartsRecord(1) {
+		t.Skip("layout changed; page 1 not a continuation")
+	}
+	data, err := dev.ReadPages(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decode(data); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("Decode mid-run err = %v, want ErrMisaligned", err)
+	}
+}
+
+func TestDecodeTruncatedRun(t *testing.T) {
+	g := graph.Star(201)
+	s := buildAndOpen(t, g, 64)
+	dev, err := s.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	span := s.SpanOf(0)
+	if span < 2 {
+		t.Skip("hub does not span pages")
+	}
+	data, err := dev.ReadPages(s.FirstPageOf(0), span-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decode(data); !errors.Is(err, ErrTruncatedRun) {
+		t.Fatalf("Decode truncated run err = %v, want ErrTruncatedRun", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("this is not a store file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open(junk): want error")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("Open(missing): want error")
+	}
+}
+
+func TestBuildFileValidation(t *testing.T) {
+	g := graph.PaperExample()
+	if _, err := BuildFile(filepath.Join(t.TempDir(), "x"), g, 8); err == nil {
+		t.Fatal("tiny page size: want error")
+	}
+}
+
+func TestStoreOnGeneratedGraph(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(1<<10, 8000, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, _ := graph.DegreeOrder(g)
+	s := buildAndOpen(t, og, 256)
+	verifyMatchesGraph(t, og, s)
+
+	// Page ranges aligned via AlignedRange decode cleanly across the store.
+	dev, err := s.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	var pid uint32
+	total := 0
+	for pid < s.NumPages {
+		count := s.AlignedRange(pid, 4)
+		data, err := dev.ReadPages(pid, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := s.Decode(data)
+		if err != nil {
+			t.Fatalf("decode range [%d,+%d): %v", pid, count, err)
+		}
+		total += len(recs)
+		pid += uint32(count)
+	}
+	if total != og.NumVertices() {
+		t.Fatalf("ranged decode saw %d vertices, want %d", total, og.NumVertices())
+	}
+}
+
+func TestFirstPageMonotone(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(512, 4000, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, _ := graph.DegreeOrder(g)
+	s := buildAndOpen(t, og, 128)
+	for v := 1; v < s.NumVertices; v++ {
+		if s.FirstPageOf(graph.VertexID(v)) < s.FirstPageOf(graph.VertexID(v-1)) {
+			t.Fatalf("FirstPageOf not monotone at %d", v)
+		}
+	}
+}
+
+func TestAlignedRangeClampsToStore(t *testing.T) {
+	g := graph.PaperExample()
+	s := buildAndOpen(t, g, 64)
+	// Requesting far more pages than exist must clamp to the store size.
+	if got := s.AlignedRange(0, int(s.NumPages)+100); got != int(s.NumPages) {
+		t.Fatalf("AlignedRange over-end = %d, want %d", got, s.NumPages)
+	}
+	last := s.NumPages - 1
+	if got := s.AlignedRange(last, 16); got < 1 || got > int(s.NumPages-last) {
+		t.Fatalf("AlignedRange at tail = %d", got)
+	}
+}

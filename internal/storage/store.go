@@ -1,0 +1,272 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/ssd"
+)
+
+// Store file layout:
+//
+//	header (64 bytes): magic, version, pageSize, numVertices, numPages,
+//	                   numEdges, dirOffset, dataOffset
+//	vertex directory:  numVertices × (firstPage uint32, degree uint32)
+//	page directory:    numPages × (firstRecord uint32; NoRecord for
+//	                   continuation pages)
+//	data pages:        numPages × pageSize
+const (
+	storeMagic   = "OPTSTOR1"
+	headerSize   = 64
+	storeVersion = 1
+)
+
+// DefaultPageSize is used when BuildFile is given a page size of 0.
+const DefaultPageSize = 8192
+
+// Store describes an on-disk slotted-page graph. The vertex and page
+// directories are memory resident (8 bytes and 4 bytes per entry), as in
+// the paper's implementation; the data pages are read through an
+// ssd.PageDevice.
+type Store struct {
+	Path        string
+	PageSize    int
+	NumVertices int
+	NumEdges    int64
+	NumPages    uint32
+	dataOffset  int64
+	firstPage   []uint32 // vertex id -> first data page of its record
+	degree      []uint32 // vertex id -> |n(v)|
+	pageFirst   []uint32 // page id -> first record starting there, or NoRecord
+}
+
+// BuildFile encodes g into a store file at path. Vertices are written in id
+// order, so with a degree-ordered graph the storage order matches the ≺
+// order (see DESIGN.md). pageSize 0 selects DefaultPageSize.
+func BuildFile(path string, g *graph.Graph, pageSize int) (*Store, error) {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < MinPageSize {
+		return nil, fmt.Errorf("storage: page size %d below minimum %d", pageSize, MinPageSize)
+	}
+	w := newPageWriter(pageSize)
+	n := g.NumVertices()
+	firstPage := make([]uint32, n)
+	degree := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		adj := g.Neighbors(graph.VertexID(v))
+		// appendRecord flushes the shared page first for oversized records,
+		// so the record's first page is the page count before... after any
+		// pending flush. Compute from the writer state: record the page
+		// index where this record will start.
+		firstPage[v] = w.startPageOf(len(adj))
+		degree[v] = uint32(len(adj))
+		w.appendRecord(uint32(v), adj)
+	}
+	pages, pageFirst := w.finish()
+
+	s := &Store{
+		Path:        path,
+		PageSize:    pageSize,
+		NumVertices: n,
+		NumEdges:    g.NumEdges(),
+		NumPages:    uint32(len(pages)),
+		firstPage:   firstPage,
+		degree:      degree,
+		pageFirst:   pageFirst,
+	}
+	s.dataOffset = headerSize + int64(8*n) + int64(4*len(pages))
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := s.writeHeader(bw); err != nil {
+		return nil, err
+	}
+	if err := s.writeDirectories(bw); err != nil {
+		return nil, err
+	}
+	for _, p := range pages {
+		if _, err := bw.Write(p); err != nil {
+			return nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// startPageOf returns the page index at which a record of the given degree
+// will start if appended now.
+func (w *pageWriter) startPageOf(degree int) uint32 {
+	recSize := recHeaderSize + 4*degree
+	emitted := w.emitted
+	if recSize <= w.payload() {
+		if w.cur != nil && w.curUsed+recSize > w.pageSize {
+			return emitted + 1 // current page will flush first
+		}
+		return emitted // appended to current (possibly fresh) page
+	}
+	if w.cur != nil && w.curRecs > 0 {
+		return emitted + 1 // shared page flushes before the run starts
+	}
+	return emitted
+}
+
+func (s *Store) writeHeader(w io.Writer) error {
+	var h [headerSize]byte
+	copy(h[0:8], storeMagic)
+	binary.LittleEndian.PutUint32(h[8:], storeVersion)
+	binary.LittleEndian.PutUint32(h[12:], uint32(s.PageSize))
+	binary.LittleEndian.PutUint32(h[16:], uint32(s.NumVertices))
+	binary.LittleEndian.PutUint32(h[20:], s.NumPages)
+	binary.LittleEndian.PutUint64(h[24:], uint64(s.NumEdges))
+	binary.LittleEndian.PutUint64(h[32:], uint64(headerSize))
+	binary.LittleEndian.PutUint64(h[40:], uint64(s.dataOffset))
+	_, err := w.Write(h[:])
+	return err
+}
+
+func (s *Store) writeDirectories(w io.Writer) error {
+	buf := make([]byte, 8*s.NumVertices)
+	for v := 0; v < s.NumVertices; v++ {
+		binary.LittleEndian.PutUint32(buf[8*v:], s.firstPage[v])
+		binary.LittleEndian.PutUint32(buf[8*v+4:], s.degree[v])
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	pbuf := make([]byte, 4*len(s.pageFirst))
+	for i, x := range s.pageFirst {
+		binary.LittleEndian.PutUint32(pbuf[4*i:], x)
+	}
+	_, err := w.Write(pbuf)
+	return err
+}
+
+// Open reads the directories of a store file built by BuildFile.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var h [headerSize]byte
+	if _, err := io.ReadFull(f, h[:]); err != nil {
+		return nil, fmt.Errorf("storage: reading header of %s: %w", path, err)
+	}
+	if string(h[0:8]) != storeMagic {
+		return nil, fmt.Errorf("storage: %s is not a store file", path)
+	}
+	if v := binary.LittleEndian.Uint32(h[8:]); v != storeVersion {
+		return nil, fmt.Errorf("storage: %s has version %d, want %d", path, v, storeVersion)
+	}
+	s := &Store{
+		Path:        path,
+		PageSize:    int(binary.LittleEndian.Uint32(h[12:])),
+		NumVertices: int(binary.LittleEndian.Uint32(h[16:])),
+		NumPages:    binary.LittleEndian.Uint32(h[20:]),
+		NumEdges:    int64(binary.LittleEndian.Uint64(h[24:])),
+		dataOffset:  int64(binary.LittleEndian.Uint64(h[40:])),
+	}
+	// Validate the header against the file size before allocating
+	// directories, so a corrupt header cannot demand absurd memory.
+	if s.PageSize < MinPageSize {
+		return nil, fmt.Errorf("storage: %s: page size %d below minimum", path, s.PageSize)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	wantSize := headerSize + int64(8)*int64(s.NumVertices) + int64(4)*int64(s.NumPages) +
+		int64(s.NumPages)*int64(s.PageSize)
+	if fi.Size() < wantSize {
+		return nil, fmt.Errorf("storage: %s: file is %d bytes, header implies %d", path, fi.Size(), wantSize)
+	}
+	if want := headerSize + int64(8)*int64(s.NumVertices) + int64(4)*int64(s.NumPages); s.dataOffset != want {
+		return nil, fmt.Errorf("storage: %s: data offset %d, want %d", path, s.dataOffset, want)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	buf := make([]byte, 8*s.NumVertices)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("storage: reading vertex directory: %w", err)
+	}
+	s.firstPage = make([]uint32, s.NumVertices)
+	s.degree = make([]uint32, s.NumVertices)
+	for v := 0; v < s.NumVertices; v++ {
+		s.firstPage[v] = binary.LittleEndian.Uint32(buf[8*v:])
+		s.degree[v] = binary.LittleEndian.Uint32(buf[8*v+4:])
+	}
+	pbuf := make([]byte, 4*s.NumPages)
+	if _, err := io.ReadFull(br, pbuf); err != nil {
+		return nil, fmt.Errorf("storage: reading page directory: %w", err)
+	}
+	s.pageFirst = make([]uint32, s.NumPages)
+	for i := range s.pageFirst {
+		s.pageFirst[i] = binary.LittleEndian.Uint32(pbuf[4*i:])
+	}
+	return s, nil
+}
+
+// Device opens the store's data-page region as a read-only file device.
+func (s *Store) Device() (*ssd.FileDevice, error) {
+	return ssd.OpenFileDevice(s.Path, s.dataOffset, s.PageSize)
+}
+
+// FirstPageOf returns the data page where v's record starts.
+func (s *Store) FirstPageOf(v graph.VertexID) uint32 { return s.firstPage[v] }
+
+// DegreeOf returns |n(v)|.
+func (s *Store) DegreeOf(v graph.VertexID) int { return int(s.degree[v]) }
+
+// SpanOf returns the number of pages v's record occupies.
+func (s *Store) SpanOf(v graph.VertexID) int {
+	return RecordSpan(s.PageSize, int(s.degree[v]))
+}
+
+// StartsRecord reports whether a record begins in page pid (false for run
+// continuation pages).
+func (s *Store) StartsRecord(pid uint32) bool {
+	return s.pageFirst[pid] != NoRecord
+}
+
+// FirstRecordOf returns the id of the first record starting in page pid,
+// or NoRecord for continuation pages. For pid == NumPages it returns the
+// number of vertices, so [FirstRecordOf(lo), FirstRecordOf(hi)) is the
+// vertex range covered by the aligned page range [lo, hi).
+func (s *Store) FirstRecordOf(pid uint32) uint32 {
+	if pid >= s.NumPages {
+		return uint32(s.NumVertices)
+	}
+	return s.pageFirst[pid]
+}
+
+// AlignedRange extends the page range [start, start+count) so it ends at a
+// record boundary: the returned count includes any continuation pages of a
+// run that begins inside the range. start itself must begin a record
+// (callers iterate ranges produced by this method starting at page 0).
+func (s *Store) AlignedRange(start uint32, count int) int {
+	end := int64(start) + int64(count)
+	if end > int64(s.NumPages) {
+		end = int64(s.NumPages)
+	}
+	for end < int64(s.NumPages) && !s.StartsRecord(uint32(end)) {
+		end++
+	}
+	return int(end - int64(start))
+}
+
+// Decode decodes a raw page span read from the device, where data begins at
+// page boundary. See DecodeRange.
+func (s *Store) Decode(data []byte) ([]VertexRec, error) {
+	return DecodeRange(s.PageSize, data)
+}

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"fmt"
+
+	"github.com/optlab/opt/internal/ssd"
+)
+
+// VerifyReport summarises a full-store integrity check.
+type VerifyReport struct {
+	Vertices     int
+	Edges        int64 // directed adjacency entries / 2
+	Pages        uint32
+	RunPages     uint32 // pages belonging to multi-page records
+	SharedPages  uint32 // slotted pages holding ≥ 2 records
+	MaxDegree    int
+	Asymmetric   int64 // directed entries without a reverse entry
+	UnsortedRecs int   // records whose adjacency list is not strictly increasing
+}
+
+// Verify scans every data page of the store and checks the on-disk
+// invariants:
+//
+//   - every page range decodes (no truncated runs, no corrupt headers),
+//   - records appear exactly once, in id order, matching the vertex
+//     directory's first-page and degree entries,
+//   - adjacency lists are strictly increasing with no self-loops,
+//   - every edge appears in both endpoints' lists (symmetry).
+//
+// It is the fsck for store files, used by cmd/optinfo -verify.
+func Verify(s *Store, dev ssd.PageDevice) (*VerifyReport, error) {
+	rep := &VerifyReport{Vertices: s.NumVertices, Pages: s.NumPages}
+	// Decode the whole store range by range, tracking record order.
+	adj := make(map[uint32][]uint32, s.NumVertices)
+	nextID := int64(-1)
+	var pid uint32
+	for pid < s.NumPages {
+		count := s.AlignedRange(pid, 8)
+		data, err := dev.ReadPages(pid, count)
+		if err != nil {
+			return nil, fmt.Errorf("storage: verify read [%d,+%d): %w", pid, count, err)
+		}
+		recs, err := s.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("storage: verify decode [%d,+%d): %w", pid, count, err)
+		}
+		for _, r := range recs {
+			if int64(r.ID) <= nextID {
+				return nil, fmt.Errorf("storage: record %d out of order (previous %d)", r.ID, nextID)
+			}
+			nextID = int64(r.ID)
+			if int(r.ID) >= s.NumVertices {
+				return nil, fmt.Errorf("storage: record id %d beyond vertex count %d", r.ID, s.NumVertices)
+			}
+			if got, want := len(r.Adj), s.DegreeOf(r.ID); got != want {
+				return nil, fmt.Errorf("storage: vertex %d degree %d on disk, directory says %d", r.ID, got, want)
+			}
+			fp := s.FirstPageOf(r.ID)
+			if fp < pid || fp >= pid+uint32(count) {
+				return nil, fmt.Errorf("storage: vertex %d directory page %d outside its range [%d,+%d)", r.ID, fp, pid, count)
+			}
+			sorted := true
+			for i, x := range r.Adj {
+				if x == r.ID {
+					return nil, fmt.Errorf("storage: vertex %d has a self-loop", r.ID)
+				}
+				if int(x) >= s.NumVertices {
+					return nil, fmt.Errorf("storage: vertex %d neighbor %d out of range", r.ID, x)
+				}
+				if i > 0 && x <= r.Adj[i-1] {
+					sorted = false
+				}
+			}
+			if !sorted {
+				rep.UnsortedRecs++
+			}
+			if len(r.Adj) > rep.MaxDegree {
+				rep.MaxDegree = len(r.Adj)
+			}
+			adj[r.ID] = r.Adj
+		}
+		// Page classification.
+		for p := pid; p < pid+uint32(count); p++ {
+			if !s.StartsRecord(p) {
+				rep.RunPages++
+			}
+		}
+		pid += uint32(count)
+	}
+	if len(adj) != s.NumVertices {
+		return nil, fmt.Errorf("storage: decoded %d records, directory says %d", len(adj), s.NumVertices)
+	}
+	// Symmetry check.
+	var entries int64
+	for v, ns := range adj {
+		entries += int64(len(ns))
+		for _, w := range ns {
+			if !containsSorted(adj[w], v) {
+				rep.Asymmetric++
+			}
+		}
+	}
+	rep.Edges = entries / 2
+	if rep.Edges != s.NumEdges {
+		return nil, fmt.Errorf("storage: %d edges on disk, header says %d", rep.Edges, s.NumEdges)
+	}
+	if rep.UnsortedRecs > 0 {
+		return rep, fmt.Errorf("storage: %d records with unsorted adjacency", rep.UnsortedRecs)
+	}
+	if rep.Asymmetric > 0 {
+		return rep, fmt.Errorf("storage: %d asymmetric adjacency entries", rep.Asymmetric)
+	}
+	return rep, nil
+}
+
+func containsSorted(a []uint32, x uint32) bool {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == x
+}

@@ -1,0 +1,297 @@
+package opt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	g, err := GenerateRMAT(RMATConfig{Vertices: 1 << 9, Edges: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.DegreeOrdered()
+	want := g.CountTriangles()
+
+	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{OPT, OPTSerial, MGT, CCSeq, CCDS, GraphChiTri} {
+		res, err := Triangulate(st, Options{Algorithm: alg, MemoryPages: 6, TempDir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Triangles != want {
+			t.Errorf("%v: triangles = %d, want %d", alg, res.Triangles, want)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%v: Elapsed = %v", alg, res.Elapsed)
+		}
+		if res.PagesRead == 0 {
+			t.Errorf("%v: PagesRead = 0", alg)
+		}
+	}
+}
+
+func TestPublicOpenStore(t *testing.T) {
+	g := PaperExampleGraph()
+	path := filepath.Join(t.TempDir(), "g.optstore")
+	built, err := BuildStore(path, g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.NumVertices() != built.NumVertices() || opened.NumPages() != built.NumPages() {
+		t.Fatal("reopened store differs")
+	}
+	if opened.NumEdges() != 12 || opened.PageSize() != 64 || opened.Path() != path {
+		t.Fatalf("store metadata wrong: %+v", opened)
+	}
+}
+
+func TestPublicVertexIteratorModel(t *testing.T) {
+	g := PaperExampleGraph()
+	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Triangulate(st, Options{Model: VertexIteratorModel, MemoryPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != 5 {
+		t.Fatalf("triangles = %d, want 5", res.Triangles)
+	}
+}
+
+func TestPublicOnTriangles(t *testing.T) {
+	g := PaperExampleGraph()
+	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got int
+	res, err := Triangulate(st, Options{
+		Algorithm: OPTSerial, MemoryPages: 4,
+		OnTriangles: func(u, v uint32, ws []uint32) {
+			mu.Lock()
+			got += len(ws)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 || res.Triangles != 5 {
+		t.Fatalf("listed %d, result %d, want 5", got, res.Triangles)
+	}
+}
+
+func TestPublicEdgeListRoundtrip(t *testing.T) {
+	in := `# comment
+% another comment
+10 20
+20 30
+30 10
+42 10
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("parsed %v", g)
+	}
+	if g.CountTriangles() != 1 {
+		t.Fatalf("triangles = %d, want 1", g.CountTriangles())
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.CountTriangles() != 1 {
+		t.Fatal("roundtrip changed the graph")
+	}
+}
+
+func TestPublicEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("1\n")); err == nil {
+		t.Error("single-field line: want error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Error("non-numeric: want error")
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	hk, err := GenerateHolmeKim(HolmeKimConfig{Vertices: 500, EdgesPerVertex: 4, TriadProb: 0.6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hk.AverageClusteringCoefficient() < 0.1 {
+		t.Fatalf("HolmeKim cc = %v, want clustered", hk.AverageClusteringCoefficient())
+	}
+	er, err := GenerateErdosRenyi(500, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.NumVertices() != 500 {
+		t.Fatal("ER size wrong")
+	}
+	if _, err := GenerateRMAT(RMATConfig{Vertices: -1}); err == nil {
+		t.Error("bad RMAT config: want error")
+	}
+	k5 := CompleteGraph(5)
+	if k5.CountTriangles() != 10 {
+		t.Fatal("K5 triangles wrong")
+	}
+}
+
+func TestPublicDatasetProxies(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 5 || names[0] != "lj" || names[4] != "yahoo" {
+		t.Fatalf("DatasetNames = %v", names)
+	}
+	g, err := GenerateDatasetProxy("lj", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5000 {
+		t.Fatalf("proxy |V| = %d", g.NumVertices())
+	}
+	if _, err := GenerateDatasetProxy("nope", 100); err == nil {
+		t.Error("unknown proxy: want error")
+	}
+}
+
+func TestPublicCountInMemory(t *testing.T) {
+	g := PaperExampleGraph()
+	for _, m := range []string{"", "edge", "vertex", "ayz"} {
+		got, err := CountInMemory(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 5 {
+			t.Errorf("CountInMemory(%q) = %d, want 5", m, got)
+		}
+	}
+	if _, err := CountInMemory(g, "magic"); err == nil {
+		t.Error("unknown method: want error")
+	}
+}
+
+func TestPublicGraphAccessors(t *testing.T) {
+	g := PaperExampleGraph()
+	if g.NumVertices() != 8 || g.NumEdges() != 12 || g.MaxDegree() != 6 {
+		t.Fatalf("accessors wrong: %v", g)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 7) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.Degree(2) != 6 {
+		t.Fatal("Degree wrong")
+	}
+	if len(g.Neighbors(2)) != 6 {
+		t.Fatal("Neighbors wrong")
+	}
+	tri := g.LocalTriangleCounts()
+	if tri[2] != 4 {
+		t.Fatal("LocalTriangleCounts wrong")
+	}
+	if g.Transitivity() <= 0 || g.AverageClusteringCoefficient() <= 0 {
+		t.Fatal("metrics wrong")
+	}
+	og, perm := g.DegreeOrderedWithPerm()
+	if og.CountTriangles() != 5 || len(perm) != 8 {
+		t.Fatal("DegreeOrderedWithPerm wrong")
+	}
+	if s := g.String(); s == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	want := map[Algorithm]string{
+		OPT: "OPT", OPTSerial: "OPT_serial", MGT: "MGT",
+		CCSeq: "CC-Seq", CCDS: "CC-DS", GraphChiTri: "GraphChi-Tri",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+	if Algorithm(99).String() == "" {
+		t.Error("unknown algorithm String empty")
+	}
+}
+
+func TestUnknownAlgorithmErrors(t *testing.T) {
+	g := PaperExampleGraph()
+	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Triangulate(st, Options{Algorithm: Algorithm(99)}); err == nil {
+		t.Fatal("unknown algorithm: want error")
+	}
+}
+
+func TestBuildStoreStreamingPublic(t *testing.T) {
+	g, err := GenerateRMAT(RMATConfig{Vertices: 256, Edges: 2000, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.CountTriangles()
+	dir := t.TempDir()
+	elPath := filepath.Join(dir, "g.el")
+	f, err := os.Create(elPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	st, err := BuildStoreStreaming(filepath.Join(dir, "g.optstore"), elPath, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Triangulate(st, Options{Algorithm: OPT, MemoryPages: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != want {
+		t.Fatalf("streaming store triangles = %d, want %d", res.Triangles, want)
+	}
+	if _, err := BuildStoreStreaming(filepath.Join(dir, "x"), "/nonexistent", 0); err == nil {
+		t.Fatal("missing edge list: want error")
+	}
+}
+
+func TestPublicMGTInstanceModel(t *testing.T) {
+	g := PaperExampleGraph()
+	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Triangulate(st, Options{Model: MGTInstanceModel, Algorithm: OPTSerial, MemoryPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != 5 {
+		t.Fatalf("triangles = %d, want 5", res.Triangles)
+	}
+}

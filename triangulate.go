@@ -1,0 +1,333 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/optlab/opt/internal/baselines/cc"
+	"github.com/optlab/opt/internal/baselines/gchi"
+	"github.com/optlab/opt/internal/baselines/inmem"
+	"github.com/optlab/opt/internal/baselines/mgt"
+	"github.com/optlab/opt/internal/core"
+	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/storage"
+)
+
+// Store is an on-disk graph in the paper's slotted-page representation
+// (§3.2): records in id order, oversized adjacency lists in page runs, with
+// memory-resident vertex and page directories.
+type Store struct {
+	st *storage.Store
+}
+
+// BuildStore writes g to path. pageSize 0 selects the 8 KiB default.
+func BuildStore(path string, g *Graph, pageSize int) (*Store, error) {
+	st, err := storage.BuildFile(path, g.internal(), pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{st: st}, nil
+}
+
+// OpenStore opens a store built by BuildStore.
+func OpenStore(path string) (*Store, error) {
+	st, err := storage.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{st: st}, nil
+}
+
+// NumVertices returns |V|.
+func (s *Store) NumVertices() int { return s.st.NumVertices }
+
+// NumEdges returns |E|.
+func (s *Store) NumEdges() int64 { return s.st.NumEdges }
+
+// NumPages returns P(G), the number of data pages.
+func (s *Store) NumPages() int { return int(s.st.NumPages) }
+
+// PageSize returns the page size in bytes.
+func (s *Store) PageSize() int { return s.st.PageSize }
+
+// Path returns the store file's path.
+func (s *Store) Path() string { return s.st.Path }
+
+// Algorithm selects a triangulation method.
+type Algorithm int
+
+// Available algorithms. OPT and OPTSerial are the paper's contribution;
+// the rest are the comparison methods of §5.
+const (
+	// OPT is the fully overlapped, parallel framework (§3.2–§3.4).
+	OPT Algorithm = iota
+	// OPTSerial disables the macro-level overlap (§3.3) — single-core OPT
+	// with asynchronous external I/O only.
+	OPTSerial
+	// MGT is Hu et al.'s read-only disk method (SIGMOD'13), an OPT instance
+	// with synchronous I/O and no internal triangulation (§3.5, Eq. 7).
+	MGT
+	// CCSeq is the Chu–Cheng iterative method with sequential partitions.
+	CCSeq
+	// CCDS is the Chu–Cheng method with the degree-set heuristic.
+	CCDS
+	// GraphChiTri is GraphChi's triangle-counting application (counting
+	// only).
+	GraphChiTri
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case OPT:
+		return "OPT"
+	case OPTSerial:
+		return "OPT_serial"
+	case MGT:
+		return "MGT"
+	case CCSeq:
+		return "CC-Seq"
+	case CCDS:
+		return "CC-DS"
+	case GraphChiTri:
+		return "GraphChi-Tri"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// IteratorModel selects the pluggable iterator model for OPT/OPTSerial.
+type IteratorModel int
+
+// Iterator models (§2.2, §3.5).
+const (
+	// EdgeIteratorModel intersects n≻(u) ∩ n≻(v) per edge — the faster
+	// model, used by default (§5.1).
+	EdgeIteratorModel IteratorModel = iota
+	// VertexIteratorModel checks pairs (v, w) ∈ n≻(u)² against E.
+	VertexIteratorModel
+	// MGTInstanceModel is the §3.5 degenerate instantiation of the
+	// framework (no internal triangulation, every adjacent vertex an
+	// external candidate) — included to demonstrate the framework's
+	// genericity. Prefer the MGT algorithm for the faithful baseline.
+	MGTInstanceModel
+)
+
+// DeviceLatency simulates FlashSSD latency so the I/O-to-CPU cost ratio is
+// controllable regardless of the host's real storage (DESIGN.md §3).
+type DeviceLatency struct {
+	// PerRead is the fixed cost per read request.
+	PerRead time.Duration
+	// PerPage is the streaming cost per page.
+	PerPage time.Duration
+}
+
+// Options configures Triangulate.
+type Options struct {
+	// Algorithm defaults to OPT.
+	Algorithm Algorithm
+	// Model defaults to EdgeIteratorModel (OPT/OPTSerial only).
+	Model IteratorModel
+	// Threads is the worker count for parallel algorithms (default 2 for
+	// OPT, 1 for GraphChiTri).
+	Threads int
+	// MemoryPages is the buffer budget m in pages. When 0,
+	// MemoryFraction applies.
+	MemoryPages int
+	// MemoryFraction sets the budget as a fraction of the store size (the
+	// paper sweeps 5%–25%; 15% is its default). Default 0.15.
+	MemoryFraction float64
+	// QueueDepth is the FlashSSD channel parallelism for OPT (default 8).
+	QueueDepth int
+	// Latency simulates device latency on every page read and write.
+	Latency DeviceLatency
+	// DisableMorphing turns off thread morphing (OPT only; Figure 4).
+	DisableMorphing bool
+	// OnTriangles, when non-nil, receives every triangle in the nested
+	// representation ⟨u, v, {w…}⟩. It must be safe for concurrent calls.
+	// GraphChiTri ignores it (it is a counting method).
+	OnTriangles func(u, v uint32, ws []uint32)
+	// CollectIterStats records per-iteration timings (OPT/OPTSerial).
+	CollectIterStats bool
+	// TempDir is used by CCSeq/CCDS/GraphChiTri for remainder files.
+	TempDir string
+}
+
+// IterationStat mirrors core.IterationStat for the public API.
+type IterationStat = core.IterationStat
+
+// Result reports a Triangulate run.
+type Result struct {
+	// Algorithm that produced the result.
+	Algorithm Algorithm
+	// Triangles is the exact triangle count.
+	Triangles int64
+	// Elapsed is the wall-clock time, including simulated latency.
+	Elapsed time.Duration
+	// Iterations is the number of outer-loop iterations/blocks.
+	Iterations int
+	// PagesRead and PagesWritten are the I/O volumes in pages.
+	PagesRead, PagesWritten int64
+	// ReusedPages is the Δin buffered-page credit (OPT only).
+	ReusedPages int64
+	// IntersectOps is the Eq. 3 min-model CPU cost.
+	IntersectOps int64
+	// IterStats is populated when Options.CollectIterStats is set.
+	IterStats []IterationStat
+}
+
+func (o *Options) budget(st *storage.Store) int {
+	if o.MemoryPages > 0 {
+		return o.MemoryPages
+	}
+	f := o.MemoryFraction
+	if f <= 0 {
+		f = 0.15
+	}
+	m := int(float64(st.NumPages) * f)
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+func (o *Options) latency() ssd.Latency {
+	return ssd.Latency{PerRead: o.Latency.PerRead, PerPage: o.Latency.PerPage}
+}
+
+// Triangulate runs the selected disk-based triangulation algorithm over the
+// store.
+func Triangulate(s *Store, opts Options) (*Result, error) {
+	st := s.st
+	base, err := st.Device()
+	if err != nil {
+		return nil, err
+	}
+	defer base.Close()
+	mx := metrics.NewCollector()
+
+	var out core.Output
+	if opts.OnTriangles != nil {
+		out = core.FuncOutput(opts.OnTriangles)
+	}
+
+	res := &Result{Algorithm: opts.Algorithm}
+	start := time.Now()
+	switch opts.Algorithm {
+	case OPT, OPTSerial:
+		mode := core.Parallel
+		if opts.Algorithm == OPTSerial {
+			mode = core.Serial
+		}
+		model := core.EdgeIterator
+		switch opts.Model {
+		case VertexIteratorModel:
+			model = core.VertexIterator
+		case MGTInstanceModel:
+			model = core.MGTInstance
+		}
+		cres, err := core.Run(st, base, core.Options{
+			Model:            model,
+			Mode:             mode,
+			Threads:          opts.Threads,
+			MemoryPages:      opts.budget(st),
+			QueueDepth:       opts.QueueDepth,
+			Latency:          opts.latency(),
+			DisableMorphing:  opts.DisableMorphing,
+			Output:           out,
+			Metrics:          mx,
+			CollectIterStats: opts.CollectIterStats,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Triangles = cres.Triangles
+		res.Iterations = cres.Iterations
+		res.IterStats = cres.IterStats
+	case MGT:
+		mres, err := mgt.Run(st, base, mgt.Options{
+			MemoryPages: opts.budget(st),
+			Latency:     opts.latency(),
+			Output:      out,
+			Metrics:     mx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Triangles = mres.Triangles
+		res.Iterations = mres.Blocks
+	case CCSeq, CCDS:
+		variant := cc.Seq
+		if opts.Algorithm == CCDS {
+			variant = cc.DS
+		}
+		cres, err := cc.Run(st, base, cc.Options{
+			Variant:     variant,
+			MemoryPages: opts.budget(st),
+			TempDir:     opts.TempDir,
+			Latency:     opts.latency(),
+			Output:      out,
+			Metrics:     mx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Triangles = cres.Triangles
+		res.Iterations = cres.Iterations
+	case GraphChiTri:
+		gres, err := gchi.Run(st, base, gchi.Options{
+			MemoryPages: opts.budget(st),
+			Threads:     opts.Threads,
+			TempDir:     opts.TempDir,
+			Latency:     opts.latency(),
+			Metrics:     mx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Triangles = gres.Triangles
+		res.Iterations = gres.Iterations
+	default:
+		return nil, fmt.Errorf("opt: unknown algorithm %v", opts.Algorithm)
+	}
+	res.Elapsed = time.Since(start)
+	snap := mx.Snapshot()
+	res.PagesRead = snap.PagesRead
+	res.PagesWritten = snap.PagesWritten
+	res.ReusedPages = snap.ReusedPages
+	res.IntersectOps = snap.IntersectOps
+	return res, nil
+}
+
+// CountInMemory counts triangles with the in-memory baselines of §2.2 —
+// useful as an oracle and for the Figure 3b comparison. method is one of
+// "edge", "vertex", "ayz".
+func CountInMemory(g *Graph, method string) (int64, error) {
+	switch method {
+	case "edge", "":
+		return inmem.EdgeIteratorCount(g.internal(), nil, nil), nil
+	case "vertex":
+		return inmem.VertexIteratorCount(g.internal(), nil, nil), nil
+	case "ayz":
+		return inmem.AYZCount(g.internal(), nil), nil
+	default:
+		return 0, fmt.Errorf("opt: unknown in-memory method %q (want edge, vertex or ayz)", method)
+	}
+}
+
+// BuildStoreStreaming builds a store directly from a text edge-list file
+// with bounded memory: the edge list never resides in RAM — it is
+// externally sorted through temporary run files — so graphs far larger
+// than memory can be prepared, per the paper's billion-scale-on-one-PC
+// premise. Only the O(|V|) directories and the sorter's run buffer are
+// memory resident. The degree-based vertex ordering is applied using
+// first-pass degree counts. pageSize 0 selects the 8 KiB default.
+func BuildStoreStreaming(storePath, edgeListPath string, pageSize int) (*Store, error) {
+	st, err := storage.BuildFileStreaming(storePath, storage.EdgeListFileScanner{Path: edgeListPath},
+		storage.StreamBuildOptions{PageSize: pageSize, DegreeOrder: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{st: st}, nil
+}
