@@ -3,23 +3,60 @@
 // DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.
 //
+// SIGINT/SIGTERM (or -timeout expiring) cancels the sweep gracefully:
+// experiments already completed are kept, the in-flight one winds down
+// within an iteration, and the JSON report still covers everything that
+// finished.
+//
 // Usage:
 //
 //	optbench -exp all                # every experiment (takes a while)
 //	optbench -exp fig5 -scale 0.5    # one experiment, smaller workloads
 //	optbench -list                   # list experiment ids
+//	optbench -exp all -json out.json # machine-readable results
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/optlab/opt/internal/bench"
 	"github.com/optlab/opt/internal/ssd"
 )
+
+// jsonReport is the machine-readable shape written by -json.
+type jsonReport struct {
+	GeneratedAt time.Time        `json:"generated_at"`
+	Config      jsonConfig       `json:"config"`
+	Partial     bool             `json:"partial,omitempty"`
+	Reason      string           `json:"reason,omitempty"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonConfig struct {
+	Scale    float64 `json:"scale"`
+	Threads  int     `json:"threads"`
+	PageSize int     `json:"page_size"`
+	LatRead  string  `json:"lat_read"`
+	LatPage  string  `json:"lat_page"`
+}
+
+type jsonExperiment struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Seconds float64    `json:"seconds"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
 
 func main() {
 	var (
@@ -31,6 +68,8 @@ func main() {
 		latPage  = flag.Duration("lat-page", 5*time.Microsecond, "simulated per-page device latency")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		format   = flag.String("format", "text", "output format: text or csv")
+		timeout  = flag.Duration("timeout", 0, "cancel the sweep after this duration (0 = no limit)")
+		jsonOut  = flag.String("json", "BENCH.json", "write machine-readable results to this file ('' disables)")
 	)
 	flag.Parse()
 
@@ -38,11 +77,21 @@ func main() {
 		fmt.Println(strings.Join(bench.Experiments(), "\n"))
 		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Threads = *threads
 	cfg.PageSize = *pageSize
 	cfg.Latency = ssd.Latency{PerRead: *latRead, PerPage: *latPage}
+	cfg.Context = ctx
 
 	h, err := bench.NewHarness(cfg)
 	if err != nil {
@@ -50,16 +99,36 @@ func main() {
 	}
 	defer h.Close()
 
+	report := jsonReport{
+		Experiments: []jsonExperiment{}, // renders as [] even when none complete
+		Config: jsonConfig{
+			Scale:    cfg.Scale,
+			Threads:  cfg.Threads,
+			PageSize: cfg.PageSize,
+			LatRead:  cfg.Latency.PerRead.String(),
+			LatPage:  cfg.Latency.PerPage.String(),
+		},
+	}
+
 	ids := bench.Experiments()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
+	var runErr error
 	for _, id := range ids {
+		id = strings.TrimSpace(id)
 		start := time.Now()
-		t, err := h.Table(strings.TrimSpace(id))
+		t, err := h.Table(id)
 		if err != nil {
+			// A cancelled sweep keeps the experiments already done; any
+			// other failure aborts as before.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				runErr = err
+				break
+			}
 			fail(err)
 		}
+		elapsed := time.Since(start)
 		switch *format {
 		case "csv":
 			err = t.RenderCSV(os.Stdout)
@@ -69,8 +138,50 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID:      t.ID,
+			Title:   t.Title,
+			Seconds: elapsed.Seconds(),
+			Header:  t.Header,
+			Rows:    t.Rows,
+			Notes:   t.Notes,
+		})
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, elapsed.Round(time.Millisecond))
 	}
+
+	if runErr != nil {
+		report.Partial = true
+		report.Reason = "interrupted"
+		if errors.Is(runErr, context.DeadlineExceeded) {
+			report.Reason = fmt.Sprintf("timed out after %v", *timeout)
+		}
+		fmt.Fprintf(os.Stderr, "optbench: %s: %d of %d experiments completed\n",
+			report.Reason, len(report.Experiments), len(ids))
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, &report); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "[results written to %s]\n", *jsonOut)
+	}
+	if runErr != nil {
+		os.Exit(1)
+	}
+}
+
+func writeJSON(path string, r *jsonReport) error {
+	r.GeneratedAt = time.Now().UTC()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

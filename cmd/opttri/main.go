@@ -1,18 +1,25 @@
 // Command opttri triangulates a slotted-page graph store with any of the
 // implemented disk-based methods and reports the count, timings and I/O
-// statistics.
+// statistics. SIGINT/SIGTERM (or -timeout expiring) cancels the run
+// gracefully: the partial result accumulated so far is still reported, and
+// the exit status is non-zero.
 //
 // Usage:
 //
 //	opttri -store graph.optstore -algo opt -threads 6 -mem 0.15
 //	opttri -store graph.optstore -algo mgt -list triangles.bin
+//	opttri -store graph.optstore -algo cc-seq -timeout 30s -progress
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 
 	opt "github.com/optlab/opt"
 )
@@ -28,6 +35,8 @@ func main() {
 		list     = flag.String("list", "", "write triangles (nested binary representation) to this file")
 		perRead  = flag.Duration("lat-read", 0, "simulated per-read device latency")
 		perPage  = flag.Duration("lat-page", 0, "simulated per-page device latency")
+		timeout  = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+		progress = flag.Bool("progress", false, "print per-iteration progress to stderr")
 	)
 	flag.Parse()
 
@@ -39,6 +48,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	// SIGINT/SIGTERM cancel the context; the run winds down within one
+	// iteration and the partial result is reported below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := opt.Options{
 		Algorithm:      algorithm,
 		Threads:        *threads,
@@ -48,6 +68,13 @@ func main() {
 	}
 	if *model == "vertex" {
 		opts.Model = opt.VertexIteratorModel
+	}
+	if *progress {
+		opts.OnEvent = func(e opt.Event) {
+			if e.Kind == opt.EventIterationEnd {
+				fmt.Fprintf(os.Stderr, "opttri: iteration %d done: %d triangles in %v\n", e.Iteration, e.N, e.Elapsed)
+			}
+		}
 	}
 
 	var lf *os.File
@@ -67,10 +94,29 @@ func main() {
 		defer bw.flush()
 	}
 
-	res, err := opt.Triangulate(st, opts)
-	if err != nil {
+	res, err := opt.TriangulateContext(ctx, st, opts)
+	if err != nil && res == nil {
 		fail(err)
 	}
+	if err != nil {
+		// Cancelled or failed mid-run: report what completed, then exit
+		// non-zero so scripts can tell a partial count from a full one.
+		reason := "failed"
+		if errors.Is(err, context.Canceled) {
+			reason = "interrupted"
+		} else if errors.Is(err, context.DeadlineExceeded) {
+			reason = fmt.Sprintf("timed out after %v", *timeout)
+		}
+		fmt.Fprintf(os.Stderr, "opttri: %s: %v\n", reason, err)
+		fmt.Printf("status        partial (%s)\n", reason)
+	}
+	report(res)
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+func report(res *opt.Result) {
 	fmt.Printf("algorithm     %v\n", res.Algorithm)
 	fmt.Printf("triangles     %d\n", res.Triangles)
 	fmt.Printf("elapsed       %v\n", res.Elapsed)

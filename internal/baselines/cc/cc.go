@@ -20,6 +20,7 @@
 package cc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -29,6 +30,7 @@ import (
 
 	"github.com/optlab/opt/internal/core"
 	"github.com/optlab/opt/internal/diskio"
+	"github.com/optlab/opt/internal/events"
 	"github.com/optlab/opt/internal/graph"
 	"github.com/optlab/opt/internal/intersect"
 	"github.com/optlab/opt/internal/metrics"
@@ -70,6 +72,13 @@ type Options struct {
 	Output core.Output
 	// Metrics receives cost counters; optional.
 	Metrics *metrics.Collector
+	// Events receives progress events (iteration boundaries, page I/O);
+	// optional.
+	Events events.Sink
+
+	// ctx is the run's cancellation context, set by RunContext and
+	// propagated to every stream and device the run opens.
+	ctx context.Context
 }
 
 // Result reports a completed CC run.
@@ -81,6 +90,18 @@ type Result struct {
 
 // Run executes CC over the store using base for the initial read.
 func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) {
+	return RunContext(context.Background(), st, base, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is done the run stops
+// within one record of stream I/O and returns the partial Result
+// accumulated over completed iterations alongside an error satisfying
+// errors.Is(err, ctx.Err()).
+func RunContext(ctx context.Context, st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.ctx = ctx
 	if opts.MemoryPages <= 0 {
 		opts.MemoryPages = int(st.NumPages)/4 + 2
 	}
@@ -99,6 +120,19 @@ func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) 
 
 	start := time.Now()
 	res := &Result{}
+	emit := func(e events.Event) {
+		if opts.Events != nil {
+			e.Algorithm = opts.Variant.String()
+			opts.Events.Event(e)
+		}
+	}
+	finish := func(err error) (*Result, error) {
+		res.Elapsed = time.Since(start)
+		if opts.Metrics != nil {
+			opts.Metrics.AddTriangles(res.Triangles)
+		}
+		return res, err
+	}
 
 	// Convert the input store into the iteration stream format. The read
 	// of the input is charged through the device; the conversion write is
@@ -112,34 +146,39 @@ func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) 
 	}
 	cur := filepath.Join(dir, "iter-0.ccg")
 	if err := convertStore(st, base, cur, perm, opts); err != nil {
-		return nil, err
+		return finish(err)
 	}
 
 	budgetBytes := int64(opts.MemoryPages) * int64(st.PageSize)
 	iter := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
 		iter++
 		if iter > st.NumVertices+2 {
-			return nil, fmt.Errorf("cc: no progress after %d iterations", iter)
+			return finish(fmt.Errorf("cc: no progress after %d iterations", iter))
 		}
+		itStart := time.Now()
+		emit(events.Event{Kind: events.IterationStart, Iteration: iter - 1})
 		next := filepath.Join(dir, fmt.Sprintf("iter-%d.ccg", iter))
 		tris, edgesLeft, err := iterate(cur, next, st.PageSize, budgetBytes, opts, out, toOrig)
-		if err != nil {
-			return nil, err
-		}
 		res.Triangles += tris
+		if tris > 0 {
+			emit(events.Event{Kind: events.TrianglesFound, Iteration: iter - 1, N: tris})
+		}
+		emit(events.Event{Kind: events.IterationEnd, Iteration: iter - 1, N: tris, Elapsed: time.Since(itStart)})
+		if err != nil {
+			return finish(err)
+		}
+		res.Iterations = iter
 		os.Remove(cur)
 		cur = next
 		if edgesLeft == 0 {
 			break
 		}
 	}
-	res.Iterations = iter
-	res.Elapsed = time.Since(start)
-	if opts.Metrics != nil {
-		opts.Metrics.AddTriangles(res.Triangles)
-	}
-	return res, nil
+	return finish(nil)
 }
 
 // dsPermutation computes the degree-descending relabeling from the store
@@ -167,7 +206,10 @@ func dsPermutation(st *storage.Store) (perm, toOrig []graph.VertexID) {
 // convertStore reads every page of st through a latency-accounted device
 // and writes the stream-format working file (applying perm when non-nil).
 func convertStore(st *storage.Store, base ssd.PageDevice, path string, perm []graph.VertexID, opts Options) error {
-	dev := ssd.NewAsyncDevice(base, ssd.AsyncOptions{QueueDepth: 1, Latency: opts.Latency, Metrics: opts.Metrics})
+	dev := ssd.NewAsyncDevice(base, ssd.AsyncOptions{
+		QueueDepth: 1, Latency: opts.Latency, Metrics: opts.Metrics,
+		Context: opts.ctx, Events: opts.Events,
+	})
 	defer dev.Close()
 	w, err := newStreamWriter(path, st.PageSize, opts)
 	if err != nil {
@@ -340,6 +382,7 @@ func npred(adj []uint32, v uint32) []uint32 { return adj[:intersect.LowerBound(a
 func newStreamWriter(path string, pageSize int, opts Options) (*diskio.StreamWriter, error) {
 	return diskio.NewStreamWriter(path, diskio.CostModel{
 		PageSize: pageSize, Latency: opts.Latency, Metrics: opts.Metrics,
+		Context: opts.ctx, Events: opts.Events,
 	})
 }
 
@@ -347,5 +390,6 @@ func newStreamWriter(path string, pageSize int, opts Options) (*diskio.StreamWri
 func newStreamReader(path string, pageSize int, opts Options) (*diskio.StreamReader, error) {
 	return diskio.NewStreamReader(path, diskio.CostModel{
 		PageSize: pageSize, Latency: opts.Latency, Metrics: opts.Metrics,
+		Context: opts.ctx, Events: opts.Events,
 	})
 }

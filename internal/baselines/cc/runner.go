@@ -1,0 +1,57 @@
+package cc
+
+import (
+	"context"
+
+	"github.com/optlab/opt/internal/core"
+	"github.com/optlab/opt/internal/engine"
+	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/storage"
+)
+
+// engineRunner adapts one CC variant to the engine.Runner contract.
+type engineRunner struct {
+	variant Variant
+}
+
+func init() {
+	engine.Register(engine.Info{
+		Name:           Seq.String(),
+		ListsTriangles: true,
+	}, engineRunner{variant: Seq})
+	engine.Register(engine.Info{
+		Name:           DS.String(),
+		ListsTriangles: true,
+	}, engineRunner{variant: DS})
+}
+
+// Run implements engine.Runner.
+func (e engineRunner) Run(ctx context.Context, st *storage.Store, dev ssd.PageDevice, opts engine.Options) (*engine.Result, error) {
+	mx := metrics.NewCollector()
+	var out core.Output
+	if opts.OnTriangles != nil {
+		out = core.FuncOutput(opts.OnTriangles)
+	}
+	res, err := RunContext(ctx, st, dev, Options{
+		Variant:     e.variant,
+		MemoryPages: opts.MemoryPages,
+		TempDir:     opts.TempDir,
+		Latency:     opts.Latency,
+		Output:      out,
+		Metrics:     mx,
+		Events:      opts.Events,
+	})
+	if res == nil {
+		return nil, err
+	}
+	snap := mx.Snapshot()
+	return &engine.Result{
+		Triangles:    res.Triangles,
+		Iterations:   res.Iterations,
+		Elapsed:      res.Elapsed,
+		PagesRead:    snap.PagesRead,
+		PagesWritten: snap.PagesWritten,
+		IntersectOps: snap.IntersectOps,
+	}, err
+}

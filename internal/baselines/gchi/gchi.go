@@ -14,6 +14,7 @@
 package gchi
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"github.com/optlab/opt/internal/diskio"
+	"github.com/optlab/opt/internal/events"
 	"github.com/optlab/opt/internal/intersect"
 	"github.com/optlab/opt/internal/metrics"
 	"github.com/optlab/opt/internal/ssd"
@@ -54,6 +56,9 @@ type Options struct {
 	Latency ssd.Latency
 	// Metrics receives cost counters; optional.
 	Metrics *metrics.Collector
+	// Events receives progress events (iteration boundaries, page I/O);
+	// optional.
+	Events events.Sink
 }
 
 // Result reports a completed run.
@@ -78,6 +83,17 @@ type Result struct {
 
 // Run executes GraphChi-Tri over the store using base for the initial read.
 func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) {
+	return RunContext(context.Background(), st, base, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is done the run stops
+// within one record of stream I/O and returns the partial Result
+// accumulated over completed pivot blocks alongside an error satisfying
+// errors.Is(err, ctx.Err()).
+func RunContext(ctx context.Context, st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.MemoryPages <= 0 {
 		opts.MemoryPages = int(st.NumPages)/4 + 2
 	}
@@ -100,35 +116,60 @@ func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) 
 	defer os.RemoveAll(dir)
 
 	start := time.Now()
-	cm := diskio.CostModel{PageSize: st.PageSize, Latency: opts.Latency, Metrics: opts.Metrics}
+	cm := diskio.CostModel{
+		PageSize: st.PageSize, Latency: opts.Latency, Metrics: opts.Metrics,
+		Context: ctx, Events: opts.Events,
+	}
+	res := &Result{}
+	emit := func(e events.Event) {
+		if opts.Events != nil {
+			e.Algorithm = "GraphChi-Tri"
+			opts.Events.Event(e)
+		}
+	}
+	finish := func(err error) (*Result, error) {
+		res.Elapsed = time.Since(start)
+		if opts.Metrics != nil {
+			opts.Metrics.AddTriangles(res.Triangles)
+		}
+		return res, err
+	}
 	cur := filepath.Join(dir, "work-0.ccg")
-	if err := convertStore(st, base, cur, cm, opts); err != nil {
-		return nil, err
+	if err := convertStore(ctx, st, base, cur, cm, opts); err != nil {
+		return finish(err)
 	}
 
 	pivotBytes := int64(opts.MemoryPages) * int64(st.PageSize) / 2
 	if pivotBytes < int64(st.PageSize) {
 		pivotBytes = int64(st.PageSize)
 	}
-	res := &Result{}
 	var virtualTotals []time.Duration
 	iter := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
 		iter++
 		if iter > st.NumVertices+2 {
-			return nil, fmt.Errorf("gchi: no progress after %d iterations", iter)
+			return finish(fmt.Errorf("gchi: no progress after %d iterations", iter))
 		}
+		itStart := time.Now()
+		emit(events.Event{Kind: events.IterationStart, Iteration: iter - 1})
 		// Even iteration: identify triangles against the pivot block.
 		pivot, err := loadPivot(cur, pivotBytes, cm)
 		if err != nil {
-			return nil, err
+			return finish(err)
 		}
 		tris, batchWork, batchVirtual, err := identify(cur, pivot, cm, opts)
-		if err != nil {
-			return nil, err
-		}
 		res.Triangles += tris
 		res.BatchWork += batchWork
+		if tris > 0 {
+			emit(events.Event{Kind: events.TrianglesFound, Iteration: iter - 1, N: tris})
+		}
+		if err != nil {
+			emit(events.Event{Kind: events.IterationEnd, Iteration: iter - 1, N: tris, Elapsed: time.Since(itStart)})
+			return finish(err)
+		}
 		if len(batchVirtual) > 0 {
 			if virtualTotals == nil {
 				virtualTotals = make([]time.Duration, len(batchVirtual))
@@ -140,8 +181,9 @@ func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) 
 		// Odd iteration: remove processed edges, rewriting the remainder.
 		next := filepath.Join(dir, fmt.Sprintf("work-%d.ccg", iter))
 		edgesLeft, err := shrink(cur, next, pivot, cm)
+		emit(events.Event{Kind: events.IterationEnd, Iteration: iter - 1, N: tris, Elapsed: time.Since(itStart)})
 		if err != nil {
-			return nil, err
+			return finish(err)
 		}
 		os.Remove(cur)
 		cur = next
@@ -171,8 +213,11 @@ func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) 
 
 // convertStore reads every store page through a latency-accounted device
 // and writes the working file.
-func convertStore(st *storage.Store, base ssd.PageDevice, path string, cm diskio.CostModel, opts Options) error {
-	dev := ssd.NewAsyncDevice(base, ssd.AsyncOptions{QueueDepth: 1, Latency: opts.Latency, Metrics: opts.Metrics})
+func convertStore(ctx context.Context, st *storage.Store, base ssd.PageDevice, path string, cm diskio.CostModel, opts Options) error {
+	dev := ssd.NewAsyncDevice(base, ssd.AsyncOptions{
+		QueueDepth: 1, Latency: opts.Latency, Metrics: opts.Metrics,
+		Context: ctx, Events: opts.Events,
+	})
 	defer dev.Close()
 	w, err := diskio.NewStreamWriter(path, cm)
 	if err != nil {

@@ -12,10 +12,12 @@
 package mgt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/optlab/opt/internal/core"
+	"github.com/optlab/opt/internal/events"
 	"github.com/optlab/opt/internal/intersect"
 	"github.com/optlab/opt/internal/metrics"
 	"github.com/optlab/opt/internal/ssd"
@@ -38,6 +40,9 @@ type Options struct {
 	Output core.Output
 	// Metrics receives cost counters; optional.
 	Metrics *metrics.Collector
+	// Events receives progress events (block boundaries, page I/O);
+	// optional.
+	Events events.Sink
 }
 
 // Result reports a completed MGT run.
@@ -49,6 +54,16 @@ type Result struct {
 
 // Run executes MGT over the store using base for page I/O.
 func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) {
+	return RunContext(context.Background(), st, base, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is done the run stops at
+// the next block or scan read and returns the partial Result accumulated so
+// far alongside an error satisfying errors.Is(err, ctx.Err()).
+func RunContext(ctx context.Context, st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.MemoryPages <= 0 {
 		opts.MemoryPages = int(st.NumPages)/4 + 2
 	}
@@ -65,14 +80,31 @@ func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) 
 		QueueDepth: 1, // MGT is strictly synchronous
 		Latency:    opts.Latency,
 		Metrics:    opts.Metrics,
+		Context:    ctx,
+		Events:     opts.Events,
 	})
 	defer dev.Close()
 
+	emit := func(e events.Event) {
+		if opts.Events != nil {
+			e.Algorithm = "MGT"
+			opts.Events.Event(e)
+		}
+	}
 	start := time.Now()
 	res := &Result{}
-	var total int64
+	finish := func(err error) (*Result, error) {
+		res.Elapsed = time.Since(start)
+		if opts.Metrics != nil {
+			opts.Metrics.AddTriangles(res.Triangles)
+		}
+		return res, err
+	}
 	var lo uint32
 	for lo < st.NumPages {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
 		count := opts.MemoryPages
 		if rem := int(st.NumPages - lo); count > rem {
 			count = rem
@@ -80,24 +112,25 @@ func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) 
 		count = st.AlignedRange(lo, count)
 		hi := lo + uint32(count)
 
+		blkStart := time.Now()
+		emit(events.Event{Kind: events.IterationStart, Iteration: res.Blocks, N: int64(count)})
 		block, err := loadBlock(st, dev, lo, hi)
 		if err != nil {
-			return nil, err
+			return finish(err)
 		}
 		t, err := scan(st, dev, block, opts, out)
-		if err != nil {
-			return nil, err
+		res.Triangles += t
+		if t > 0 {
+			emit(events.Event{Kind: events.TrianglesFound, Iteration: res.Blocks, N: t})
 		}
-		total += t
+		emit(events.Event{Kind: events.IterationEnd, Iteration: res.Blocks, N: t, Elapsed: time.Since(blkStart)})
+		if err != nil {
+			return finish(err)
+		}
 		res.Blocks++
 		lo = hi
 	}
-	res.Triangles = total
-	res.Elapsed = time.Since(start)
-	if opts.Metrics != nil {
-		opts.Metrics.AddTriangles(total)
-	}
-	return res, nil
+	return finish(nil)
 }
 
 // block holds the adjacency lists of one memory block.

@@ -1,0 +1,49 @@
+package mgt
+
+import (
+	"context"
+
+	"github.com/optlab/opt/internal/core"
+	"github.com/optlab/opt/internal/engine"
+	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/storage"
+)
+
+// engineRunner adapts MGT to the engine.Runner contract.
+type engineRunner struct{}
+
+func init() {
+	engine.Register(engine.Info{
+		Name:           "MGT",
+		ListsTriangles: true,
+	}, engineRunner{})
+}
+
+// Run implements engine.Runner.
+func (engineRunner) Run(ctx context.Context, st *storage.Store, dev ssd.PageDevice, opts engine.Options) (*engine.Result, error) {
+	mx := metrics.NewCollector()
+	var out core.Output
+	if opts.OnTriangles != nil {
+		out = core.FuncOutput(opts.OnTriangles)
+	}
+	res, err := RunContext(ctx, st, dev, Options{
+		MemoryPages: opts.MemoryPages,
+		Latency:     opts.Latency,
+		Output:      out,
+		Metrics:     mx,
+		Events:      opts.Events,
+	})
+	if res == nil {
+		return nil, err
+	}
+	snap := mx.Snapshot()
+	return &engine.Result{
+		Triangles:    res.Triangles,
+		Iterations:   res.Blocks,
+		Elapsed:      res.Elapsed,
+		PagesRead:    snap.PagesRead,
+		PagesWritten: snap.PagesWritten,
+		IntersectOps: snap.IntersectOps,
+	}, err
+}

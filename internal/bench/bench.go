@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -39,6 +40,10 @@ type Config struct {
 	Latency ssd.Latency
 	// WorkDir holds generated stores; a temp dir when empty.
 	WorkDir string
+	// Context, if non-nil, cancels experiments between and within
+	// algorithm runs (SIGINT handling in cmd/optbench). Defaults to
+	// context.Background().
+	Context context.Context
 }
 
 // DefaultConfig returns the configuration used by cmd/optbench.
@@ -185,6 +190,14 @@ func (h *Harness) Close() error {
 // Config returns the harness configuration.
 func (h *Harness) Config() Config { return h.cfg }
 
+// ctx returns the harness's cancellation context.
+func (h *Harness) ctx() context.Context {
+	if h.cfg.Context != nil {
+		return h.cfg.Context
+	}
+	return context.Background()
+}
+
 // proxy returns the degree-ordered proxy graph for a Table 2 dataset.
 func (h *Harness) proxy(name string) (*graph.Graph, error) {
 	h.mu.Lock()
@@ -288,6 +301,9 @@ func (h *Harness) Table(id string) (*Table, error) {
 	fn, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, Experiments())
+	}
+	if err := h.ctx().Err(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", id, err)
 	}
 	t, err := fn(h)
 	if err != nil {

@@ -101,7 +101,7 @@ func (h *Harness) runOPT(st *storage.Store, memPages int, v optVariant) (*runRes
 		copts.Threads = 1
 	}
 	sw := metrics.StartStopwatch()
-	res, err := core.Run(st, base, copts)
+	res, err := core.RunContext(h.ctx(), st, base, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +151,7 @@ func (h *Harness) runOPTParallelSet(st *storage.Store, memPages int, set []int) 
 	}
 	defer base.Close()
 	mx := metrics.NewCollector()
-	res, err := core.Run(st, base, core.Options{
+	res, err := core.RunContext(h.ctx(), st, base, core.Options{
 		Mode:             core.Parallel,
 		Threads:          1,
 		VirtualCoreSet:   set,
@@ -184,7 +184,7 @@ func (h *Harness) runGChiSet(st *storage.Store, memPages int, set []int) (map[in
 	}
 	defer base.Close()
 	mx := metrics.NewCollector()
-	res, err := gchi.Run(st, base, gchi.Options{
+	res, err := gchi.RunContext(h.ctx(), st, base, gchi.Options{
 		MemoryPages:    memPages,
 		Threads:        1,
 		VirtualCoreSet: set,
@@ -215,7 +215,7 @@ func (h *Harness) runMGT(st *storage.Store, memPages int, output core.Output) (*
 	defer base.Close()
 	mx := metrics.NewCollector()
 	sw := metrics.StartStopwatch()
-	res, err := mgt.Run(st, base, mgt.Options{
+	res, err := mgt.RunContext(h.ctx(), st, base, mgt.Options{
 		MemoryPages: memPages,
 		ScanPages:   16, // sequential scan with read-ahead
 		Latency:     h.cfg.Latency,
@@ -242,7 +242,7 @@ func (h *Harness) runCC(st *storage.Store, variant cc.Variant, memPages int, out
 	defer base.Close()
 	mx := metrics.NewCollector()
 	sw := metrics.StartStopwatch()
-	res, err := cc.Run(st, base, cc.Options{
+	res, err := cc.RunContext(h.ctx(), st, base, cc.Options{
 		Variant:     variant,
 		MemoryPages: memPages,
 		TempDir:     h.workDir,
@@ -282,7 +282,7 @@ func (h *Harness) runGChi(st *storage.Store, memPages, threads int) (*runResult,
 		gopts.Threads = 1
 	}
 	sw := metrics.StartStopwatch()
-	res, err := gchi.Run(st, base, gopts)
+	res, err := gchi.RunContext(h.ctx(), st, base, gopts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -9,6 +10,8 @@ import (
 
 	"github.com/optlab/opt/internal/bits"
 	"github.com/optlab/opt/internal/buffer"
+	"github.com/optlab/opt/internal/engine"
+	"github.com/optlab/opt/internal/events"
 	"github.com/optlab/opt/internal/metrics"
 	"github.com/optlab/opt/internal/ssd"
 	"github.com/optlab/opt/internal/storage"
@@ -80,20 +83,14 @@ type Options struct {
 	Metrics *metrics.Collector
 	// CollectIterStats enables the per-iteration records used by Figure 4.
 	CollectIterStats bool
+	// Events receives progress events (iteration boundaries, morphing, and
+	// — via the device — page I/O); optional.
+	Events events.Sink
 }
 
-// IterationStat describes one outer-loop iteration (Figure 4).
-type IterationStat struct {
-	Index         int
-	InternalPages int           // pages covered by the internal area
-	ReusedPages   int           // of those, served from buffered frames (Δin)
-	ExternalReqs  int           // |L_i|: external chunk requests
-	InternalTime  time.Duration // busy time of the main (internal-home) thread side
-	ExternalTime  time.Duration // busy time of the callback (external-home) thread side
-	LoadTime      time.Duration // wall time of the internal-area load phase
-	PhaseVirtual  time.Duration // virtual-core makespan of the triangulation phase
-	Elapsed       time.Duration // wall (or modelled) time of the whole iteration
-}
+// IterationStat describes one outer-loop iteration (Figure 4). It is the
+// engine-wide definition; the alias keeps existing core callers compiling.
+type IterationStat = engine.IterationStat
 
 // Result reports a completed run.
 type Result struct {
@@ -121,12 +118,24 @@ type extReq struct {
 // Run executes the OPT framework over a store whose data pages are served
 // by base. It is the entry point corresponding to Algorithm 3.
 func Run(st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) {
-	r := newRunner(st, base, opts)
+	return RunContext(context.Background(), st, base, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is done the run stops
+// within the current iteration — queued device requests complete with the
+// context's error, no goroutines leak — and the partial Result accumulated
+// so far is returned alongside an error satisfying errors.Is(err, ctx.Err()).
+func RunContext(ctx context.Context, st *storage.Store, base ssd.PageDevice, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := newRunner(ctx, st, base, opts)
 	defer r.close()
 	return r.run()
 }
 
 type runner struct {
+	gctx   context.Context
 	st     *storage.Store
 	dev    *ssd.AsyncDevice
 	opts   Options
@@ -157,7 +166,7 @@ type runner struct {
 	vtotals []time.Duration
 }
 
-func newRunner(st *storage.Store, base ssd.PageDevice, opts Options) *runner {
+func newRunner(ctx context.Context, st *storage.Store, base ssd.PageDevice, opts Options) *runner {
 	if opts.Threads <= 0 {
 		opts.Threads = 2
 	}
@@ -193,6 +202,7 @@ func newRunner(st *storage.Store, base ssd.PageDevice, opts Options) *runner {
 		out = counts
 	}
 	r := &runner{
+		gctx:   ctx,
 		st:     st,
 		opts:   opts,
 		model:  NewModel(opts.Model),
@@ -209,6 +219,8 @@ func newRunner(st *storage.Store, base ssd.PageDevice, opts Options) *runner {
 		QueueDepth: opts.QueueDepth,
 		Latency:    opts.Latency,
 		Metrics:    mx,
+		Context:    ctx,
+		Events:     opts.Events,
 	})
 	r.ctx = newCtx(st, out, mx)
 	return r
@@ -223,12 +235,35 @@ func (r *runner) fail(err error) {
 	r.errOnce.Do(func() { r.err = err })
 }
 
+// emit forwards one progress event to the configured sink, if any.
+func (r *runner) emit(e events.Event) {
+	if s := r.opts.Events; s != nil {
+		e.Algorithm = r.opts.Mode.String()
+		s.Event(e)
+	}
+}
+
+// triangleCount returns the triangles discovered so far.
+func (r *runner) triangleCount() int64 {
+	if r.counts != nil {
+		return r.counts.Triangles()
+	}
+	if r.mx != nil {
+		return r.mx.Triangles()
+	}
+	return 0
+}
+
 // run is Algorithm 3's outer loop.
 func (r *runner) run() (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 	var lo uint32
 	for lo < r.st.NumPages {
+		if err := r.gctx.Err(); err != nil {
+			r.fail(err)
+			break
+		}
 		count := r.mIn
 		if rem := int(r.st.NumPages - lo); count > rem {
 			count = rem
@@ -237,15 +272,22 @@ func (r *runner) run() (*Result, error) {
 		hi := lo + uint32(count)
 
 		itStart := time.Now()
+		triBefore := r.triangleCount()
+		r.emit(events.Event{Kind: events.IterationStart, Iteration: res.Iterations, N: int64(count)})
 		stat, err := r.iteration(res.Iterations, lo, hi)
-		if err != nil {
-			return nil, err
-		}
 		stat.Elapsed = time.Since(itStart)
 		if len(r.vset) > 0 {
 			// Replace the triangulation phase's real (single-CPU) duration
 			// with the virtual-schedule makespan; the load phase stays real.
 			stat.Elapsed = stat.LoadTime + stat.PhaseVirtual
+		}
+		if found := r.triangleCount() - triBefore; found > 0 {
+			r.emit(events.Event{Kind: events.TrianglesFound, Iteration: res.Iterations, N: found})
+		}
+		r.emit(events.Event{Kind: events.IterationEnd, Iteration: res.Iterations, N: r.triangleCount() - triBefore, Elapsed: stat.Elapsed})
+		if err != nil {
+			r.fail(err)
+			break
 		}
 		if r.opts.CollectIterStats {
 			res.IterStats = append(res.IterStats, stat)
@@ -435,6 +477,10 @@ func (r *runner) runSerial(reqs []extReq, stat *IterationStat) {
 		if c == nil {
 			continue
 		}
+		if err := r.gctx.Err(); err != nil {
+			r.fail(err)
+			break
+		}
 		for _, rec := range c.Recs {
 			r.model.InternalTriangle(r.ctx, rec)
 		}
@@ -487,6 +533,10 @@ func (r *runner) runParallel(reqs []extReq, stat *IterationStat) {
 			}
 			c := c
 			s.submit(classInternal, func() {
+				if err := r.gctx.Err(); err != nil {
+					r.fail(err)
+					return
+				}
 				for _, rec := range c.Recs {
 					r.model.InternalTriangle(r.ctx, rec)
 				}
@@ -504,6 +554,12 @@ func (r *runner) runParallel(reqs []extReq, stat *IterationStat) {
 	})
 	stat.InternalTime = s.classWork(classInternal)
 	stat.ExternalTime = s.classWork(classExternal)
+	if m := s.morphCount(); m > 0 {
+		r.emit(events.Event{Kind: events.Morph, Iteration: stat.Index, N: m})
+		if r.mx != nil {
+			r.mx.Event(events.Event{Kind: events.Morph, N: m})
+		}
+	}
 	if len(r.vset) > 0 {
 		stat.PhaseVirtual = s.maxClock(0)
 		for i := range r.vset {
@@ -521,6 +577,13 @@ func (r *runner) runParallel(reqs []extReq, stat *IterationStat) {
 // external-class task on the worker pool in Parallel mode. A request whose
 // chunk is still resident in the external pool is served without I/O.
 func (r *runner) issue(req extReq, s *sched) {
+	// Fast-fail on cancellation: retire the request without touching the
+	// device, so the completion chain drains promptly.
+	if err := r.gctx.Err(); err != nil {
+		r.fail(err)
+		r.completeOne(s)
+		return
+	}
 	process := func(c *buffer.Chunk, pinned bool) {
 		run := func() {
 			r.processExternal(c, req)
@@ -596,7 +659,13 @@ func (r *runner) processExternal(c *buffer.Chunk, req extReq) {
 func (r *runner) completeOne(s *sched) {
 	r.lmu.Lock()
 	var next *extReq
-	if len(r.later) > 0 {
+	if r.gctx.Err() != nil {
+		// Cancelled: retire the whole pending list at once. Chaining pops
+		// one at a time would recurse issue→completeOne len(L_later) deep
+		// before unwinding.
+		r.remaining -= len(r.later)
+		r.later = nil
+	} else if len(r.later) > 0 {
 		next = &r.later[0]
 		r.later = r.later[1:]
 	}
@@ -624,10 +693,15 @@ func containsSorted(a []uint32, x uint32) bool {
 // RunFile is a convenience wrapper that opens the store's own file device
 // and runs the framework.
 func RunFile(st *storage.Store, opts Options) (*Result, error) {
+	return RunFileContext(context.Background(), st, opts)
+}
+
+// RunFileContext is RunFile with cancellation.
+func RunFileContext(ctx context.Context, st *storage.Store, opts Options) (*Result, error) {
 	dev, err := st.Device()
 	if err != nil {
 		return nil, err
 	}
 	defer dev.Close()
-	return Run(st, dev, opts)
+	return RunContext(ctx, st, dev, opts)
 }

@@ -51,6 +51,12 @@ type sched struct {
 	// class and the idle home shows near-zero time; with morphing the two
 	// homes balance because idle workers steal the other class's tasks.
 	workTime [2]int64 // nanoseconds, guarded by mu
+
+	// morphs counts thread-morph transitions: tasks a worker executed
+	// outside its home class (§3.4). Guarded by mu. Virtual mode leaves it
+	// 0 — its single real worker must run both classes by construction, so
+	// counting those steals would not reflect the morphing policy.
+	morphs int64
 }
 
 func newSched(morphing bool) *sched {
@@ -147,6 +153,9 @@ func (s *sched) worker(home taskClass) {
 				picked = home
 			} else if s.morphing && len(s.queues[other]) > 0 {
 				picked = other
+				if len(s.virtual) == 0 {
+					s.morphs++
+				}
 			} else if s.doneLocked(home) && (s.morphing && s.doneLocked(other) ||
 				!s.morphing) {
 				// Home drained. Without morphing the worker retires once its
@@ -226,6 +235,14 @@ func (s *sched) classWork(class taskClass) time.Duration {
 		return time.Duration(mx)
 	}
 	return time.Duration(s.workTime[class])
+}
+
+// morphCount returns the number of thread-morph transitions recorded so
+// far (tasks executed outside their worker's home class).
+func (s *sched) morphCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.morphs
 }
 
 // maxClock returns the makespan of virtual core set `set`: the modelled

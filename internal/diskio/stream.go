@@ -8,12 +8,14 @@ package diskio
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"github.com/optlab/opt/internal/events"
 	"github.com/optlab/opt/internal/metrics"
 	"github.com/optlab/opt/internal/ssd"
 )
@@ -27,6 +29,27 @@ type CostModel struct {
 	// read and write sequentially, so the fixed PerRead latency is paid
 	// once per ReadAhead pages rather than per page. Default 16.
 	ReadAhead int
+	// Context, if non-nil, cancels the stream: ReadRecord and WriteRecord
+	// fail with the context's error once it is done, so the iterative
+	// baselines stop within one record of cancellation.
+	Context context.Context
+	// Events, if non-nil, receives PagesRead/PagesWritten progress events.
+	Events events.Sink
+}
+
+// err returns the context's error, if a context is set and done.
+func (cm CostModel) err() error {
+	if cm.Context != nil {
+		return cm.Context.Err()
+	}
+	return nil
+}
+
+// emit forwards one I/O progress event to the configured sink, if any.
+func (cm CostModel) emit(kind events.Kind, n int64) {
+	if cm.Events != nil {
+		cm.Events.Event(events.Event{Kind: kind, Iteration: -1, N: n})
+	}
 }
 
 // readAhead returns the effective read-ahead window.
@@ -82,6 +105,9 @@ func NewStreamWriter(path string, cm CostModel) (*StreamWriter, error) {
 
 // WriteRecord appends one (id, adj) record.
 func (w *StreamWriter) WriteRecord(id uint32, adj []uint32) error {
+	if err := w.cm.err(); err != nil {
+		return err
+	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], id)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(adj)))
@@ -108,6 +134,7 @@ func (w *StreamWriter) charge(pages int64) {
 	if w.cm.Metrics != nil {
 		w.cm.Metrics.AddPagesWritten(pages)
 	}
+	w.cm.emit(events.PagesWritten, pages)
 	w.reqPages = w.cm.chargePages(&w.th, pages, w.reqPages)
 }
 
@@ -153,6 +180,9 @@ func NewStreamReader(path string, cm CostModel) (*StreamReader, error) {
 
 // ReadRecord returns the next (id, adj) record, or io.EOF at end of file.
 func (r *StreamReader) ReadRecord() (uint32, []uint32, error) {
+	if err := r.cm.err(); err != nil {
+		return 0, nil, err
+	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
@@ -176,6 +206,7 @@ func (r *StreamReader) ReadRecord() (uint32, []uint32, error) {
 		if r.cm.Metrics != nil {
 			r.cm.Metrics.AddPagesRead(pages)
 		}
+		r.cm.emit(events.PagesRead, pages)
 		r.reqPages = r.cm.chargePages(&r.th, pages, r.reqPages)
 	}
 	return id, adj, nil

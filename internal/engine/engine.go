@@ -1,0 +1,191 @@
+// Package engine defines the unified execution contract every disk-based
+// triangulation algorithm in this repository plugs into. The paper's §3.5
+// observation — EdgeIterator, VertexIterator and even MGT are all instances
+// of one generic framework — generalises across the whole comparison suite:
+// every method is a Runner that consumes a slotted-page store through a
+// PageDevice under one Options/Result shape, honours context cancellation,
+// and reports progress through an events.Sink. The public API dispatches
+// through the name→Runner registry instead of a per-algorithm switch, so
+// new backends (shards, remote stores, new algorithms) register themselves
+// and become reachable from every entry point at once.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/optlab/opt/internal/events"
+	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/storage"
+)
+
+// Model selects the pluggable iterator model for runners that support one
+// (§2.2, §3.5). Runners without model support ignore it; Validate rejects a
+// non-default model for them.
+type Model int
+
+// Iterator models.
+const (
+	// ModelEdge intersects n≻(u) ∩ n≻(v) per edge — the default (§5.1).
+	ModelEdge Model = iota
+	// ModelVertex checks pairs (v, w) ∈ n≻(u)² against E.
+	ModelVertex
+	// ModelMGTInstance is the §3.5 degenerate framework instantiation.
+	ModelMGTInstance
+)
+
+// Options is the engine-wide run configuration subsuming the per-package
+// option structs. Zero values select per-runner defaults.
+type Options struct {
+	// Model selects the iterator model for runners that support one.
+	Model Model
+	// Threads is the worker count for parallel runners (0 = runner
+	// default).
+	Threads int
+	// MemoryPages is the buffer budget m in pages. When 0, MemoryFraction
+	// applies. Run resolves it before the Runner sees the options.
+	MemoryPages int
+	// MemoryFraction sets the budget as a fraction of the store size
+	// (0 selects the paper's 15% default; must otherwise lie in (0, 1]).
+	MemoryFraction float64
+	// QueueDepth is the FlashSSD channel parallelism (0 = default 8).
+	QueueDepth int
+	// Latency simulates device latency on every page access.
+	Latency ssd.Latency
+	// DisableMorphing turns off thread morphing (OPT only; Figure 4).
+	DisableMorphing bool
+	// OnTriangles, when non-nil, receives every triangle in the nested
+	// representation ⟨u, v, {w…}⟩. It must be safe for concurrent calls.
+	// Validate rejects it for counting-only runners.
+	OnTriangles func(u, v uint32, ws []uint32)
+	// CollectIterStats records per-iteration timings where supported.
+	CollectIterStats bool
+	// TempDir holds working files for runners that rewrite the graph.
+	TempDir string
+	// Events receives progress events (nil disables the event layer).
+	Events events.Sink
+}
+
+// IterationStat describes one outer-loop iteration of an overlapped run
+// (Figure 4). It lives here so both the core framework and the public API
+// share one definition.
+type IterationStat struct {
+	Index         int
+	InternalPages int           // pages covered by the internal area
+	ReusedPages   int           // of those, served from buffered frames (Δin)
+	ExternalReqs  int           // |L_i|: external chunk requests
+	InternalTime  time.Duration // busy time of the main (internal-home) thread side
+	ExternalTime  time.Duration // busy time of the callback (external-home) thread side
+	LoadTime      time.Duration // wall time of the internal-area load phase
+	PhaseVirtual  time.Duration // virtual-core makespan of the triangulation phase
+	Elapsed       time.Duration // wall (or modelled) time of the whole iteration
+}
+
+// Result is the uniform run report. On cancellation or device failure a
+// Runner returns a partial Result alongside the error, so callers can
+// report progress made before the interruption.
+type Result struct {
+	// Algorithm is the registry name that produced the result.
+	Algorithm string
+	// Triangles is the triangle count (so far, on a partial result).
+	Triangles int64
+	// Iterations is the number of completed outer-loop iterations/blocks.
+	Iterations int
+	// Elapsed is the wall-clock time, including simulated latency.
+	Elapsed time.Duration
+	// PagesRead and PagesWritten are the I/O volumes in pages.
+	PagesRead, PagesWritten int64
+	// ReusedPages is the Δin buffered-page credit (OPT only).
+	ReusedPages int64
+	// IntersectOps is the Eq. 3 min-model CPU cost.
+	IntersectOps int64
+	// IterStats is populated when Options.CollectIterStats is set.
+	IterStats []IterationStat
+}
+
+// Runner executes one triangulation algorithm over a store whose data
+// pages are served by dev. Implementations must honour ctx: on
+// cancellation they return promptly (within one iteration) with a partial
+// Result and an error satisfying errors.Is(err, ctx.Err()), and must not
+// leak goroutines on any path.
+type Runner interface {
+	Run(ctx context.Context, st *storage.Store, dev ssd.PageDevice, opts Options) (*Result, error)
+}
+
+// Budget resolves the buffer budget in pages for st: MemoryPages when set,
+// otherwise MemoryFraction (default 0.15) of the store, minimum 2.
+func (o Options) Budget(st *storage.Store) int {
+	if o.MemoryPages > 0 {
+		return o.MemoryPages
+	}
+	f := o.MemoryFraction
+	if f <= 0 {
+		f = 0.15
+	}
+	m := int(float64(st.NumPages) * f)
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// Validate checks the options against the capabilities of the runner they
+// are destined for. It is the single validation point for every dispatch
+// path.
+func (o Options) Validate(info Info) error {
+	if o.Threads < 0 {
+		return fmt.Errorf("engine: Threads must be non-negative, got %d", o.Threads)
+	}
+	if o.QueueDepth < 0 {
+		return fmt.Errorf("engine: QueueDepth must be non-negative, got %d", o.QueueDepth)
+	}
+	if o.MemoryPages < 0 {
+		return fmt.Errorf("engine: MemoryPages must be non-negative, got %d", o.MemoryPages)
+	}
+	if f := o.MemoryFraction; f < 0 || f > 1 {
+		return fmt.Errorf("engine: MemoryFraction must lie in (0, 1], got %v", f)
+	}
+	if o.OnTriangles != nil && !info.ListsTriangles {
+		return fmt.Errorf("engine: %s is a counting method and cannot list triangles (OnTriangles must be nil)", info.Name)
+	}
+	if o.Model != ModelEdge && !info.Models {
+		return fmt.Errorf("engine: %s does not support iterator model selection", info.Name)
+	}
+	return nil
+}
+
+// Run validates opts, resolves the memory budget, and dispatches to the
+// registered Runner for name. It is the single code path every algorithm
+// invocation flows through. The returned Result carries the registry name
+// and wall-clock elapsed time; on cancellation or failure it may be a
+// partial result accompanying a non-nil error.
+func Run(ctx context.Context, name string, st *storage.Store, dev ssd.PageDevice, opts Options) (*Result, error) {
+	r, info, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown algorithm %q (registered: %v)", name, Names())
+	}
+	if err := opts.Validate(info); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts.MemoryPages = opts.Budget(st)
+	if sink := opts.Events; sink != nil {
+		sink.Event(events.Event{Kind: events.RunStart, Algorithm: name, Iteration: -1})
+	}
+	start := time.Now()
+	res, err := r.Run(ctx, st, dev, opts)
+	if res == nil && err == nil {
+		return nil, fmt.Errorf("engine: runner %s returned neither result nor error", name)
+	}
+	if res != nil {
+		res.Algorithm = name
+		res.Elapsed = time.Since(start)
+		if sink := opts.Events; sink != nil {
+			sink.Event(events.Event{Kind: events.RunEnd, Algorithm: name, Iteration: -1, N: res.Triangles, Elapsed: res.Elapsed})
+		}
+	}
+	return res, err
+}

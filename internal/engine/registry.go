@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Info describes a registered runner's identity and capabilities, used for
+// central option validation and for listing.
+type Info struct {
+	// Name is the registry key; it matches the public Algorithm.String()
+	// spelling ("OPT", "OPT_serial", "MGT", "CC-Seq", "CC-DS",
+	// "GraphChi-Tri").
+	Name string
+	// ListsTriangles reports whether the runner can deliver triangles
+	// through Options.OnTriangles (GraphChi-Tri is counting-only).
+	ListsTriangles bool
+	// Models reports whether the runner honours Options.Model.
+	Models bool
+	// Parallel reports whether the runner uses Options.Threads.
+	Parallel bool
+}
+
+var (
+	regMu   sync.RWMutex
+	runners = map[string]Runner{}
+	infos   = map[string]Info{}
+)
+
+// Register adds a Runner under info.Name. Algorithm packages call it from
+// init(); registering a duplicate or empty name panics, as that is a
+// programming error caught at process start.
+func Register(info Info, r Runner) {
+	if info.Name == "" || r == nil {
+		panic("engine: Register with empty name or nil runner")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := runners[info.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate runner %q", info.Name))
+	}
+	runners[info.Name] = r
+	infos[info.Name] = info
+}
+
+// Lookup returns the Runner and Info registered under name.
+func Lookup(name string) (Runner, Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	r, ok := runners[name]
+	return r, infos[name], ok
+}
+
+// Names returns every registered runner name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(runners))
+	for n := range runners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

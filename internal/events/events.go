@@ -1,0 +1,119 @@
+// Package events defines the execution engine's observation vocabulary: a
+// small, allocation-free event stream that every Runner emits while a
+// triangulation job progresses. It sits below both the engine and the
+// metrics packages so that a metrics.Collector can act as a Sink without an
+// import cycle (engine → ssd → metrics).
+//
+// Events are advisory: no algorithm decision may depend on whether a sink
+// is attached, and sinks must be safe for concurrent use — the OPT core
+// emits from worker goroutines and the device emits from its channel
+// goroutines.
+package events
+
+import "time"
+
+// Kind identifies what happened.
+type Kind uint8
+
+// Event kinds. The N payload field holds the kind-specific count noted in
+// parentheses.
+const (
+	// RunStart marks the beginning of an engine run.
+	RunStart Kind = iota
+	// RunEnd marks the end of a run (N = total triangles; Elapsed = wall).
+	RunEnd
+	// IterationStart marks the beginning of one outer-loop iteration or
+	// block (N = internal/block pages where known).
+	IterationStart
+	// IterationEnd marks the end of an iteration (N = triangles found in
+	// the iteration; Elapsed = iteration wall time).
+	IterationEnd
+	// PagesRead reports completed page reads (N = pages).
+	PagesRead
+	// PagesWritten reports completed page writes (N = pages).
+	PagesWritten
+	// TrianglesFound reports discovered triangles (N = triangles).
+	TrianglesFound
+	// Morph reports thread-morphing activity: workers that switched task
+	// class during an iteration (N = morph transitions; §3.4).
+	Morph
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case RunStart:
+		return "run-start"
+	case RunEnd:
+		return "run-end"
+	case IterationStart:
+		return "iteration-start"
+	case IterationEnd:
+		return "iteration-end"
+	case PagesRead:
+		return "pages-read"
+	case PagesWritten:
+		return "pages-written"
+	case TrianglesFound:
+		return "triangles-found"
+	case Morph:
+		return "morph"
+	default:
+		return "unknown-event"
+	}
+}
+
+// Event is one observation. The zero Iteration is the first iteration;
+// events not tied to an iteration (RunStart/RunEnd, device-level I/O)
+// leave it at -1 when the emitter knows no iteration, but emitters that
+// lack the context may simply leave it 0 — consumers must treat Iteration
+// as informational only.
+type Event struct {
+	Kind      Kind
+	Algorithm string        // registry name of the emitting runner, if known
+	Iteration int           // outer-loop iteration / block index
+	N         int64         // kind-specific count (see Kind docs)
+	Elapsed   time.Duration // kind-specific duration (see Kind docs)
+}
+
+// Sink receives events. Implementations must be safe for concurrent use
+// and must not block: emitters sit on hot paths.
+type Sink interface {
+	Event(e Event)
+}
+
+// Func adapts a function to Sink. The function must be safe for concurrent
+// use.
+type Func func(e Event)
+
+// Event implements Sink.
+func (f Func) Event(e Event) { f(e) }
+
+// multi fans one event out to several sinks in order.
+type multi []Sink
+
+// Event implements Sink.
+func (m multi) Event(e Event) {
+	for _, s := range m {
+		s.Event(e)
+	}
+}
+
+// Tee combines sinks into one, dropping nils. It returns nil when no
+// non-nil sink remains, so emitters keep their cheap `if sink != nil`
+// guard.
+func Tee(sinks ...Sink) Sink {
+	var ms multi
+	for _, s := range sinks {
+		if s != nil {
+			ms = append(ms, s)
+		}
+	}
+	switch len(ms) {
+	case 0:
+		return nil
+	case 1:
+		return ms[0]
+	}
+	return ms
+}

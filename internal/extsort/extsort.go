@@ -9,6 +9,7 @@ package extsort
 import (
 	"bufio"
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -25,6 +26,31 @@ type Sorter struct {
 	buf     []uint64
 	runs    []string
 	closed  bool
+
+	ctx   context.Context
+	ticks int // keys since the last context check
+}
+
+// ctxCheckInterval is how many keys pass between context checks: frequent
+// enough to cancel a billion-edge sort promptly, rare enough to keep the
+// check off the per-key fast path's profile.
+const ctxCheckInterval = 1 << 16
+
+// SetContext attaches a cancellation context: Push and Sort fail with the
+// context's error soon (within ctxCheckInterval keys) after it is done.
+func (s *Sorter) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// tick performs the periodic context check.
+func (s *Sorter) tick() error {
+	if s.ctx == nil {
+		return nil
+	}
+	s.ticks++
+	if s.ticks < ctxCheckInterval {
+		return nil
+	}
+	s.ticks = 0
+	return s.ctx.Err()
 }
 
 // DefaultRunSize is the default in-memory run length (keys).
@@ -43,6 +69,9 @@ func NewSorter(dir string, runSize int) *Sorter {
 func (s *Sorter) Push(key uint64) error {
 	if s.closed {
 		return fmt.Errorf("extsort: push after Sort")
+	}
+	if err := s.tick(); err != nil {
+		return err
 	}
 	s.buf = append(s.buf, key)
 	if len(s.buf) >= s.runSize {
@@ -96,6 +125,9 @@ func (s *Sorter) Sort(fn func(key uint64) error) error {
 	if len(s.runs) == 0 {
 		slices.Sort(s.buf)
 		for _, k := range s.buf {
+			if err := s.tick(); err != nil {
+				return err
+			}
 			if err := fn(k); err != nil {
 				return err
 			}
@@ -130,6 +162,9 @@ func (s *Sorter) Sort(fn func(key uint64) error) error {
 	}
 	for h.Len() > 0 {
 		it := heap.Pop(h).(mergeItem)
+		if err := s.tick(); err != nil {
+			return err
+		}
 		if err := fn(it.key); err != nil {
 			return err
 		}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"github.com/optlab/opt/internal/events"
 )
 
 // Collector accumulates cost counters for one algorithm run.
@@ -23,6 +25,8 @@ type Collector struct {
 	ioWait        atomic.Int64 // nanoseconds spent blocked on I/O completion
 	parallelWork  atomic.Int64 // nanoseconds of parallelisable work (intersections)
 	serialWork    atomic.Int64 // nanoseconds of inherently serial work
+	iterations    atomic.Int64 // completed outer-loop iterations (event-fed)
+	morphs        atomic.Int64 // thread-morph transitions (event-fed)
 }
 
 // NewCollector returns an empty Collector.
@@ -62,6 +66,32 @@ func (c *Collector) AddParallelWork(d time.Duration) { c.parallelWork.Add(int64(
 
 // AddSerialWork records d of inherently serial work.
 func (c *Collector) AddSerialWork(d time.Duration) { c.serialWork.Add(int64(d)) }
+
+// Event implements events.Sink, so a Collector can be attached directly to
+// the execution engine's event layer and accumulate progress counters.
+// Counter-bearing kinds map onto the corresponding counters; attach a
+// Collector EITHER as an event sink OR as the direct Metrics collaborator
+// of a run, never both, or I/O and triangle counts double.
+func (c *Collector) Event(e events.Event) {
+	switch e.Kind {
+	case events.PagesRead:
+		c.AddPagesRead(e.N)
+	case events.PagesWritten:
+		c.AddPagesWritten(e.N)
+	case events.TrianglesFound:
+		c.AddTriangles(e.N)
+	case events.IterationEnd:
+		c.iterations.Add(1)
+	case events.Morph:
+		c.morphs.Add(e.N)
+	}
+}
+
+// Iterations returns the number of IterationEnd events observed.
+func (c *Collector) Iterations() int64 { return c.iterations.Load() }
+
+// Morphs returns the number of thread-morph transitions observed.
+func (c *Collector) Morphs() int64 { return c.morphs.Load() }
 
 // PagesRead returns the page-read count.
 func (c *Collector) PagesRead() int64 { return c.pagesRead.Load() }
@@ -115,6 +145,8 @@ func (c *Collector) Reset() {
 	c.ioWait.Store(0)
 	c.parallelWork.Store(0)
 	c.serialWork.Store(0)
+	c.iterations.Store(0)
+	c.morphs.Store(0)
 }
 
 // Snapshot is an immutable copy of a Collector's counters.
@@ -123,6 +155,7 @@ type Snapshot struct {
 	AsyncReads, SyncReads       int64
 	IntersectOps, Intersections int64
 	Triangles, ReusedPages      int64
+	Iterations, Morphs          int64
 	IOWait                      time.Duration
 	ParallelWork, SerialWork    time.Duration
 }
@@ -138,6 +171,8 @@ func (c *Collector) Snapshot() Snapshot {
 		Intersections: c.intersectCall.Load(),
 		Triangles:     c.triangles.Load(),
 		ReusedPages:   c.reusedPages.Load(),
+		Iterations:    c.iterations.Load(),
+		Morphs:        c.morphs.Load(),
 		IOWait:        time.Duration(c.ioWait.Load()),
 		ParallelWork:  time.Duration(c.parallelWork.Load()),
 		SerialWork:    time.Duration(c.serialWork.Load()),

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/optlab/opt/internal/events"
 )
 
 func TestCollectorCounters(t *testing.T) {
@@ -128,6 +130,41 @@ func TestSnapshotString(t *testing.T) {
 	c.AddPagesRead(1)
 	if s := c.Snapshot().String(); s == "" {
 		t.Fatal("Snapshot.String is empty")
+	}
+}
+
+func TestCollectorEventSink(t *testing.T) {
+	c := NewCollector()
+	c.Event(events.Event{Kind: events.PagesRead, N: 3})
+	c.Event(events.Event{Kind: events.PagesWritten, N: 2})
+	c.Event(events.Event{Kind: events.TrianglesFound, N: 5})
+	c.Event(events.Event{Kind: events.IterationEnd})
+	c.Event(events.Event{Kind: events.IterationEnd})
+	c.Event(events.Event{Kind: events.Morph, N: 4})
+	c.Event(events.Event{Kind: events.RunStart}) // boundary kinds are ignored
+
+	if got := c.PagesRead(); got != 3 {
+		t.Errorf("PagesRead = %d, want 3", got)
+	}
+	if got := c.PagesWritten(); got != 2 {
+		t.Errorf("PagesWritten = %d, want 2", got)
+	}
+	if got := c.Triangles(); got != 5 {
+		t.Errorf("Triangles = %d, want 5", got)
+	}
+	if got := c.Iterations(); got != 2 {
+		t.Errorf("Iterations = %d, want 2", got)
+	}
+	if got := c.Morphs(); got != 4 {
+		t.Errorf("Morphs = %d, want 4", got)
+	}
+	s := c.Snapshot()
+	if s.Iterations != 2 || s.Morphs != 4 {
+		t.Errorf("Snapshot iterations/morphs = %d/%d, want 2/4", s.Iterations, s.Morphs)
+	}
+	c.Reset()
+	if c.Iterations() != 0 || c.Morphs() != 0 {
+		t.Error("Reset did not clear event-sourced counters")
 	}
 }
 

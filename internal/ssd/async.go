@@ -1,9 +1,11 @@
 package ssd
 
 import (
+	"context"
 	"sync"
 	"time"
 
+	"github.com/optlab/opt/internal/events"
 	"github.com/optlab/opt/internal/metrics"
 )
 
@@ -29,6 +31,14 @@ type AsyncOptions struct {
 	Latency Latency
 	// Metrics, if non-nil, receives page-read/write and async counters.
 	Metrics *metrics.Collector
+	// Context, if non-nil, cancels the device: once it is done, queued and
+	// newly submitted requests complete immediately with the context's
+	// error (callbacks still run, so Drain and Close unblock as usual) and
+	// the synchronous paths fail fast. Defaults to context.Background().
+	Context context.Context
+	// Events, if non-nil, receives PagesRead/PagesWritten progress events
+	// per completed request.
+	Events events.Sink
 }
 
 // request is one queued asynchronous operation.
@@ -71,6 +81,9 @@ type completion struct {
 func NewAsyncDevice(dev PageDevice, opts AsyncOptions) *AsyncDevice {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 8
+	}
+	if opts.Context == nil {
+		opts.Context = context.Background()
 	}
 	d := &AsyncDevice{
 		dev:   dev,
@@ -117,6 +130,9 @@ func (d *AsyncDevice) AsyncWrite(first uint32, data []byte, cb func(data []byte,
 // blocking the caller — the access pattern of the MGT baseline, which uses
 // synchronous I/O only (§3.5).
 func (d *AsyncDevice) ReadPages(first uint32, count int) ([]byte, error) {
+	if err := d.opts.Context.Err(); err != nil {
+		return nil, err
+	}
 	sw := metrics.StartStopwatch()
 	d.syncMu.Lock()
 	d.syncTh.Charge(d.opts.Latency.Cost(count))
@@ -127,11 +143,17 @@ func (d *AsyncDevice) ReadPages(first uint32, count int) ([]byte, error) {
 		m.AddPagesRead(int64(count))
 		m.AddIOWait(sw.Elapsed())
 	}
+	if err == nil {
+		d.emit(events.PagesRead, int64(count))
+	}
 	return data, err
 }
 
 // WritePages performs a synchronous write through the latency model.
 func (d *AsyncDevice) WritePages(first uint32, data []byte) error {
+	if err := d.opts.Context.Err(); err != nil {
+		return err
+	}
 	d.syncMu.Lock()
 	d.syncTh.Charge(d.opts.Latency.Cost(len(data) / d.dev.PageSize()))
 	d.syncMu.Unlock()
@@ -139,7 +161,17 @@ func (d *AsyncDevice) WritePages(first uint32, data []byte) error {
 	if m := d.opts.Metrics; m != nil && err == nil {
 		m.AddPagesWritten(int64(len(data) / d.dev.PageSize()))
 	}
+	if err == nil {
+		d.emit(events.PagesWritten, int64(len(data)/d.dev.PageSize()))
+	}
 	return err
+}
+
+// emit forwards one I/O progress event to the configured sink, if any.
+func (d *AsyncDevice) emit(kind events.Kind, n int64) {
+	if s := d.opts.Events; s != nil {
+		s.Event(events.Event{Kind: kind, Iteration: -1, N: n})
+	}
 }
 
 // Drain blocks until every submitted asynchronous request has completed and
@@ -165,11 +197,25 @@ func (d *AsyncDevice) worker() {
 		if !ok {
 			return
 		}
+		// Cancellation drains in-flight requests: skip the I/O (and its
+		// simulated latency) and complete with the context's error so
+		// callbacks still run and Drain/Close unblock.
+		if err := d.opts.Context.Err(); err != nil {
+			if req.cb != nil {
+				d.compl <- completion{data: nil, err: err, cb: req.cb}
+			} else {
+				d.pending.Done()
+			}
+			continue
+		}
 		if req.write != nil {
 			th.Charge(d.opts.Latency.Cost(len(req.write) / d.dev.PageSize()))
 			err := d.dev.WritePages(req.first, req.write)
-			if m := d.opts.Metrics; m != nil && err == nil {
-				m.AddPagesWritten(int64(len(req.write) / d.dev.PageSize()))
+			if err == nil {
+				if m := d.opts.Metrics; m != nil {
+					m.AddPagesWritten(int64(len(req.write) / d.dev.PageSize()))
+				}
+				d.emit(events.PagesWritten, int64(len(req.write)/d.dev.PageSize()))
 			}
 			if req.cb != nil {
 				d.compl <- completion{data: nil, err: err, cb: req.cb}
@@ -180,8 +226,11 @@ func (d *AsyncDevice) worker() {
 		}
 		th.Charge(d.opts.Latency.Cost(req.count))
 		data, err := d.dev.ReadPages(req.first, req.count)
-		if m := d.opts.Metrics; m != nil && err == nil {
-			m.AddPagesRead(int64(req.count))
+		if err == nil {
+			if m := d.opts.Metrics; m != nil {
+				m.AddPagesRead(int64(req.count))
+			}
+			d.emit(events.PagesRead, int64(req.count))
 		}
 		d.compl <- completion{data: data, err: err, cb: req.cb}
 	}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -48,6 +49,23 @@ type StreamBuildOptions struct {
 // packed into slotted pages on the fly, with data pages staged to a
 // temporary file and assembled into the final store layout at the end.
 func BuildFileStreaming(path string, src EdgeScanner, opts StreamBuildOptions) (*Store, error) {
+	return BuildFileStreamingContext(context.Background(), path, src, opts)
+}
+
+// BuildFileStreamingContext is BuildFileStreaming with cancellation: when
+// ctx is done, the build stops within a bounded number of edges (both scan
+// passes and the external sort check the context periodically), removes
+// nothing it has already staged except via the normal temp-file cleanup,
+// and returns an error satisfying errors.Is(err, ctx.Err()).
+func BuildFileStreamingContext(ctx context.Context, path string, src EdgeScanner, opts StreamBuildOptions) (*Store, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The per-edge checks are amortised (every few thousand edges), so small
+	// inputs might otherwise never observe a cancelled context.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.PageSize == 0 {
 		opts.PageSize = DefaultPageSize
 	}
@@ -58,10 +76,24 @@ func BuildFileStreaming(path string, src EdgeScanner, opts StreamBuildOptions) (
 		opts.TempDir = filepath.Dir(path)
 	}
 
+	// ctxTick checks the context every few thousand edges, keeping the
+	// check off the per-edge fast path.
+	var ticks int
+	ctxTick := func() error {
+		ticks++
+		if ticks&0x1fff != 0 {
+			return nil
+		}
+		return ctx.Err()
+	}
+
 	// Pass 1: degrees (duplicate-inclusive — used only for the ordering
 	// heuristic and for sizing; exact degrees come from the sorted stream).
 	var deg []uint32
 	if err := src.Scan(func(u, v uint32) error {
+		if err := ctxTick(); err != nil {
+			return err
+		}
 		if u == v {
 			return nil
 		}
@@ -107,7 +139,11 @@ func BuildFileStreaming(path string, src EdgeScanner, opts StreamBuildOptions) (
 
 	// Pass 2: external sort of both edge directions under the new ids.
 	sorter := extsort.NewSorter(opts.TempDir, opts.RunSize)
+	sorter.SetContext(ctx)
 	if err := src.Scan(func(u, v uint32) error {
+		if err := ctxTick(); err != nil {
+			return err
+		}
 		if u == v {
 			return nil
 		}

@@ -2,11 +2,19 @@ package opt
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"github.com/optlab/opt/internal/engine"
+	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/storage"
 )
 
 func TestPublicQuickstartFlow(t *testing.T) {
@@ -278,6 +286,202 @@ func TestBuildStoreStreamingPublic(t *testing.T) {
 	}
 	if _, err := BuildStoreStreaming(filepath.Join(dir, "x"), "/nonexistent", 0); err == nil {
 		t.Fatal("missing edge list: want error")
+	}
+}
+
+// settleGoroutines fails the test if the goroutine count has not returned
+// to at most `before` within a grace period — the leak check for the
+// cancellation and device-error paths.
+func settleGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+}
+
+func TestTriangulateContextPreCancelled(t *testing.T) {
+	g := PaperExampleGraph()
+	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := runtime.NumGoroutine()
+	for _, alg := range []Algorithm{OPT, OPTSerial, MGT, CCSeq, CCDS, GraphChiTri} {
+		res, err := TriangulateContext(ctx, st, Options{Algorithm: alg, MemoryPages: 4, TempDir: t.TempDir()})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", alg, err)
+		}
+		if res != nil {
+			t.Errorf("%v: pre-cancelled run returned result %+v", alg, res)
+		}
+	}
+	settleGoroutines(t, before)
+}
+
+func TestTriangulateContextMidRunCancel(t *testing.T) {
+	g, err := GenerateRMAT(RMATConfig{Vertices: 1 << 10, Edges: 8000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.DegreeOrdered()
+	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	res, err := TriangulateContext(ctx, st, Options{
+		Algorithm:   OPT,
+		MemoryPages: 4, // tiny budget forces many iterations
+		Threads:     2,
+		OnEvent: func(e Event) {
+			if e.Kind == EventIterationEnd {
+				once.Do(cancel) // cancel as soon as the first iteration ends
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("mid-run cancel must return the partial result")
+	}
+	if res.Iterations < 1 {
+		t.Errorf("partial result reports %d iterations, want >= 1", res.Iterations)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("partial result Elapsed = %v", res.Elapsed)
+	}
+	settleGoroutines(t, before)
+}
+
+func TestDeviceErrorPropagation(t *testing.T) {
+	g, err := GenerateRMAT(RMATConfig{Vertices: 1 << 9, Edges: 4000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.DegreeOrdered()
+	st, err := storage.BuildFile(filepath.Join(t.TempDir(), "g.optstore"), g.internal(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := st.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+
+	before := runtime.NumGoroutine()
+	for _, name := range []string{"OPT", "OPT_serial", "MGT", "CC-Seq", "CC-DS", "GraphChi-Tri"} {
+		faulty := &ssd.FaultyDevice{PageDevice: base, FailEveryN: 5}
+		_, err := engine.Run(context.Background(), name, st, faulty,
+			engine.Options{MemoryPages: 4, TempDir: t.TempDir()})
+		if err == nil {
+			t.Errorf("%s: injected read fault was swallowed", name)
+			continue
+		}
+		if !errors.Is(err, ssd.ErrInjected) {
+			t.Errorf("%s: err = %v, want ssd.ErrInjected in the chain", name, err)
+		}
+	}
+	settleGoroutines(t, before)
+}
+
+func TestPublicOptionValidation(t *testing.T) {
+	g := PaperExampleGraph()
+	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := func(u, v uint32, ws []uint32) {}
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"negative threads", Options{Threads: -1}},
+		{"negative queue depth", Options{QueueDepth: -1}},
+		{"negative memory pages", Options{MemoryPages: -1}},
+		{"memory fraction above one", Options{MemoryFraction: 1.5}},
+		{"triangles from counting-only GraphChi", Options{Algorithm: GraphChiTri, OnTriangles: cb}},
+		{"iterator model on MGT", Options{Algorithm: MGT, Model: VertexIteratorModel}},
+	}
+	for _, tc := range cases {
+		if _, err := Triangulate(st, tc.opts); err == nil {
+			t.Errorf("%s: invalid options accepted", tc.name)
+		}
+	}
+}
+
+func TestPublicOnEvent(t *testing.T) {
+	g := PaperExampleGraph()
+	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[EventKind]int{}
+	res, err := Triangulate(st, Options{
+		Algorithm:   OPTSerial,
+		MemoryPages: 4,
+		OnEvent: func(e Event) {
+			mu.Lock()
+			seen[e.Kind]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != 5 {
+		t.Fatalf("triangles = %d, want 5", res.Triangles)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen[EventRunStart] != 1 || seen[EventRunEnd] != 1 {
+		t.Errorf("run boundary events = %d/%d, want 1/1", seen[EventRunStart], seen[EventRunEnd])
+	}
+	if seen[EventIterationEnd] < 1 {
+		t.Error("no IterationEnd events observed")
+	}
+	if seen[EventTrianglesFound] < 1 {
+		t.Error("no TrianglesFound events observed")
+	}
+	if seen[EventPagesRead] < 1 {
+		t.Error("no PagesRead events observed")
+	}
+}
+
+func TestBuildStoreStreamingContextCancelled(t *testing.T) {
+	g, err := GenerateRMAT(RMATConfig{Vertices: 256, Edges: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	elPath := filepath.Join(dir, "g.el")
+	f, err := os.Create(elPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildStoreStreamingContext(ctx, filepath.Join(dir, "g.optstore"), elPath, 256); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,17 +1,22 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"github.com/optlab/opt/internal/baselines/cc"
-	"github.com/optlab/opt/internal/baselines/gchi"
 	"github.com/optlab/opt/internal/baselines/inmem"
-	"github.com/optlab/opt/internal/baselines/mgt"
-	"github.com/optlab/opt/internal/core"
-	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/engine"
+	"github.com/optlab/opt/internal/events"
 	"github.com/optlab/opt/internal/ssd"
 	"github.com/optlab/opt/internal/storage"
+
+	// Algorithm packages register their engine.Runner in init; the blank
+	// imports make every registry name reachable from the public API.
+	_ "github.com/optlab/opt/internal/baselines/cc"
+	_ "github.com/optlab/opt/internal/baselines/gchi"
+	_ "github.com/optlab/opt/internal/baselines/mgt"
+	_ "github.com/optlab/opt/internal/core"
 )
 
 // Store is an on-disk graph in the paper's slotted-page representation
@@ -77,7 +82,8 @@ const (
 	GraphChiTri
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The spelling doubles as the execution
+// engine's registry key.
 func (a Algorithm) String() string {
 	switch a {
 	case OPT:
@@ -96,6 +102,9 @@ func (a Algorithm) String() string {
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
+
+// Algorithms returns the registry names of every available algorithm.
+func Algorithms() []string { return engine.Names() }
 
 // IteratorModel selects the pluggable iterator model for OPT/OPTSerial.
 type IteratorModel int
@@ -123,6 +132,25 @@ type DeviceLatency struct {
 	PerPage time.Duration
 }
 
+// Event is one progress observation emitted while a run executes: run and
+// iteration boundaries, page I/O, triangles found, thread morphing.
+type Event = events.Event
+
+// EventKind identifies what an Event reports.
+type EventKind = events.Kind
+
+// Event kinds, re-exported for OnEvent consumers.
+const (
+	EventRunStart       = events.RunStart
+	EventRunEnd         = events.RunEnd
+	EventIterationStart = events.IterationStart
+	EventIterationEnd   = events.IterationEnd
+	EventPagesRead      = events.PagesRead
+	EventPagesWritten   = events.PagesWritten
+	EventTrianglesFound = events.TrianglesFound
+	EventMorph          = events.Morph
+)
+
 // Options configures Triangulate.
 type Options struct {
 	// Algorithm defaults to OPT.
@@ -130,15 +158,17 @@ type Options struct {
 	// Model defaults to EdgeIteratorModel (OPT/OPTSerial only).
 	Model IteratorModel
 	// Threads is the worker count for parallel algorithms (default 2 for
-	// OPT, 1 for GraphChiTri).
+	// OPT, 1 for GraphChiTri). Must be non-negative.
 	Threads int
 	// MemoryPages is the buffer budget m in pages. When 0,
-	// MemoryFraction applies.
+	// MemoryFraction applies. Must be non-negative.
 	MemoryPages int
 	// MemoryFraction sets the budget as a fraction of the store size (the
-	// paper sweeps 5%–25%; 15% is its default). Default 0.15.
+	// paper sweeps 5%–25%; 15% is its default). 0 selects the default; any
+	// other value must lie in (0, 1].
 	MemoryFraction float64
 	// QueueDepth is the FlashSSD channel parallelism for OPT (default 8).
+	// Must be non-negative.
 	QueueDepth int
 	// Latency simulates device latency on every page read and write.
 	Latency DeviceLatency
@@ -146,26 +176,29 @@ type Options struct {
 	DisableMorphing bool
 	// OnTriangles, when non-nil, receives every triangle in the nested
 	// representation ⟨u, v, {w…}⟩. It must be safe for concurrent calls.
-	// GraphChiTri ignores it (it is a counting method).
+	// Setting it with GraphChiTri is an error: that method only counts.
 	OnTriangles func(u, v uint32, ws []uint32)
+	// OnEvent, when non-nil, receives progress events. It must be safe for
+	// concurrent calls and must not block: emitters sit on hot paths.
+	OnEvent func(Event)
 	// CollectIterStats records per-iteration timings (OPT/OPTSerial).
 	CollectIterStats bool
 	// TempDir is used by CCSeq/CCDS/GraphChiTri for remainder files.
 	TempDir string
 }
 
-// IterationStat mirrors core.IterationStat for the public API.
-type IterationStat = core.IterationStat
+// IterationStat mirrors engine.IterationStat for the public API.
+type IterationStat = engine.IterationStat
 
 // Result reports a Triangulate run.
 type Result struct {
 	// Algorithm that produced the result.
 	Algorithm Algorithm
-	// Triangles is the exact triangle count.
+	// Triangles is the exact triangle count (so far, on a partial result).
 	Triangles int64
 	// Elapsed is the wall-clock time, including simulated latency.
 	Elapsed time.Duration
-	// Iterations is the number of outer-loop iterations/blocks.
+	// Iterations is the number of completed outer-loop iterations/blocks.
 	Iterations int
 	// PagesRead and PagesWritten are the I/O volumes in pages.
 	PagesRead, PagesWritten int64
@@ -177,19 +210,16 @@ type Result struct {
 	IterStats []IterationStat
 }
 
-func (o *Options) budget(st *storage.Store) int {
-	if o.MemoryPages > 0 {
-		return o.MemoryPages
+// engineModel maps the public model selector onto the engine's.
+func (o *Options) engineModel() engine.Model {
+	switch o.Model {
+	case VertexIteratorModel:
+		return engine.ModelVertex
+	case MGTInstanceModel:
+		return engine.ModelMGTInstance
+	default:
+		return engine.ModelEdge
 	}
-	f := o.MemoryFraction
-	if f <= 0 {
-		f = 0.15
-	}
-	m := int(float64(st.NumPages) * f)
-	if m < 2 {
-		m = 2
-	}
-	return m
 }
 
 func (o *Options) latency() ssd.Latency {
@@ -197,107 +227,60 @@ func (o *Options) latency() ssd.Latency {
 }
 
 // Triangulate runs the selected disk-based triangulation algorithm over the
-// store.
+// store. It is TriangulateContext with a background context.
 func Triangulate(s *Store, opts Options) (*Result, error) {
+	return TriangulateContext(context.Background(), s, opts)
+}
+
+// TriangulateContext runs the selected algorithm under ctx. Every algorithm
+// dispatches through the execution engine's runner registry — one code
+// path validates the options, resolves the memory budget, and invokes the
+// registered implementation. When ctx is cancelled the run stops within
+// one iteration and returns the partial Result accumulated so far together
+// with an error satisfying errors.Is(err, ctx.Err()); no goroutines are
+// leaked.
+func TriangulateContext(ctx context.Context, s *Store, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	st := s.st
 	base, err := st.Device()
 	if err != nil {
 		return nil, err
 	}
 	defer base.Close()
-	mx := metrics.NewCollector()
 
-	var out core.Output
-	if opts.OnTriangles != nil {
-		out = core.FuncOutput(opts.OnTriangles)
+	var sink events.Sink
+	if opts.OnEvent != nil {
+		sink = events.Func(opts.OnEvent)
 	}
-
-	res := &Result{Algorithm: opts.Algorithm}
-	start := time.Now()
-	switch opts.Algorithm {
-	case OPT, OPTSerial:
-		mode := core.Parallel
-		if opts.Algorithm == OPTSerial {
-			mode = core.Serial
-		}
-		model := core.EdgeIterator
-		switch opts.Model {
-		case VertexIteratorModel:
-			model = core.VertexIterator
-		case MGTInstanceModel:
-			model = core.MGTInstance
-		}
-		cres, err := core.Run(st, base, core.Options{
-			Model:            model,
-			Mode:             mode,
-			Threads:          opts.Threads,
-			MemoryPages:      opts.budget(st),
-			QueueDepth:       opts.QueueDepth,
-			Latency:          opts.latency(),
-			DisableMorphing:  opts.DisableMorphing,
-			Output:           out,
-			Metrics:          mx,
-			CollectIterStats: opts.CollectIterStats,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Triangles = cres.Triangles
-		res.Iterations = cres.Iterations
-		res.IterStats = cres.IterStats
-	case MGT:
-		mres, err := mgt.Run(st, base, mgt.Options{
-			MemoryPages: opts.budget(st),
-			Latency:     opts.latency(),
-			Output:      out,
-			Metrics:     mx,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Triangles = mres.Triangles
-		res.Iterations = mres.Blocks
-	case CCSeq, CCDS:
-		variant := cc.Seq
-		if opts.Algorithm == CCDS {
-			variant = cc.DS
-		}
-		cres, err := cc.Run(st, base, cc.Options{
-			Variant:     variant,
-			MemoryPages: opts.budget(st),
-			TempDir:     opts.TempDir,
-			Latency:     opts.latency(),
-			Output:      out,
-			Metrics:     mx,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Triangles = cres.Triangles
-		res.Iterations = cres.Iterations
-	case GraphChiTri:
-		gres, err := gchi.Run(st, base, gchi.Options{
-			MemoryPages: opts.budget(st),
-			Threads:     opts.Threads,
-			TempDir:     opts.TempDir,
-			Latency:     opts.latency(),
-			Metrics:     mx,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Triangles = gres.Triangles
-		res.Iterations = gres.Iterations
-	default:
-		return nil, fmt.Errorf("opt: unknown algorithm %v", opts.Algorithm)
+	eres, err := engine.Run(ctx, opts.Algorithm.String(), st, base, engine.Options{
+		Model:            opts.engineModel(),
+		Threads:          opts.Threads,
+		MemoryPages:      opts.MemoryPages,
+		MemoryFraction:   opts.MemoryFraction,
+		QueueDepth:       opts.QueueDepth,
+		Latency:          opts.latency(),
+		DisableMorphing:  opts.DisableMorphing,
+		OnTriangles:      opts.OnTriangles,
+		CollectIterStats: opts.CollectIterStats,
+		TempDir:          opts.TempDir,
+		Events:           sink,
+	})
+	if eres == nil {
+		return nil, err
 	}
-	res.Elapsed = time.Since(start)
-	snap := mx.Snapshot()
-	res.PagesRead = snap.PagesRead
-	res.PagesWritten = snap.PagesWritten
-	res.ReusedPages = snap.ReusedPages
-	res.IntersectOps = snap.IntersectOps
-	return res, nil
+	return &Result{
+		Algorithm:    opts.Algorithm,
+		Triangles:    eres.Triangles,
+		Elapsed:      eres.Elapsed,
+		Iterations:   eres.Iterations,
+		PagesRead:    eres.PagesRead,
+		PagesWritten: eres.PagesWritten,
+		ReusedPages:  eres.ReusedPages,
+		IntersectOps: eres.IntersectOps,
+		IterStats:    eres.IterStats,
+	}, err
 }
 
 // CountInMemory counts triangles with the in-memory baselines of §2.2 —
@@ -324,7 +307,14 @@ func CountInMemory(g *Graph, method string) (int64, error) {
 // memory resident. The degree-based vertex ordering is applied using
 // first-pass degree counts. pageSize 0 selects the 8 KiB default.
 func BuildStoreStreaming(storePath, edgeListPath string, pageSize int) (*Store, error) {
-	st, err := storage.BuildFileStreaming(storePath, storage.EdgeListFileScanner{Path: edgeListPath},
+	return BuildStoreStreamingContext(context.Background(), storePath, edgeListPath, pageSize)
+}
+
+// BuildStoreStreamingContext is BuildStoreStreaming with cancellation: the
+// two edge-list passes and the external sort check ctx periodically, so
+// preparing a billion-edge graph can be interrupted.
+func BuildStoreStreamingContext(ctx context.Context, storePath, edgeListPath string, pageSize int) (*Store, error) {
+	st, err := storage.BuildFileStreamingContext(ctx, storePath, storage.EdgeListFileScanner{Path: edgeListPath},
 		storage.StreamBuildOptions{PageSize: pageSize, DegreeOrder: true})
 	if err != nil {
 		return nil, err
