@@ -62,7 +62,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	defer dev.Close()
+	defer func() { _ = dev.Close() }() // read-only handle; process exits next
 	rep, err := storage.Verify(st, dev)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optinfo: INTEGRITY FAILURE: %v\n", err)

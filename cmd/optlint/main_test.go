@@ -1,0 +1,42 @@
+package main
+
+import (
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestDriverCleanPackage runs the driver end to end on a package that must
+// stay clean, in both output modes.
+func TestDriverCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"run", "./cmd/optlint", "./internal/events"},
+		{"run", "./cmd/optlint", "-json", "./internal/events"},
+	} {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("go %v: %v\n%s", args, err, out)
+		}
+		if args[2] == "-json" {
+			var findings []map[string]any
+			if err := json.Unmarshal(out, &findings); err != nil {
+				t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+			}
+			if len(findings) != 0 {
+				t.Fatalf("clean package reported findings: %v", findings)
+			}
+		} else if len(out) != 0 {
+			t.Fatalf("clean package produced output:\n%s", out)
+		}
+	}
+}

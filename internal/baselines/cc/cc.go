@@ -274,7 +274,7 @@ func iterate(curPath, nextPath string, pageSize int, budgetBytes int64, opts Opt
 	if err != nil {
 		return 0, 0, err
 	}
-	defer r.Close()
+	defer func() { _ = r.Close() }() // read-only pass; nothing to lose on close
 
 	// Partition M: records in order until the memory budget fills.
 	inM := make(map[uint32][]uint32)

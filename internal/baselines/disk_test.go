@@ -30,7 +30,7 @@ func buildStore(t testing.TB, g *graph.Graph, pageSize int) (*storage.Store, *ss
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { dev.Close() })
+	t.Cleanup(func() { _ = dev.Close() })
 	return st, dev
 }
 

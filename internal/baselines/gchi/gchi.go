@@ -254,7 +254,7 @@ func loadPivot(path string, pivotBytes int64, cm diskio.CostModel) (map[uint32][
 	if err != nil {
 		return nil, err
 	}
-	defer r.Close()
+	defer func() { _ = r.Close() }() // read-only pass; nothing to lose on close
 	pivot := make(map[uint32][]uint32)
 	var used int64
 	for used < pivotBytes {
@@ -281,7 +281,7 @@ func identify(path string, pivot map[uint32][]uint32, cm diskio.CostModel, opts 
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	defer r.Close()
+	defer func() { _ = r.Close() }() // read-only pass; nothing to lose on close
 
 	type rec struct {
 		id  uint32
@@ -428,7 +428,7 @@ func shrink(curPath, nextPath string, pivot map[uint32][]uint32, cm diskio.CostM
 	if err != nil {
 		return 0, err
 	}
-	defer r.Close()
+	defer func() { _ = r.Close() }() // read-only pass; nothing to lose on close
 	w, err := diskio.NewStreamWriter(nextPath, cm)
 	if err != nil {
 		return 0, err

@@ -10,6 +10,7 @@ import (
 
 	"github.com/optlab/opt/internal/baselines/cc"
 	"github.com/optlab/opt/internal/core"
+	"github.com/optlab/opt/internal/diskio"
 	"github.com/optlab/opt/internal/gen"
 	"github.com/optlab/opt/internal/graph"
 	"github.com/optlab/opt/internal/ssd"
@@ -195,13 +196,13 @@ func Table3(h *Harness) (*Table, error) {
 // synchronous file or an asynchronous background flusher.
 type listingSink struct {
 	nw       *core.NestedWriter
-	f        *os.File
+	f        *diskio.RawFile
 	async    *asyncFileWriter
 	throttle *throttledWriter
 }
 
 func newListingSink(path string, asyncFlush bool, lat ssd.Latency, pageSize int) (*listingSink, error) {
-	f, err := os.Create(path)
+	f, err := diskio.CreateRaw(path)
 	if err != nil {
 		return nil, err
 	}

@@ -83,7 +83,7 @@ func (h *Harness) runOPT(st *storage.Store, memPages int, v optVariant) (*runRes
 	if err != nil {
 		return nil, err
 	}
-	defer base.Close()
+	defer func() { _ = base.Close() }() // read-only benchmark device
 	mx := metrics.NewCollector()
 	copts := core.Options{
 		Model:            v.model,
@@ -149,7 +149,7 @@ func (h *Harness) runOPTParallelSet(st *storage.Store, memPages int, set []int) 
 	if err != nil {
 		return nil, nil, err
 	}
-	defer base.Close()
+	defer func() { _ = base.Close() }() // read-only benchmark device
 	mx := metrics.NewCollector()
 	res, err := core.RunContext(h.ctx(), st, base, core.Options{
 		Mode:             core.Parallel,
@@ -182,7 +182,7 @@ func (h *Harness) runGChiSet(st *storage.Store, memPages int, set []int) (map[in
 	if err != nil {
 		return nil, nil, err
 	}
-	defer base.Close()
+	defer func() { _ = base.Close() }() // read-only benchmark device
 	mx := metrics.NewCollector()
 	res, err := gchi.RunContext(h.ctx(), st, base, gchi.Options{
 		MemoryPages:    memPages,
@@ -212,7 +212,7 @@ func (h *Harness) runMGT(st *storage.Store, memPages int, output core.Output) (*
 	if err != nil {
 		return nil, err
 	}
-	defer base.Close()
+	defer func() { _ = base.Close() }() // read-only benchmark device
 	mx := metrics.NewCollector()
 	sw := metrics.StartStopwatch()
 	res, err := mgt.RunContext(h.ctx(), st, base, mgt.Options{
@@ -239,7 +239,7 @@ func (h *Harness) runCC(st *storage.Store, variant cc.Variant, memPages int, out
 	if err != nil {
 		return nil, err
 	}
-	defer base.Close()
+	defer func() { _ = base.Close() }() // read-only benchmark device
 	mx := metrics.NewCollector()
 	sw := metrics.StartStopwatch()
 	res, err := cc.RunContext(h.ctx(), st, base, cc.Options{
@@ -268,7 +268,7 @@ func (h *Harness) runGChi(st *storage.Store, memPages, threads int) (*runResult,
 	if err != nil {
 		return nil, err
 	}
-	defer base.Close()
+	defer func() { _ = base.Close() }() // read-only benchmark device
 	mx := metrics.NewCollector()
 	gopts := gchi.Options{
 		MemoryPages: memPages,
@@ -307,7 +307,7 @@ func (h *Harness) runIdeal(g *graph.Graph, st *storage.Store) (*runResult, error
 	if err != nil {
 		return nil, err
 	}
-	defer base.Close()
+	defer func() { _ = base.Close() }() // read-only benchmark device
 	mx := metrics.NewCollector()
 	dev := ssd.NewAsyncDevice(base, ssd.AsyncOptions{QueueDepth: 1, Latency: h.cfg.Latency, Metrics: mx})
 	defer dev.Close()
@@ -335,7 +335,7 @@ func (h *Harness) runInMemory(g *graph.Graph, st *storage.Store, method string) 
 	if err != nil {
 		return nil, err
 	}
-	defer base.Close()
+	defer func() { _ = base.Close() }() // read-only benchmark device
 	mx := metrics.NewCollector()
 	dev := ssd.NewAsyncDevice(base, ssd.AsyncOptions{QueueDepth: 1, Latency: h.cfg.Latency, Metrics: mx})
 	defer dev.Close()

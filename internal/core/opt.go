@@ -697,11 +697,15 @@ func RunFile(st *storage.Store, opts Options) (*Result, error) {
 }
 
 // RunFileContext is RunFile with cancellation.
-func RunFileContext(ctx context.Context, st *storage.Store, opts Options) (*Result, error) {
+func RunFileContext(ctx context.Context, st *storage.Store, opts Options) (res *Result, err error) {
 	dev, err := st.Device()
 	if err != nil {
 		return nil, err
 	}
-	defer dev.Close()
+	defer func() {
+		if cerr := dev.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	return RunContext(ctx, st, dev, opts)
 }

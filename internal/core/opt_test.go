@@ -228,7 +228,7 @@ func TestOPTIOErrorPropagates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer base.Close()
+	defer func() { _ = base.Close() }()
 	for _, every := range []int64{1, 3, 7} {
 		faulty := &ssd.FaultyDevice{PageDevice: base, FailEveryN: every}
 		_, err = Run(st, faulty, Options{Mode: Parallel, Threads: 2, MemoryPages: 8})

@@ -49,7 +49,7 @@ func TestStreamRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r.Close()
+	defer func() { _ = r.Close() }()
 	var gotOrder []uint32
 	for {
 		id, adj, err := r.ReadRecord()
@@ -167,7 +167,7 @@ func TestStreamTruncatedBody(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r.Close()
+	defer func() { _ = r.Close() }()
 	if _, _, err := r.ReadRecord(); err == nil {
 		t.Fatal("truncated body: want error")
 	}
@@ -179,7 +179,7 @@ func TestStreamTruncatedBody(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r2.Close()
+	defer func() { _ = r2.Close() }()
 	if _, _, err := r2.ReadRecord(); err == nil {
 		t.Fatal("truncated header: want error")
 	}

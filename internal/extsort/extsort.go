@@ -16,6 +16,8 @@ import (
 	"os"
 	"path/filepath"
 	"slices"
+
+	"github.com/optlab/opt/internal/diskio"
 )
 
 // Sorter accumulates uint64 keys and streams them back in ascending order
@@ -86,7 +88,7 @@ func (s *Sorter) spill() error {
 		return nil
 	}
 	slices.Sort(s.buf)
-	f, err := os.CreateTemp(s.dir, "extsort-run-*")
+	f, err := diskio.CreateTempRaw(s.dir, "extsort-run-*")
 	if err != nil {
 		return err
 	}
@@ -95,12 +97,12 @@ func (s *Sorter) spill() error {
 	for _, k := range s.buf {
 		binary.LittleEndian.PutUint64(scratch[:], k)
 		if _, err := bw.Write(scratch[:]); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -191,12 +193,12 @@ func (s *Sorter) cleanup() {
 func (s *Sorter) Runs() int { return len(s.runs) }
 
 type runReader struct {
-	f  *os.File
+	f  *diskio.RawFile
 	br *bufio.Reader
 }
 
 func newRunReader(path string) (*runReader, error) {
-	f, err := os.Open(filepath.Clean(path))
+	f, err := diskio.OpenRaw(filepath.Clean(path))
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +216,9 @@ func (r *runReader) next() (uint64, bool, error) {
 	return binary.LittleEndian.Uint64(b[:]), true, nil
 }
 
-func (r *runReader) close() { r.f.Close() }
+// close discards the read-only handle; run files are removed afterwards,
+// so the error carries no information.
+func (r *runReader) close() { _ = r.f.Close() }
 
 type mergeItem struct {
 	key uint64

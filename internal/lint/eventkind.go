@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// NewEventkind builds the eventkind analyzer for the events package at the
+// given import path: every expression of type events.Kind must trace back
+// to a constant declared in that package, keeping the PR-1 event
+// vocabulary closed. Literals, conversions (events.Kind(42)) and constants
+// declared elsewhere with values outside the declared set all mint kinds
+// no Sink knows how to interpret.
+//
+// Variables and parameters of type Kind pass freely — emit helpers thread
+// kinds they received — and a constant alias in another package
+// (EventRunStart = events.RunStart) is legal because its value is in the
+// declared vocabulary. The events package itself is skipped: it is where
+// the vocabulary is declared.
+func NewEventkind(eventsPath string) *Analyzer {
+	ek := &eventkind{path: eventsPath}
+	return &Analyzer{
+		Name: "eventkind",
+		Doc:  "events.Event emissions must use kinds from the declared events vocabulary",
+		Run:  ek.run,
+	}
+}
+
+type eventkind struct {
+	path string
+}
+
+func (ek *eventkind) run(pass *Pass) {
+	if pathWithin(pass.Pkg.Path, ek.path) {
+		return
+	}
+	eventsPkg := findImport(pass.Pkg.Types, ek.path)
+	if eventsPkg == nil {
+		return // package doesn't touch the event layer
+	}
+	kindObj, ok := eventsPkg.Scope().Lookup("Kind").(*types.TypeName)
+	if !ok {
+		return
+	}
+	kindType := kindObj.Type()
+	vocab := declaredKinds(eventsPkg, kindType)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			e, isExpr := n.(ast.Expr)
+			if !isExpr {
+				return true
+			}
+			tv, has := pass.Pkg.Info.Types[e]
+			if !has || tv.Type == nil || !types.Identical(tv.Type, kindType) {
+				return true
+			}
+			switch x := e.(type) {
+			case *ast.Ident:
+				ek.checkNamed(pass, e, pass.Pkg.Info.Uses[x], eventsPkg, vocab)
+				return false
+			case *ast.SelectorExpr:
+				ek.checkNamed(pass, e, pass.Pkg.Info.Uses[x.Sel], eventsPkg, vocab)
+				return false
+			case *ast.CallExpr:
+				if funTV, ok := pass.Pkg.Info.Types[x.Fun]; ok && funTV.IsType() {
+					pass.Reportf(e.Pos(), "conversion mints an event kind outside the declared vocabulary; use an events package constant")
+					return false
+				}
+				return true // a function returning Kind is fine; still scan its args
+			case *ast.BasicLit:
+				pass.Reportf(e.Pos(), "literal event kind; use an events package constant")
+				return false
+			default:
+				if tv.Value != nil {
+					pass.Reportf(e.Pos(), "computed constant event kind; use an events package constant")
+					return false
+				}
+				return true
+			}
+		})
+	}
+}
+
+// checkNamed validates an identifier or selector of type Kind: constants
+// must be declared in the events package or carry a declared value.
+func (ek *eventkind) checkNamed(pass *Pass, e ast.Expr, obj types.Object, eventsPkg *types.Package, vocab map[int64]bool) {
+	c, isConst := obj.(*types.Const)
+	if !isConst {
+		return // variables, parameters, fields, results: kinds thread freely
+	}
+	if c.Pkg() == eventsPkg {
+		return
+	}
+	if v, exact := constant.Int64Val(c.Val()); exact && vocab[v] {
+		return // value-preserving alias of a declared kind
+	}
+	pass.Reportf(e.Pos(), "constant %s has a kind value outside the declared events vocabulary", c.Name())
+}
+
+// declaredKinds collects the values of the Kind constants declared in the
+// events package.
+func declaredKinds(pkg *types.Package, kindType types.Type) map[int64]bool {
+	vocab := map[int64]bool{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, isConst := scope.Lookup(name).(*types.Const)
+		if !isConst || !types.Identical(c.Type(), kindType) {
+			continue
+		}
+		if v, exact := constant.Int64Val(c.Val()); exact {
+			vocab[v] = true
+		}
+	}
+	return vocab
+}
+
+// findImport locates the package with the given path in pkg's transitive
+// imports.
+func findImport(pkg *types.Package, path string) *types.Package {
+	if pkg == nil {
+		return nil
+	}
+	seen := map[*types.Package]bool{}
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == path {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}

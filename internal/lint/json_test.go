@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/optlab/opt/internal/lint"
+)
+
+// TestWriteJSONSchema pins the -json output schema: an array of objects
+// with exactly the keys file, line, col, rule, message.
+func TestWriteJSONSchema(t *testing.T) {
+	findings := []lint.Finding{
+		{
+			Pos:     token.Position{Filename: "internal/core/opt.go", Line: 705, Column: 8},
+			Rule:    "closecheck",
+			Message: "error result of FileDevice.Close() is unchecked",
+		},
+		{
+			Pos:     token.Position{Filename: "triangulate.go", Line: 3, Column: 1},
+			Rule:    "ctxflow",
+			Message: "thread the caller's context",
+		},
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, findings); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(got) != len(findings) {
+		t.Fatalf("got %d objects, want %d", len(got), len(findings))
+	}
+	for i, obj := range got {
+		var keys []string
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if want := []string{"col", "file", "line", "message", "rule"}; !reflect.DeepEqual(keys, want) {
+			t.Fatalf("object %d keys = %v, want %v", i, keys, want)
+		}
+		if obj["file"] != findings[i].Pos.Filename ||
+			int(obj["line"].(float64)) != findings[i].Pos.Line ||
+			int(obj["col"].(float64)) != findings[i].Pos.Column ||
+			obj["rule"] != findings[i].Rule ||
+			obj["message"] != findings[i].Message {
+			t.Fatalf("object %d = %v, want %+v", i, obj, findings[i])
+		}
+	}
+}
+
+// TestWriteJSONEmpty keeps clean runs machine-parseable: an empty array,
+// never null.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Fatalf("WriteJSON(nil) = %q, want %q", got, "[]\n")
+	}
+}

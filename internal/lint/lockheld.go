@@ -1,0 +1,363 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewLockheld builds the lockheld analyzer for the given package paths: in
+// the overlap-critical packages no goroutine may perform a potentially
+// blocking operation while holding a sync.Mutex/RWMutex — that is the
+// micro-overlap deadlock class of Paper §5.4, where a completion callback
+// blocks on a queue whose consumer needs the lock the callback holds.
+//
+// Flagged between Lock/RLock and the matching Unlock/RUnlock (or to the
+// end of a function that defers the unlock): channel sends and receives,
+// select statements, calls to methods named Wait or Drain, and invocations
+// of function-typed struct fields (callbacks). sync.Cond.Wait is exempt —
+// it releases the lock while parked and is the one blocking call the
+// schedulers legitimately make under their mutex.
+//
+// The scan is flow-lite and within one function body: branches are
+// analyzed with the conservative-for-false-positives rule that a lock
+// counts as held after a conditional only if every non-terminating path
+// left it held. Function literals are scanned as separate functions (a
+// deferred or spawned literal does not run at its definition point).
+func NewLockheld(pkgs []string) *Analyzer {
+	lh := &lockheld{pkgs: pkgs}
+	return &Analyzer{
+		Name: "lockheld",
+		Doc:  "no blocking operation (send/recv/select/Wait/Drain/callback) while holding a mutex",
+		Run:  lh.run,
+	}
+}
+
+type lockheld struct {
+	pkgs []string
+}
+
+func (lh *lockheld) run(pass *Pass) {
+	if !anyPathWithin(pass.Pkg.Path, lh.pkgs) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch f := n.(type) {
+			case *ast.FuncDecl:
+				body = f.Body
+			case *ast.FuncLit:
+				body = f.Body
+			default:
+				return true
+			}
+			if body != nil {
+				s := &lockScan{pass: pass}
+				s.block(body.List, lockSet{})
+			}
+			return true // literals nested inside are scanned on their own visit
+		})
+	}
+}
+
+// lockSet maps a lock's receiver expression (printed) to the position of
+// the acquiring call.
+type lockSet map[string]token.Pos
+
+func (h lockSet) clone() lockSet {
+	c := make(lockSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h lockSet) names() string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// intersect keeps only locks held in both sets.
+func intersect(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+type lockScan struct {
+	pass *Pass
+}
+
+// block scans a statement list sequentially, mutating held, and reports
+// whether control cannot flow past the list's end.
+func (s *lockScan) block(stmts []ast.Stmt, held lockSet) bool {
+	for _, stmt := range stmts {
+		if s.stmt(stmt, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt scans one statement; the return value reports termination (return,
+// branch, or panic).
+func (s *lockScan) stmt(stmt ast.Stmt, held lockSet) bool {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		s.expr(st.X, held)
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, op := s.lockOp(call); op == opLock {
+				held[key] = call.Pos()
+			} else if op == opUnlock {
+				delete(held, key)
+			}
+			if isPanic(s.pass.Pkg.Info, call) {
+				return true
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the section held to the function's end,
+		// which is exactly how the scan already models an un-released lock.
+		// A deferred blocking call while the unlock is also deferred runs
+		// before the (LIFO-later) unlock, so reporting it while held is
+		// right; argument expressions evaluate immediately either way.
+		if key, op := s.lockOp(st.Call); op != opNone {
+			_ = key // deferred Lock is nonsense; deferred Unlock changes nothing now
+		} else {
+			s.call(st.Call, held)
+		}
+		for _, a := range st.Call.Args {
+			s.expr(a, held)
+		}
+	case *ast.GoStmt:
+		// The spawned call runs on another goroutine that does not inherit
+		// this one's locks; only its argument evaluation happens here.
+		for _, a := range st.Call.Args {
+			s.expr(a, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			s.pass.Reportf(st.Arrow, "channel send while holding %s", held.names())
+		}
+		s.expr(st.Chan, held)
+		s.expr(st.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IncDecStmt:
+		s.expr(st.X, held)
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, held)
+	case *ast.BlockStmt:
+		return s.block(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		s.expr(st.Cond, held)
+		branches := []lockSet{}
+		thenHeld := held.clone()
+		if !s.block(st.Body.List, thenHeld) {
+			branches = append(branches, thenHeld)
+		}
+		if st.Else != nil {
+			elseHeld := held.clone()
+			if !s.stmt(st.Else, elseHeld) {
+				branches = append(branches, elseHeld)
+			}
+		} else {
+			branches = append(branches, held.clone()) // fallthrough path
+		}
+		if len(branches) == 0 {
+			return true
+		}
+		merged := branches[0]
+		for _, b := range branches[1:] {
+			merged = intersect(merged, b)
+		}
+		replace(held, merged)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond, held)
+		}
+		body := held.clone()
+		s.block(st.Body.List, body)
+		if st.Post != nil {
+			s.stmt(st.Post, body)
+		}
+	case *ast.RangeStmt:
+		s.expr(st.X, held)
+		body := held.clone()
+		s.block(st.Body.List, body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, held)
+		}
+		s.caseBodies(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		s.caseBodies(st.Body, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			s.pass.Reportf(st.Select, "select (blocking channel operation) while holding %s", held.names())
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				s.block(cc.Body, held.clone())
+			}
+		}
+	}
+	return false
+}
+
+// caseBodies scans each case clause with its own copy of the held set.
+func (s *lockScan) caseBodies(body *ast.BlockStmt, held lockSet) {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			s.block(cc.Body, held.clone())
+		}
+	}
+}
+
+// replace overwrites dst's contents with src's.
+func replace(dst, src lockSet) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// expr reports blocking operations inside an expression tree, without
+// descending into function literals.
+func (s *lockScan) expr(e ast.Expr, held lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && len(held) > 0 {
+				s.pass.Reportf(x.OpPos, "channel receive while holding %s", held.names())
+			}
+		case *ast.CallExpr:
+			s.call(x, held)
+		}
+		return true
+	})
+}
+
+// call reports a blocking or callback call made while locks are held.
+func (s *lockScan) call(call *ast.CallExpr, held lockSet) {
+	if len(held) == 0 {
+		return
+	}
+	info := s.pass.Pkg.Info
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		name := fn.Name()
+		if name == "Wait" || name == "Drain" {
+			if pkg, typ, ok := methodOn(fn); ok && pkg == "sync" && typ == "Cond" {
+				return // Cond.Wait releases the lock while parked
+			}
+			s.pass.Reportf(call.Pos(), "blocking %s.%s() while holding %s", types.ExprString(sel.X), name, held.names())
+		}
+		return
+	}
+	// Not a method or function: a call through a value. Flag function-typed
+	// struct fields — the paper's completion-callback shape.
+	if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+		if _, isFunc := selection.Type().Underlying().(*types.Signature); isFunc {
+			s.pass.Reportf(call.Pos(), "callback field %s invoked while holding %s (callbacks may block)", types.ExprString(sel), held.names())
+		}
+	}
+}
+
+const (
+	opNone = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies a call as acquiring or releasing a sync mutex and
+// returns the printed receiver expression as the lock's identity.
+func (s *lockScan) lockOp(call *ast.CallExpr) (string, int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var op int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	fn, ok := s.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", opNone
+	}
+	pkg, typ, ok := methodOn(fn)
+	if !ok || pkg != "sync" || (typ != "Mutex" && typ != "RWMutex") {
+		return "", opNone
+	}
+	return types.ExprString(sel.X), op
+}
+
+// isPanic reports whether call is the builtin panic.
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

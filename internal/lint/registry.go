@@ -1,0 +1,28 @@
+package lint
+
+// Default returns the standard analyzer suite for the OPT repository,
+// configured against the given module path. The per-analyzer package sets
+// encode PR-1's layering decisions; DESIGN.md ("Enforced invariants") maps
+// each rule to the paper section it protects.
+func Default(module string) []*Analyzer {
+	return []*Analyzer{
+		NewCtxflow(),
+		NewLockheld([]string{
+			module + "/internal/core",
+			module + "/internal/ssd",
+			module + "/internal/engine",
+		}),
+		NewIoconfine([]string{
+			module + "/internal/ssd",
+			module + "/internal/diskio",
+			module + "/internal/storage",
+			module + "/cmd",
+		}),
+		NewClosecheck([]string{
+			module + "/internal/ssd",
+			module + "/internal/diskio",
+			module + "/internal/storage",
+		}),
+		NewEventkind(module + "/internal/events"),
+	}
+}

@@ -1,0 +1,13 @@
+package bad
+
+type Device struct{}
+
+func (d *Device) Close() error { return nil }
+func (d *Device) Drain() error { return nil }
+func (d *Device) Flush() error { return nil }
+
+func leak(d *Device) {
+	d.Close()       // want "error result of Device\\.Close\\(\\) is unchecked"
+	defer d.Drain() // want "error result of Device\\.Drain\\(\\) is unchecked"
+	go d.Flush()    // want "error result of Device\\.Flush\\(\\) is unchecked"
+}

@@ -1,0 +1,22 @@
+package ok
+
+import "os"
+
+type Device struct{}
+
+func (d *Device) Close() error { return nil }
+
+// Quiet's Close has no error result, so there is nothing to drop.
+type Quiet struct{}
+
+func (q *Quiet) Close() {}
+
+func tidy(d *Device, q *Quiet, f *os.File) error {
+	_ = d.Close() // explicit discard is a visible decision
+	q.Close()
+	f.Close() // os.File is outside the configured packages
+	if err := d.Close(); err != nil {
+		return err
+	}
+	return d.Close()
+}

@@ -1,0 +1,19 @@
+package bad
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+func Run(ctx context.Context) error {
+	return helper(context.Background()) // want "context\\.Background\\(\\) passed to a call"
+}
+
+func RunTODO(ctx context.Context) error {
+	return helper(context.TODO()) // want "context\\.TODO\\(\\) passed to a call"
+}
+
+func Closure(ctx context.Context) func() error {
+	return func() error {
+		return helper(context.Background()) // want "context parameter \"ctx\" is in scope"
+	}
+}

@@ -1,0 +1,24 @@
+package ok
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// Run replaces a nil context with the documented default-guard idiom;
+// assignment position is legal.
+func Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return helper(ctx)
+}
+
+// Root has no context parameter in scope, so it may mint one.
+func Root() error {
+	return helper(context.Background())
+}
+
+// Blank's context parameter is unnamed and cannot be forwarded.
+func Blank(_ context.Context) error {
+	return helper(context.Background())
+}

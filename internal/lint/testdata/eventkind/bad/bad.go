@@ -1,0 +1,11 @@
+package bad
+
+import "github.com/optlab/opt/internal/events"
+
+const rogue events.Kind = 99 // want "literal event kind"
+
+func emit(s events.Sink) {
+	s.Event(events.Event{Kind: events.Kind(42)}) // want "conversion mints an event kind"
+	s.Event(events.Event{Kind: 3})               // want "literal event kind"
+	s.Event(events.Event{Kind: rogue})           // want "constant rogue has a kind value outside the declared events vocabulary"
+}

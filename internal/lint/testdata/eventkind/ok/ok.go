@@ -1,0 +1,18 @@
+package ok
+
+import "github.com/optlab/opt/internal/events"
+
+// AliasRunStart re-exports a declared kind by value, the triangulate.go
+// public-API pattern.
+const AliasRunStart = events.RunStart
+
+func emit(s events.Sink, kind events.Kind) {
+	s.Event(events.Event{Kind: events.RunStart})
+	s.Event(events.Event{Kind: kind}) // threading a kind variable is free
+	s.Event(events.Event{Kind: AliasRunStart})
+	forward(s, events.TrianglesFound)
+}
+
+func forward(s events.Sink, kind events.Kind) {
+	s.Event(events.Event{Kind: kind})
+}

@@ -1,0 +1,25 @@
+package bad
+
+import (
+	"os"
+	"syscall" // want "import of \"syscall\" outside the I/O layer"
+)
+
+type holder struct {
+	f *os.File // want "os\\.File outside the I/O layer"
+}
+
+func open(path string) error {
+	f, err := os.Open(path) // want "os\\.Open outside the I/O layer"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func stat(h *holder) error {
+	_, err := os.Stat(h.f.Name()) // metadata access stays legal
+	return err
+}
+
+var _ = syscall.Getpid

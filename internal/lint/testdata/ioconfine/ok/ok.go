@@ -1,0 +1,12 @@
+package ok
+
+import "os"
+
+// scratch uses only metadata operations, which the rule does not confine.
+func scratch() error {
+	dir, err := os.MkdirTemp("", "fixture")
+	if err != nil {
+		return err
+	}
+	return os.RemoveAll(dir)
+}

@@ -1,0 +1,49 @@
+package ok
+
+import "sync"
+
+type worker struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+	ch    chan int
+	done  func()
+}
+
+// condWait parks on a sync.Cond, which releases the mutex while waiting:
+// the one blocking call that is legal under a lock.
+func (w *worker) condWait() {
+	w.mu.Lock()
+	for !w.ready {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// unlockFirst releases before blocking.
+func (w *worker) unlockFirst() {
+	w.mu.Lock()
+	w.ready = true
+	w.mu.Unlock()
+	w.ch <- 1
+	w.done()
+}
+
+// guard unlocks on every path before the send: the branch merge must see
+// the lock released on the fast path.
+func (w *worker) guard(fast bool) {
+	w.mu.Lock()
+	if fast {
+		w.mu.Unlock()
+		w.ch <- 1
+		return
+	}
+	w.mu.Unlock()
+}
+
+// spawn sends from a new goroutine that does not inherit this one's lock.
+func (w *worker) spawn() {
+	w.mu.Lock()
+	go func() { w.ch <- 1 }()
+	w.mu.Unlock()
+}

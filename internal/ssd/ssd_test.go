@@ -56,7 +56,9 @@ func TestMemDeviceOutOfRange(t *testing.T) {
 func TestMemDeviceClosed(t *testing.T) {
 	d := NewMemDevice(64)
 	fillPages(t, d, 1)
-	d.Close()
+	if err := d.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
 	if _, err := d.ReadPages(0, 1); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
@@ -106,7 +108,7 @@ func TestFileDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer rd.Close()
+	defer func() { _ = rd.Close() }()
 	if rd.NumPages() != 5 {
 		t.Fatalf("reopened NumPages = %d, want 5", rd.NumPages())
 	}
@@ -129,7 +131,7 @@ func TestFileDeviceConcurrentReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := NewFileDevice(f, 0, 128, 0, true)
-	defer d.Close()
+	defer func() { _ = d.Close() }()
 	fillPages(t, d, 64)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {

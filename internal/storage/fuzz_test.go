@@ -22,7 +22,7 @@ func FuzzDecodeRange(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	defer dev.Close()
+	defer func() { _ = dev.Close() }()
 	data, err := dev.ReadPages(0, int(s.NumPages))
 	if err != nil {
 		f.Fatal(err)

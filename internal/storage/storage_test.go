@@ -40,7 +40,7 @@ func readAll(t *testing.T, s *Store) map[uint32][]uint32 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer dev.Close()
+	defer func() { _ = dev.Close() }()
 	if dev.NumPages() < s.NumPages {
 		t.Fatalf("device has %d pages, store says %d", dev.NumPages(), s.NumPages)
 	}
@@ -185,7 +185,7 @@ func TestDecodeMisalignedRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer dev.Close()
+	defer func() { _ = dev.Close() }()
 	// Page 1 is a continuation of the hub's run.
 	if s.StartsRecord(1) {
 		t.Skip("layout changed; page 1 not a continuation")
@@ -206,7 +206,7 @@ func TestDecodeTruncatedRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer dev.Close()
+	defer func() { _ = dev.Close() }()
 	span := s.SpanOf(0)
 	if span < 2 {
 		t.Skip("hub does not span pages")
@@ -254,7 +254,7 @@ func TestStoreOnGeneratedGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer dev.Close()
+	defer func() { _ = dev.Close() }()
 	var pid uint32
 	total := 0
 	for pid < s.NumPages {

@@ -71,10 +71,12 @@ func TestStreamingEquivalentToInMemory(t *testing.T) {
 			t.Fatal(err)
 		}
 		if _, err := Verify(re, dev); err != nil {
-			dev.Close()
+			_ = dev.Close()
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		dev.Close()
+		if err := dev.Close(); err != nil {
+			t.Fatalf("trial %d: closing device: %v", trial, err)
+		}
 	}
 }
 
@@ -133,7 +135,7 @@ func TestStreamingVerifyPasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer dev.Close()
+	defer func() { _ = dev.Close() }()
 	rep, err := Verify(s, dev)
 	if err != nil {
 		t.Fatal(err)
@@ -256,7 +258,7 @@ func TestStreamingTriangleCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer dev.Close()
+	defer func() { _ = dev.Close() }()
 	data, err := dev.ReadPages(0, int(s.NumPages))
 	if err != nil {
 		t.Fatal(err)

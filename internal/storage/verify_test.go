@@ -27,7 +27,9 @@ func TestVerifyCleanStores(t *testing.T) {
 				t.Fatal(err)
 			}
 			rep, err := Verify(s, dev)
-			dev.Close()
+			if cerr := dev.Close(); cerr != nil {
+				t.Fatalf("%s/ps=%d: closing device: %v", name, ps, cerr)
+			}
 			if err != nil {
 				t.Fatalf("%s/ps=%d: %v", name, ps, err)
 			}
@@ -70,7 +72,7 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer dev.Close()
+	defer func() { _ = dev.Close() }()
 	if _, err := Verify(s, dev); err == nil {
 		t.Fatal("Verify accepted a corrupted store")
 	}
@@ -84,7 +86,7 @@ func TestVerifyDetectsHeaderMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer dev.Close()
+	defer func() { _ = dev.Close() }()
 	if _, err := Verify(s, dev); err == nil {
 		t.Fatal("Verify accepted an edge-count mismatch")
 	}

@@ -381,7 +381,7 @@ func TestDeviceErrorPropagation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer base.Close()
+	defer func() { _ = base.Close() }()
 
 	before := runtime.NumGoroutine()
 	for _, name := range []string{"OPT", "OPT_serial", "MGT", "CC-Seq", "CC-DS", "GraphChi-Tri"} {

@@ -239,7 +239,7 @@ func Triangulate(s *Store, opts Options) (*Result, error) {
 // one iteration and returns the partial Result accumulated so far together
 // with an error satisfying errors.Is(err, ctx.Err()); no goroutines are
 // leaked.
-func TriangulateContext(ctx context.Context, s *Store, opts Options) (*Result, error) {
+func TriangulateContext(ctx context.Context, s *Store, opts Options) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -248,7 +248,13 @@ func TriangulateContext(ctx context.Context, s *Store, opts Options) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	defer base.Close()
+	// A failed close means the OS may not have released the descriptor;
+	// surface it, but never at the cost of masking the run's own error.
+	defer func() {
+		if cerr := base.Close(); err == nil {
+			err = cerr
+		}
+	}()
 
 	var sink events.Sink
 	if opts.OnEvent != nil {
