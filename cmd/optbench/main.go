@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -163,10 +164,35 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "[results written to %s]\n", *jsonOut)
+		// The I/O-scheduler ablation additionally lands in its own file so CI
+		// can diff the kernel counters without parsing the full sweep.
+		if kr := kernelsOnly(&report); kr != nil {
+			path := filepath.Join(filepath.Dir(*jsonOut), "BENCH_kernels.json")
+			if err := writeJSON(path, kr); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "[kernel counters written to %s]\n", path)
+		}
 	}
 	if runErr != nil {
 		os.Exit(1)
 	}
+}
+
+// kernelsOnly extracts the kernels experiment into a standalone report, or
+// returns nil when the sweep did not run it.
+func kernelsOnly(r *jsonReport) *jsonReport {
+	for _, e := range r.Experiments {
+		if e.ID == "kernels" {
+			return &jsonReport{
+				Config:      r.Config,
+				Partial:     r.Partial,
+				Reason:      r.Reason,
+				Experiments: []jsonExperiment{e},
+			}
+		}
+	}
+	return nil
 }
 
 func writeJSON(path string, r *jsonReport) error {

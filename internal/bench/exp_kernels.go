@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/optlab/opt/internal/core"
+	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/storage"
+)
+
+// schedResult captures one OPT_serial run with the I/O-scheduler counters
+// that the paper-scale tables do not report.
+type schedResult struct {
+	Triangles      int64
+	Elapsed        time.Duration
+	AsyncReads     int64
+	PagesRead      int64
+	CoalescedReads int64
+	CoalescedPages int64
+	PrefetchHits   int64
+	PrefetchWasted int64
+}
+
+// runOPTSerialSched executes OPT_serial with explicit I/O-scheduler knobs and
+// returns the scheduler counters alongside the usual result.
+func (h *Harness) runOPTSerialSched(st *storage.Store, memPages, maxCoalesce, prefetchDepth int) (*schedResult, error) {
+	base, err := st.Device()
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = base.Close() }()
+	mx := metrics.NewCollector()
+	sw := metrics.StartStopwatch()
+	res, err := core.RunContext(h.ctx(), st, base, core.Options{
+		Mode:             core.Serial,
+		MemoryPages:      memPages,
+		Latency:          h.cfg.Latency,
+		MaxCoalescePages: maxCoalesce,
+		PrefetchDepth:    prefetchDepth,
+		Metrics:          mx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &schedResult{
+		Triangles:      res.Triangles,
+		Elapsed:        sw.Elapsed(),
+		AsyncReads:     mx.AsyncReads(),
+		PagesRead:      mx.PagesRead(),
+		CoalescedReads: mx.CoalescedReads(),
+		CoalescedPages: mx.CoalescedPages(),
+		PrefetchHits:   mx.PrefetchHits(),
+		PrefetchWasted: mx.PrefetchWasted(),
+	}, nil
+}
+
+// Kernels is the I/O-scheduler ablation (DESIGN.md §9): OPT_serial with
+// coalescing and read-ahead disabled (the one-read-at-a-time chain of
+// Algorithm 9) against the default scheduler, at the paper's 15% buffer.
+// The "reduction" column is the factor by which coalescing cuts device read
+// submissions at identical triangle counts and page volumes.
+func Kernels(h *Harness) (*Table, error) {
+	t := &Table{
+		ID:    "kernels",
+		Title: "I/O scheduler ablation: read submissions without vs with coalescing + read-ahead (OPT_serial, 15% buffer)",
+		Header: []string{
+			"dataset", "reads(off)", "reads(on)", "reduction",
+			"coalesced", "pages/read", "prefetch-hits", "wasted",
+			"elapsed(off)", "elapsed(on)",
+		},
+	}
+	for _, name := range fig3Datasets {
+		_, st, err := h.proxyStore(name)
+		if err != nil {
+			return nil, err
+		}
+		m := budget(st, 0.15)
+		off, err := h.runOPTSerialSched(st, m, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		on, err := h.runOPTSerialSched(st, m, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		if off.Triangles != on.Triangles {
+			return nil, fmt.Errorf("bench: kernels: %s counts diverge: %d vs %d", name, off.Triangles, on.Triangles)
+		}
+		reduction := float64(off.AsyncReads)
+		if on.AsyncReads > 0 {
+			reduction = float64(off.AsyncReads) / float64(on.AsyncReads)
+		}
+		avgPages := 0.0
+		if on.CoalescedReads > 0 {
+			avgPages = float64(on.CoalescedPages) / float64(on.CoalescedReads)
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprint(off.AsyncReads),
+			fmt.Sprint(on.AsyncReads),
+			fmtRatio(reduction),
+			fmt.Sprint(on.CoalescedReads),
+			fmtRatio(avgPages),
+			fmt.Sprint(on.PrefetchHits),
+			fmt.Sprint(on.PrefetchWasted),
+			fmtDur(off.Elapsed),
+			fmtDur(on.Elapsed),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"off = MaxCoalescePages=1, PrefetchDepth=1 (Algorithm 9's serial read chain)",
+		"on = defaults: coalesce up to 32 pages, read-ahead up to QueueDepth reads")
+	return t, nil
+}

@@ -22,6 +22,34 @@ type Chunk struct {
 	Recs      []storage.VertexRec
 }
 
+// chunkFree recycles Chunk headers and their Recs backing arrays between
+// iterations so the steady-state external path allocates nothing.
+var chunkFree = sync.Pool{New: func() any { return new(Chunk) }}
+
+// GetChunk returns a recycled (or fresh) Chunk with zeroed fields and a
+// Recs slice of length zero retaining any recycled capacity.
+func GetChunk() *Chunk {
+	c := chunkFree.Get().(*Chunk)
+	c.FirstPage = 0
+	c.NumPages = 0
+	c.Recs = c.Recs[:0]
+	return c
+}
+
+// PutChunk returns a chunk to the free list. The caller must no longer hold
+// references to the chunk or its Recs; record contents are cleared so the
+// free list does not pin adjacency arrays from previous graphs.
+func PutChunk(c *Chunk) {
+	if c == nil {
+		return
+	}
+	for i := range c.Recs {
+		c.Recs[i] = storage.VertexRec{}
+	}
+	c.Recs = c.Recs[:0]
+	chunkFree.Put(c)
+}
+
 type entry struct {
 	chunk *Chunk
 	pins  int
@@ -145,6 +173,18 @@ func (p *Pool) Unpin(first uint32) {
 		panic(fmt.Sprintf("buffer: unpin of unpinned chunk %d", first))
 	}
 	e.pins--
+}
+
+// PinCount returns the current pin count of the chunk starting at first,
+// or -1 when the chunk is not resident.
+func (p *Pool) PinCount(first uint32) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.chunks[first]
+	if !ok {
+		return -1
+	}
+	return e.pins
 }
 
 // Take removes and returns the chunk starting at first regardless of pins

@@ -3,6 +3,8 @@ package buffer
 import (
 	"sync"
 	"testing"
+
+	"github.com/optlab/opt/internal/storage"
 )
 
 func chunk(first uint32, pages int) *Chunk {
@@ -147,6 +149,112 @@ func TestPoolMinimumCapacity(t *testing.T) {
 	p := NewPool(0)
 	if p.Capacity() != 1 {
 		t.Fatalf("Capacity = %d, want 1", p.Capacity())
+	}
+}
+
+// TestPoolEvictionPressure hammers a small pool from many goroutines with
+// Insert/Lookup/Unpin/Take so evictions race against pinning. Each worker
+// owns a disjoint key range, so the pin counts of its own chunks are
+// deterministic and can be checked exactly even while the other workers
+// force evictions.
+func TestPoolEvictionPressure(t *testing.T) {
+	const (
+		workers  = 8
+		rounds   = 200
+		capacity = 16 // far below workers*rounds pages: constant pressure
+	)
+	p := NewPool(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				first := uint32(w*rounds + i)
+				p.Insert(chunk(first, 1))
+				if got := p.PinCount(first); got != 1 {
+					t.Errorf("after Insert(%d): pins = %d, want 1", first, got)
+					return
+				}
+				if c := p.Lookup(first); c == nil {
+					t.Errorf("Lookup(%d) = nil while pinned", first)
+					return
+				}
+				if got := p.PinCount(first); got != 2 {
+					t.Errorf("after Lookup(%d): pins = %d, want 2", first, got)
+					return
+				}
+				p.Unpin(first)
+				if got := p.PinCount(first); got != 1 {
+					t.Errorf("after Unpin(%d): pins = %d, want 1", first, got)
+					return
+				}
+				// A pinned chunk can never be evicted, however hard the
+				// other workers push.
+				if !p.Contains(first) {
+					t.Errorf("pinned chunk %d evicted", first)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					// Release: the chunk becomes eviction fodder.
+					p.Unpin(first)
+				case 1:
+					// Donate: Take removes it regardless of the pin.
+					if c := p.Take(first); c == nil || c.FirstPage != first {
+						t.Errorf("Take(%d) while pinned = %v", first, c)
+						return
+					}
+				case 2:
+					// Release, then reclaim it if it survived the others.
+					p.Unpin(first)
+					if c := p.Take(first); c != nil && c.FirstPage != first {
+						t.Errorf("Take(%d) returned chunk %d", first, c.FirstPage)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every surviving chunk was left unpinned, so the budget must hold and
+	// no pins may leak.
+	if p.UsedPages() > capacity {
+		t.Fatalf("UsedPages = %d exceeds capacity %d with all pins released", p.UsedPages(), capacity)
+	}
+	for _, first := range p.Resident() {
+		if got := p.PinCount(first); got != 0 {
+			t.Fatalf("chunk %d left with %d pins", first, got)
+		}
+	}
+	if p.PinCount(uint32(workers*rounds)) != -1 {
+		t.Fatal("PinCount of absent chunk should be -1")
+	}
+}
+
+// TestChunkRecycle checks the GetChunk/PutChunk free list: recycled chunks
+// come back zeroed and must not retain adjacency arrays from their previous
+// life.
+func TestChunkRecycle(t *testing.T) {
+	c := GetChunk()
+	if c.FirstPage != 0 || c.NumPages != 0 || len(c.Recs) != 0 {
+		t.Fatalf("fresh chunk not zeroed: %+v", c)
+	}
+	c.FirstPage = 7
+	c.NumPages = 2
+	c.Recs = append(c.Recs, storage.VertexRec{ID: 1, Adj: []uint32{2, 3}})
+	PutChunk(c)
+	PutChunk(nil) // must be a no-op
+
+	d := GetChunk()
+	if d.FirstPage != 0 || d.NumPages != 0 || len(d.Recs) != 0 {
+		t.Fatalf("recycled chunk not reset: %+v", d)
+	}
+	if cap(d.Recs) > 0 {
+		if r := d.Recs[:1][0]; r.Adj != nil || r.ID != 0 {
+			t.Fatalf("recycled record retains data: %+v", r)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ package core
 import (
 	"sync"
 
+	"github.com/optlab/opt/internal/bits"
 	"github.com/optlab/opt/internal/intersect"
 	"github.com/optlab/opt/internal/metrics"
 	"github.com/optlab/opt/internal/storage"
@@ -86,11 +87,13 @@ type Ctx struct {
 	out      Output
 	mx       *metrics.Collector
 	scratch  sync.Pool
+	hubSets  sync.Pool // *bits.Set over the vertex space, for hub kernels
 }
 
 func newCtx(store *storage.Store, out Output, mx *metrics.Collector) *Ctx {
 	c := &Ctx{store: store, out: out, mx: mx}
 	c.scratch.New = func() any { b := make([]uint32, 0, 256); return &b }
+	c.hubSets.New = func() any { return bits.NewSet(store.NumVertices) }
 	return c
 }
 
@@ -154,6 +157,31 @@ func (c *Ctx) putScratch(b *[]uint32) {
 	c.scratch.Put(b)
 }
 
+// hubDegree is the fixed-side adjacency length from which the edge-iterator
+// kernels build a dense membership set and switch to the bitset probe of
+// intersect.AdaptiveBitmap. The O(len) build amortises over the partner
+// loop, which runs at least len iterations for a list this long.
+const hubDegree = 256
+
+// getHubSet borrows a cleared dense membership set over the vertex space.
+// Callers fill it from a hub adjacency list and must return it through
+// putHubSet with the same list so the clear stays sparse (O(|list|), not
+// O(|V|)).
+func (c *Ctx) getHubSet(list []uint32) *bits.Set {
+	s := c.hubSets.Get().(*bits.Set)
+	for _, x := range list {
+		s.Add(int(x))
+	}
+	return s
+}
+
+func (c *Ctx) putHubSet(s *bits.Set, list []uint32) {
+	for _, x := range list {
+		s.Remove(int(x))
+	}
+	c.hubSets.Put(s)
+}
+
 // nsucc returns n≻(v): the suffix of adj with ids greater than v.
 func nsucc(adj []uint32, v uint32) []uint32 {
 	return adj[intersect.UpperBound(adj, v):]
@@ -176,16 +204,24 @@ func (edgeIteratorModel) InternalTriangle(ctx *Ctx, u storage.VertexRec) {
 	}
 	buf := ctx.getScratch()
 	defer ctx.putScratch(buf)
+	// u is the fixed side of every intersection in the loop; for hubs a
+	// dense membership set turns each one into an O(|n≻(v)|) probe.
+	var set *bits.Set
+	if len(nsU) >= hubDegree {
+		set = ctx.getHubSet(nsU)
+		defer ctx.putHubSet(set, nsU)
+	}
 	for _, v := range nsU {
 		if !ctx.InInternal(v) {
 			continue
 		}
 		nsV := nsucc(ctx.InternalAdj(v), v)
 		ctx.countIntersect(nsU, nsV)
-		ws := intersect.Adaptive((*buf)[:0], nsU, nsV)
+		ws := intersect.AdaptiveBitmap((*buf)[:0], nsV, nsU, set)
 		if len(ws) > 0 {
 			ctx.Emit(u.ID, v, ws)
 		}
+		*buf = ws[:0] // retain growth so the steady state stays allocation-free
 	}
 }
 
@@ -206,16 +242,24 @@ func (edgeIteratorModel) ExternalTriangle(ctx *Ctx, v storage.VertexRec) {
 	nsV := nsucc(v.Adj, v.ID)
 	buf := ctx.getScratch()
 	defer ctx.putScratch(buf)
+	// v is the fixed side here (Algorithm 10 intersects n≻(v) against every
+	// internal partner u ∈ V_req^v), so hub handling mirrors Algorithm 6.
+	var set *bits.Set
+	if len(nsV) >= hubDegree {
+		set = ctx.getHubSet(nsV)
+		defer ctx.putHubSet(set, nsV)
+	}
 	for _, u := range npred(v.Adj, v.ID) {
 		if !ctx.InInternal(u) {
 			continue
 		}
 		nsU := nsucc(ctx.InternalAdj(u), u)
 		ctx.countIntersect(nsU, nsV)
-		ws := intersect.Adaptive((*buf)[:0], nsU, nsV)
+		ws := intersect.AdaptiveBitmap((*buf)[:0], nsU, nsV, set)
 		if len(ws) > 0 {
 			ctx.Emit(u, v.ID, ws)
 		}
+		*buf = ws[:0] // retain growth so the steady state stays allocation-free
 	}
 }
 

@@ -77,6 +77,15 @@ type Options struct {
 	// synchronous ones, an ablation that degrades OPT towards MGT's I/O
 	// behaviour.
 	DisableMicroOverlap bool
+	// MaxCoalescePages caps the pages merged into one vectored read by the
+	// I/O scheduler (DESIGN.md §9). 0 selects the default of 32, clamped to
+	// the external-area budget; 1 effectively disables coalescing (requests
+	// are never merged, though a multi-page chunk still reads as one).
+	MaxCoalescePages int
+	// PrefetchDepth bounds the coalesced reads the scheduler keeps in
+	// flight (read-ahead). 0 selects the QueueDepth; 1 disables read-ahead,
+	// restoring the one-read-at-a-time chain of Algorithm 9.
+	PrefetchDepth int
 	// Output receives triangles; defaults to a CountingOutput.
 	Output Output
 	// Metrics receives cost counters; optional.
@@ -148,17 +157,26 @@ type runner struct {
 	pool   *buffer.Pool // external area, persists across iterations
 	counts *CountingOutput
 
+	// I/O-scheduler knobs, resolved from Options (DESIGN.md §9).
+	maxCoalesce   int
+	prefetchDepth int
+
 	// Per-iteration state.
 	internalChunks []*buffer.Chunk
 	candSeen       *bits.Set
 	vex            []uint32
-	pairScratch    []uint64
 
-	// External request list state (Algorithm 4/9), shared by workers.
-	lmu       sync.Mutex
-	later     []extReq
-	remaining int
-	extDone   chan struct{}
+	// Recycled backing arrays for the request list and coalescer: the
+	// steady-state external path reuses these across iterations instead of
+	// reallocating them (sub-slices alias the shared arrays, so each is
+	// rebuilt from scratch each iteration and never grows mid-iteration).
+	pairScratch     []uint64
+	reqScratch      []extReq
+	candScratch     []uint32
+	spanScratch     []int
+	loadSpanScratch []int
+	groupScratch    []extGroup
+	residentScratch []residentReq
 
 	errOnce sync.Once
 	err     error
@@ -201,17 +219,30 @@ func newRunner(ctx context.Context, st *storage.Store, base ssd.PageDevice, opts
 		counts = &CountingOutput{}
 		out = counts
 	}
+	maxCoalesce := opts.MaxCoalescePages
+	if maxCoalesce <= 0 {
+		maxCoalesce = 32
+	}
+	if maxCoalesce > mEx {
+		maxCoalesce = mEx
+	}
+	prefetchDepth := opts.PrefetchDepth
+	if prefetchDepth <= 0 {
+		prefetchDepth = opts.QueueDepth
+	}
 	r := &runner{
-		gctx:   ctx,
-		st:     st,
-		opts:   opts,
-		model:  NewModel(opts.Model),
-		out:    out,
-		mx:     mx,
-		mIn:    mIn,
-		mEx:    mEx,
-		pool:   buffer.NewPool(mEx),
-		counts: counts,
+		gctx:          ctx,
+		st:            st,
+		opts:          opts,
+		model:         NewModel(opts.Model),
+		out:           out,
+		mx:            mx,
+		mIn:           mIn,
+		mEx:           mEx,
+		pool:          buffer.NewPool(mEx),
+		counts:        counts,
+		maxCoalesce:   maxCoalesce,
+		prefetchDepth: prefetchDepth,
 	}
 	r.vset = opts.VirtualCoreSet
 	r.vtotals = make([]time.Duration, len(r.vset))
@@ -365,28 +396,60 @@ func (r *runner) iteration(index int, lo, hi uint32) (IterationStat, error) {
 		}
 		p += uint32(span)
 	}
-	// Pass 2: asynchronous reads; IdentifyExternalCandidateVertex
-	// (Algorithm 7) runs on the callback thread per completed page.
-	for _, pl := range toLoad {
-		pl := pl
-		r.dev.AsyncRead(pl.first, pl.span, func(data []byte, err error) {
+	// Pass 2: asynchronous reads, with consecutive chunks coalesced into
+	// vectored reads just like the external path (DESIGN.md §9);
+	// IdentifyExternalCandidateVertex (Algorithm 7) runs on the callback
+	// thread per completed segment.
+	if cap(r.loadSpanScratch) < len(toLoad) {
+		r.loadSpanScratch = make([]int, 0, len(toLoad))
+	}
+	loadSpans := r.loadSpanScratch[:0]
+	for i := 0; i < len(toLoad); {
+		j := i + 1
+		pages := toLoad[i].span
+		for j < len(toLoad) &&
+			toLoad[j].first == toLoad[j-1].first+uint32(toLoad[j-1].span) &&
+			pages+toLoad[j].span <= r.maxCoalesce {
+			pages += toLoad[j].span
+			j++
+		}
+		grp := toLoad[i:j:j]
+		base := len(loadSpans)
+		for _, pl := range grp {
+			loadSpans = append(loadSpans, pl.span)
+		}
+		spans := loadSpans[base:len(loadSpans):len(loadSpans)]
+		if len(grp) > 1 {
+			r.emit(events.Event{Kind: events.CoalescedRead, Iteration: index, N: int64(pages)})
+			if r.mx != nil {
+				r.mx.AddCoalescedRead(int64(pages))
+			}
+		}
+		r.dev.AsyncReadScatter(grp[0].first, spans, func(seg int, data []byte, err error) {
+			pl := grp[seg]
 			if err != nil {
 				r.fail(fmt.Errorf("core: loading internal pages [%d,+%d): %w", pl.first, pl.span, err))
 				return
 			}
-			recs, err := r.st.Decode(data)
-			if err != nil {
-				r.fail(err)
+			c := buffer.GetChunk()
+			recs, derr := r.st.DecodeAppend(c.Recs, data)
+			if derr != nil {
+				buffer.PutChunk(c)
+				r.fail(derr)
 				return
 			}
-			c := &buffer.Chunk{FirstPage: pl.first, NumPages: pl.span, Recs: recs}
+			c.FirstPage = pl.first
+			c.NumPages = pl.span
+			c.Recs = recs
 			r.internalChunks[pl.idx] = c
 			for _, rec := range recs {
 				r.ctx.addInternal(rec)
 				r.model.ExternalCandidates(r.ctx, rec, emit)
 			}
 		})
+		i = j
 	}
+	r.loadSpanScratch = loadSpans
 	r.dev.Drain() // line 8: wait for IdentifyExternalCandidateVertex
 	stat.LoadTime = time.Since(loadStart)
 	if r.err != nil {
@@ -397,14 +460,6 @@ func (r *runner) iteration(index int, lo, hi uint32) (IterationStat, error) {
 	reqs := r.buildRequests(r.vex)
 	stat.ExternalReqs = len(reqs)
 
-	r.lmu.Lock()
-	r.remaining = len(reqs)
-	r.extDone = make(chan struct{})
-	if len(reqs) == 0 {
-		close(r.extDone)
-	}
-	r.lmu.Unlock()
-
 	if r.opts.Mode == Serial {
 		r.runSerial(reqs, &stat)
 	} else {
@@ -414,63 +469,71 @@ func (r *runner) iteration(index int, lo, hi uint32) (IterationStat, error) {
 		return stat, r.err
 	}
 
-	// Lines 12–13: unpin the internal area. Chunks are simply dropped; the
-	// external pool retains the pages for the next iteration's Δin credit.
-	for i := range r.internalChunks {
+	// Lines 12–13: unpin the internal area. Chunks go back to the recycle
+	// pool — nothing else references them once the iteration ends — while
+	// the external pool retains its pages for the next iteration's Δin
+	// credit.
+	for i, c := range r.internalChunks {
+		buffer.PutChunk(c)
 		r.internalChunks[i] = nil
 	}
 	return stat, nil
 }
 
-// buildRequests groups V_ex by chunk and orders the list so that the pages
-// of the next iteration's internal area are loaded last (Algorithm 4
-// line 3: i ← (…, id_e + m_in, …, id_e + 1)), which leaves them resident in
-// the external pool when the iteration ends.
+// buildRequests groups V_ex by chunk into the ascending-page request list
+// L. The I/O scheduler's coalescer consumes it ascending (consecutive
+// pages merge into vectored reads) and then issues the groups in
+// descending page order, preserving Algorithm 4 line 3 — the pages of the
+// next iteration's internal area load last, so they stay resident in the
+// external pool when the iteration ends. All returned slices alias runner
+// scratch recycled across iterations.
 func (r *runner) buildRequests(vex []uint32) []extReq {
 	// Sort (page, vertex) pairs once; groups then fall out contiguously.
 	pairs := r.pairScratch[:0]
+	if cap(pairs) < len(vex) {
+		pairs = make([]uint64, 0, len(vex))
+	}
 	for _, v := range vex {
 		pairs = append(pairs, uint64(r.st.FirstPageOf(v))<<32|uint64(v))
 	}
 	slices.Sort(pairs)
 	r.pairScratch = pairs
 
-	var reqs []extReq
+	// Pre-size from len(vex): every candidate lands in exactly one group,
+	// so the shared cands backing array never grows mid-build and the
+	// per-request sub-slices stay valid.
+	if cap(r.candScratch) < len(vex) {
+		r.candScratch = make([]uint32, 0, len(vex))
+	}
+	if cap(r.reqScratch) < len(vex) {
+		r.reqScratch = make([]extReq, 0, len(vex))
+	}
+	cands := r.candScratch[:0]
+	reqs := r.reqScratch[:0]
 	for i := 0; i < len(pairs); {
 		first := uint32(pairs[i] >> 32)
 		j := i
+		base := len(cands)
 		for j < len(pairs) && uint32(pairs[j]>>32) == first {
+			cands = append(cands, uint32(pairs[j]))
 			j++
 		}
-		cands := make([]uint32, 0, j-i)
-		for k := i; k < j; k++ {
-			cands = append(cands, uint32(pairs[k]))
-		}
-		reqs = append(reqs, extReq{first: first, span: r.st.AlignedRange(first, 1), cands: cands})
+		reqs = append(reqs, extReq{
+			first: first,
+			span:  r.st.AlignedRange(first, 1),
+			cands: cands[base:len(cands):len(cands)],
+		})
 		i = j
 	}
-	slices.Reverse(reqs) // descending page order
+	r.candScratch = cands
+	r.reqScratch = reqs
 	return reqs
-}
-
-// splitNow takes the L_now prefix: up to m_ex pages worth of requests
-// (always at least one), leaving the rest as L_later.
-func (r *runner) splitNow(reqs []extReq) (now, later []extReq) {
-	pages := 0
-	i := 0
-	for i < len(reqs) {
-		if i > 0 && pages+reqs[i].span > r.mEx {
-			break
-		}
-		pages += reqs[i].span
-		i++
-	}
-	return reqs[:i], reqs[i:]
 }
 
 // runSerial executes the iteration tail in OPT_serial order: internal
 // triangulation first (single-threaded), then the external triangulation
-// with micro-level overlap only.
+// with micro-level overlap only — coalesced reads kept in flight by the
+// I/O scheduler while the callback thread intersects.
 func (r *runner) runSerial(reqs []extReq, stat *IterationStat) {
 	t0 := time.Now()
 	for _, c := range r.internalChunks {
@@ -491,14 +554,9 @@ func (r *runner) runSerial(reqs []extReq, stat *IterationStat) {
 	}
 
 	t1 := time.Now()
-	now, later := r.splitNow(reqs)
-	r.lmu.Lock()
-	r.later = later
-	r.lmu.Unlock()
-	for _, req := range now {
-		r.issue(req, nil)
-	}
-	<-r.extDone
+	io := r.newIOSched(nil)
+	io.start(reqs)
+	io.wait()
 	stat.ExternalTime = time.Since(t1)
 	if r.mx != nil {
 		r.mx.AddSerialWork(stat.ExternalTime)
@@ -519,14 +577,12 @@ func (r *runner) runParallel(reqs []extReq, stat *IterationStat) {
 	}
 	s.run(realWorkers, func() {
 		// DelegateExternalTriangle (line 9) precedes InternalTriangle
-		// (line 10): issue L_now, then submit the internal page tasks.
-		now, later := r.splitNow(reqs)
-		r.lmu.Lock()
-		r.later = later
-		r.lmu.Unlock()
-		for _, req := range now {
-			r.issue(req, s)
-		}
+		// (line 10): start the I/O scheduler — initial read window plus
+		// resident chunks — then submit the internal page tasks. The
+		// scheduler closes classExternal when the last request retires
+		// (immediately, when the list is empty).
+		io := r.newIOSched(s)
+		io.start(reqs)
 		for _, c := range r.internalChunks {
 			if c == nil {
 				continue
@@ -543,14 +599,6 @@ func (r *runner) runParallel(reqs []extReq, stat *IterationStat) {
 			})
 		}
 		s.close(classInternal)
-		// classExternal closes when the last request completes; if there
-		// are none, close it here.
-		r.lmu.Lock()
-		rem := r.remaining
-		r.lmu.Unlock()
-		if rem == 0 {
-			s.close(classExternal)
-		}
 	})
 	stat.InternalTime = s.classWork(classInternal)
 	stat.ExternalTime = s.classWork(classExternal)
@@ -571,78 +619,6 @@ func (r *runner) runParallel(reqs []extReq, stat *IterationStat) {
 	}
 }
 
-// issue loads one external request. In the default configuration it uses
-// an asynchronous read whose completion triggers ExternalTriangle
-// (Algorithm 9) — on the callback thread directly in Serial mode, or as an
-// external-class task on the worker pool in Parallel mode. A request whose
-// chunk is still resident in the external pool is served without I/O.
-func (r *runner) issue(req extReq, s *sched) {
-	// Fast-fail on cancellation: retire the request without touching the
-	// device, so the completion chain drains promptly.
-	if err := r.gctx.Err(); err != nil {
-		r.fail(err)
-		r.completeOne(s)
-		return
-	}
-	process := func(c *buffer.Chunk, pinned bool) {
-		run := func() {
-			r.processExternal(c, req)
-			if pinned {
-				r.pool.Unpin(c.FirstPage)
-			}
-			r.completeOne(s)
-		}
-		if s != nil {
-			s.submit(classExternal, run)
-		} else {
-			run()
-		}
-	}
-	if c := r.pool.Lookup(req.first); c != nil {
-		if r.mx != nil {
-			r.mx.AddReusedPages(int64(c.NumPages))
-		}
-		process(c, true)
-		return
-	}
-	// decodeAndProcess decodes the raw pages and runs the external
-	// triangulation. In Parallel mode it runs as an external-class task so
-	// the (CPU-significant) decode does not serialise on the callback
-	// dispatcher; in Serial mode it runs on the dispatcher itself, which is
-	// the paper's callback thread.
-	decodeAndProcess := func(data []byte) {
-		recs, derr := r.st.Decode(data)
-		if derr != nil {
-			r.fail(derr)
-			r.completeOne(s)
-			return
-		}
-		c := &buffer.Chunk{FirstPage: req.first, NumPages: req.span, Recs: recs}
-		r.pool.Insert(c) // pinned once
-		r.processExternal(c, req)
-		r.pool.Unpin(c.FirstPage)
-		r.completeOne(s)
-	}
-	onData := func(data []byte, err error) {
-		if err != nil {
-			r.fail(fmt.Errorf("core: loading external pages [%d,+%d): %w", req.first, req.span, err))
-			r.completeOne(s)
-			return
-		}
-		if s != nil {
-			s.submit(classExternal, func() { decodeAndProcess(data) })
-		} else {
-			decodeAndProcess(data)
-		}
-	}
-	if r.opts.DisableMicroOverlap {
-		data, err := r.dev.ReadPages(req.first, req.span)
-		onData(data, err)
-		return
-	}
-	r.dev.AsyncRead(req.first, req.span, onData)
-}
-
 // processExternal runs ExternalTriangle (Algorithm 9 lines 4–7) for every
 // candidate record in the chunk.
 func (r *runner) processExternal(c *buffer.Chunk, req extReq) {
@@ -651,37 +627,6 @@ func (r *runner) processExternal(c *buffer.Chunk, req extReq) {
 			continue
 		}
 		r.model.ExternalTriangle(r.ctx, rec)
-	}
-}
-
-// completeOne retires one external request and chains the next one from
-// L_later (Algorithm 9 lines 9–13; the pop is atomic per the paper's note).
-func (r *runner) completeOne(s *sched) {
-	r.lmu.Lock()
-	var next *extReq
-	if r.gctx.Err() != nil {
-		// Cancelled: retire the whole pending list at once. Chaining pops
-		// one at a time would recurse issue→completeOne len(L_later) deep
-		// before unwinding.
-		r.remaining -= len(r.later)
-		r.later = nil
-	} else if len(r.later) > 0 {
-		next = &r.later[0]
-		r.later = r.later[1:]
-	}
-	r.remaining--
-	done := r.remaining == 0 && next == nil
-	ch := r.extDone
-	r.lmu.Unlock()
-
-	if next != nil {
-		r.issue(*next, s)
-	}
-	if done {
-		close(ch)
-		if s != nil {
-			s.close(classExternal)
-		}
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count tests skip under it: instrumentation allocates, and
+// sync.Pool deliberately randomises its caching to expose races.
+const raceEnabled = true

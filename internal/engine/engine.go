@@ -51,6 +51,14 @@ type Options struct {
 	MemoryFraction float64
 	// QueueDepth is the FlashSSD channel parallelism (0 = default 8).
 	QueueDepth int
+	// MaxCoalescePages caps the pages the OPT I/O scheduler merges into one
+	// vectored read (0 = default 32, clamped to the external area; 1
+	// disables coalescing). Runners without an I/O scheduler ignore it.
+	MaxCoalescePages int
+	// PrefetchDepth bounds the coalesced reads the OPT I/O scheduler keeps
+	// in flight (0 = QueueDepth; 1 disables read-ahead). Runners without an
+	// I/O scheduler ignore it.
+	PrefetchDepth int
 	// Latency simulates device latency on every page access.
 	Latency ssd.Latency
 	// DisableMorphing turns off thread morphing (OPT only; Figure 4).
@@ -139,6 +147,12 @@ func (o Options) Validate(info Info) error {
 	}
 	if o.QueueDepth < 0 {
 		return fmt.Errorf("engine: QueueDepth must be non-negative, got %d", o.QueueDepth)
+	}
+	if o.MaxCoalescePages < 0 {
+		return fmt.Errorf("engine: MaxCoalescePages must be non-negative, got %d", o.MaxCoalescePages)
+	}
+	if o.PrefetchDepth < 0 {
+		return fmt.Errorf("engine: PrefetchDepth must be non-negative, got %d", o.PrefetchDepth)
 	}
 	if o.MemoryPages < 0 {
 		return fmt.Errorf("engine: MemoryPages must be non-negative, got %d", o.MemoryPages)

@@ -37,6 +37,18 @@ const (
 	// Morph reports thread-morphing activity: workers that switched task
 	// class during an iteration (N = morph transitions; §3.4).
 	Morph
+	// CoalescedRead reports one vectored device read that merged several
+	// consecutive-page chunk requests of the request list L into a single
+	// submission (N = pages covered by the read).
+	CoalescedRead
+	// PrefetchHit reports read-ahead completions whose data was consumed:
+	// the read was issued while another was still in flight, and its chunks
+	// went on to be processed (N = reads).
+	PrefetchHit
+	// PrefetchWasted reports read-ahead completions whose data was dropped
+	// — the run was cancelled or the read failed before its chunks could be
+	// processed (N = reads).
+	PrefetchWasted
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +70,12 @@ func (k Kind) String() string {
 		return "triangles-found"
 	case Morph:
 		return "morph"
+	case CoalescedRead:
+		return "coalesced-read"
+	case PrefetchHit:
+		return "prefetch-hit"
+	case PrefetchWasted:
+		return "prefetch-wasted"
 	default:
 		return "unknown-event"
 	}

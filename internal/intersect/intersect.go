@@ -6,7 +6,11 @@
 // costs min(|n≻(u)|, |n≻(v)|) operations.
 package intersect
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/optlab/opt/internal/bits"
+)
 
 // MinCost returns the Eq. 3 cost model value min(len(a), len(b)).
 func MinCost(a, b []uint32) int64 {
@@ -99,6 +103,41 @@ func Adaptive(dst, a, b []uint32) []uint32 {
 		return Galloping(dst, a, b)
 	}
 	return Merge(dst, a, b)
+}
+
+// bitmapRatio is the length ratio beyond which AdaptiveBitmap prefers the
+// bitset probe over merge/galloping: probing is O(len(a)) with a ~1-cycle
+// membership test, so it wins once the fixed side b (the hub list backing
+// set) is much longer than the streamed side a.
+const bitmapRatio = 8
+
+// Bitmap intersects a against b using a prebuilt dense membership set over
+// b's elements: every x ∈ a with set.Contains(x) is appended to dst. It is
+// the kernel of choice for hub vertices, where one long adjacency list is
+// intersected against many short ones and the O(|b|) set build amortises
+// across partners. set must contain exactly the elements of b; a nil set
+// falls back to Adaptive.
+func Bitmap(dst, a, b []uint32, set *bits.Set) []uint32 {
+	if set == nil {
+		return Adaptive(dst, a, b)
+	}
+	for _, x := range a {
+		if set.Contains(int(x)) {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// AdaptiveBitmap intersects a and b like Adaptive, but when set is a
+// prebuilt membership set over b and b dominates a by bitmapRatio it uses
+// the constant-time bitset probe instead. The caller owns the set's
+// lifecycle (build once per hub list, clear after).
+func AdaptiveBitmap(dst, a, b []uint32, set *bits.Set) []uint32 {
+	if set != nil && len(a)*bitmapRatio <= len(b) {
+		return Bitmap(dst, a, b, set)
+	}
+	return Adaptive(dst, a, b)
 }
 
 // AdaptiveCount returns |a ∩ b| using the adaptive strategy.

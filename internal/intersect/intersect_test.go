@@ -6,6 +6,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"github.com/optlab/opt/internal/bits"
 )
 
 func sortedUnique(xs []uint32) []uint32 {
@@ -208,6 +210,90 @@ func TestBounds(t *testing.T) {
 	if got := LowerBound(a, 31); got != 4 {
 		t.Errorf("LowerBound(31) = %d, want 4", got)
 	}
+}
+
+// makeSet builds a membership set over the elements of b, as the hub path
+// in core does once per hub adjacency list.
+func makeSet(b []uint32, universe int) *bits.Set {
+	s := bits.NewSet(universe)
+	for _, x := range b {
+		s.Add(int(x))
+	}
+	return s
+}
+
+func TestBitmapAgreesWithMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		na, nb := rng.Intn(60), rng.Intn(2000)
+		a := make([]uint32, na)
+		b := make([]uint32, nb)
+		for i := range a {
+			a[i] = uint32(rng.Intn(3000))
+		}
+		for i := range b {
+			b[i] = uint32(rng.Intn(3000))
+		}
+		sa, sb := sortedUnique(a), sortedUnique(b)
+		set := makeSet(sb, 3000)
+		want := Merge(nil, sa, sb)
+		if got := Bitmap(nil, sa, sb, set); !reflect.DeepEqual(got, want) && len(got)+len(want) > 0 {
+			t.Fatalf("trial %d: Bitmap = %v, want %v", trial, got, want)
+		}
+		if got := AdaptiveBitmap(nil, sa, sb, set); !reflect.DeepEqual(got, want) && len(got)+len(want) > 0 {
+			t.Fatalf("trial %d: AdaptiveBitmap = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestBitmapNilSetFallsBack(t *testing.T) {
+	a := []uint32{1, 3, 5}
+	b := []uint32{3, 4, 5}
+	want := []uint32{3, 5}
+	if got := Bitmap(nil, a, b, nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Bitmap(nil set) = %v, want %v", got, want)
+	}
+	if got := AdaptiveBitmap(nil, a, b, nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AdaptiveBitmap(nil set) = %v, want %v", got, want)
+	}
+}
+
+func TestBitmapAppendsToDst(t *testing.T) {
+	dst := []uint32{42}
+	b := []uint32{2, 3}
+	got := Bitmap(dst, []uint32{1, 2}, b, makeSet(b, 8))
+	want := []uint32{42, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Bitmap with dst = %v, want %v", got, want)
+	}
+}
+
+// AdaptiveBitmap must only consult the set when b dominates a by
+// bitmapRatio; a set deliberately inconsistent with b exposes which branch
+// ran.
+func TestAdaptiveBitmapRatioGate(t *testing.T) {
+	poison := bits.NewSet(100) // empty: Bitmap through it finds nothing
+	a := seq(0, 10, 1)
+	bLong := seq(0, 90, 1) // len 90 >= 10*bitmapRatio
+	if got := AdaptiveBitmap(nil, a, bLong, poison); len(got) != 0 {
+		t.Fatalf("skewed AdaptiveBitmap ignored the set: got %v", got)
+	}
+	bShort := seq(0, 20, 1) // below the ratio: must use merge, not the set
+	if got := AdaptiveBitmap(nil, a, bShort, poison); len(got) != 10 {
+		t.Fatalf("balanced AdaptiveBitmap used the set: got %v", got)
+	}
+}
+
+func BenchmarkBitmapSkewed(b *testing.B) {
+	x := seq(0, 100, 1)
+	y := seq(0, 1000000, 3)
+	set := makeSet(y, 1000000)
+	dst := make([]uint32, 0, len(x))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = Bitmap(dst[:0], x, y, set)
+	}
+	_ = dst
 }
 
 func BenchmarkMergeSimilarLengths(b *testing.B) {

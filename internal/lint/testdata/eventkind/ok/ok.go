@@ -11,6 +11,10 @@ func emit(s events.Sink, kind events.Kind) {
 	s.Event(events.Event{Kind: kind}) // threading a kind variable is free
 	s.Event(events.Event{Kind: AliasRunStart})
 	forward(s, events.TrianglesFound)
+	// The I/O-scheduler kinds are part of the declared vocabulary.
+	s.Event(events.Event{Kind: events.CoalescedRead})
+	s.Event(events.Event{Kind: events.PrefetchHit})
+	s.Event(events.Event{Kind: events.PrefetchWasted})
 }
 
 func forward(s events.Sink, kind events.Kind) {

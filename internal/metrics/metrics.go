@@ -27,6 +27,12 @@ type Collector struct {
 	serialWork    atomic.Int64 // nanoseconds of inherently serial work
 	iterations    atomic.Int64 // completed outer-loop iterations (event-fed)
 	morphs        atomic.Int64 // thread-morph transitions (event-fed)
+
+	// I/O-scheduler counters (DESIGN.md §9).
+	coalescedReads atomic.Int64 // vectored reads that merged ≥2 chunk requests
+	coalescedPages atomic.Int64 // pages covered by those reads
+	prefetchHits   atomic.Int64 // read-ahead completions whose data was consumed
+	prefetchWasted atomic.Int64 // read-ahead completions whose data was dropped
 }
 
 // NewCollector returns an empty Collector.
@@ -58,6 +64,20 @@ func (c *Collector) AddTriangles(n int64) { c.triangles.Add(n) }
 // frames already resident in the buffer (the Δin_io credit of §3.3).
 func (c *Collector) AddReusedPages(n int64) { c.reusedPages.Add(n) }
 
+// AddCoalescedRead records one vectored read that merged several chunk
+// requests into a single device submission covering pages pages.
+func (c *Collector) AddCoalescedRead(pages int64) {
+	c.coalescedReads.Add(1)
+	c.coalescedPages.Add(pages)
+}
+
+// AddPrefetchHits records n read-ahead completions whose data was consumed.
+func (c *Collector) AddPrefetchHits(n int64) { c.prefetchHits.Add(n) }
+
+// AddPrefetchWasted records n read-ahead completions whose data was dropped
+// (cancellation or read failure before processing).
+func (c *Collector) AddPrefetchWasted(n int64) { c.prefetchWasted.Add(n) }
+
 // AddIOWait records d spent blocked waiting for I/O.
 func (c *Collector) AddIOWait(d time.Duration) { c.ioWait.Add(int64(d)) }
 
@@ -84,6 +104,12 @@ func (c *Collector) Event(e events.Event) {
 		c.iterations.Add(1)
 	case events.Morph:
 		c.morphs.Add(e.N)
+	case events.CoalescedRead:
+		c.AddCoalescedRead(e.N)
+	case events.PrefetchHit:
+		c.AddPrefetchHits(e.N)
+	case events.PrefetchWasted:
+		c.AddPrefetchWasted(e.N)
 	}
 }
 
@@ -117,6 +143,19 @@ func (c *Collector) Triangles() int64 { return c.triangles.Load() }
 // ReusedPages returns the Δin_io page-reuse credit.
 func (c *Collector) ReusedPages() int64 { return c.reusedPages.Load() }
 
+// CoalescedReads returns the number of vectored reads that merged several
+// chunk requests.
+func (c *Collector) CoalescedReads() int64 { return c.coalescedReads.Load() }
+
+// CoalescedPages returns the pages covered by coalesced reads.
+func (c *Collector) CoalescedPages() int64 { return c.coalescedPages.Load() }
+
+// PrefetchHits returns the read-ahead completions whose data was consumed.
+func (c *Collector) PrefetchHits() int64 { return c.prefetchHits.Load() }
+
+// PrefetchWasted returns the read-ahead completions whose data was dropped.
+func (c *Collector) PrefetchWasted() int64 { return c.prefetchWasted.Load() }
+
 // IOWait returns the total time spent blocked on I/O.
 func (c *Collector) IOWait() time.Duration { return time.Duration(c.ioWait.Load()) }
 
@@ -147,6 +186,10 @@ func (c *Collector) Reset() {
 	c.serialWork.Store(0)
 	c.iterations.Store(0)
 	c.morphs.Store(0)
+	c.coalescedReads.Store(0)
+	c.coalescedPages.Store(0)
+	c.prefetchHits.Store(0)
+	c.prefetchWasted.Store(0)
 }
 
 // Snapshot is an immutable copy of a Collector's counters.
@@ -156,6 +199,10 @@ type Snapshot struct {
 	IntersectOps, Intersections int64
 	Triangles, ReusedPages      int64
 	Iterations, Morphs          int64
+	CoalescedReads              int64
+	CoalescedPages              int64
+	PrefetchHits                int64
+	PrefetchWasted              int64
 	IOWait                      time.Duration
 	ParallelWork, SerialWork    time.Duration
 }
@@ -163,26 +210,31 @@ type Snapshot struct {
 // Snapshot returns a copy of the current counter values.
 func (c *Collector) Snapshot() Snapshot {
 	return Snapshot{
-		PagesRead:     c.pagesRead.Load(),
-		PagesWritten:  c.pagesWritten.Load(),
-		AsyncReads:    c.asyncReads.Load(),
-		SyncReads:     c.syncReads.Load(),
-		IntersectOps:  c.intersectOps.Load(),
-		Intersections: c.intersectCall.Load(),
-		Triangles:     c.triangles.Load(),
-		ReusedPages:   c.reusedPages.Load(),
-		Iterations:    c.iterations.Load(),
-		Morphs:        c.morphs.Load(),
-		IOWait:        time.Duration(c.ioWait.Load()),
-		ParallelWork:  time.Duration(c.parallelWork.Load()),
-		SerialWork:    time.Duration(c.serialWork.Load()),
+		PagesRead:      c.pagesRead.Load(),
+		PagesWritten:   c.pagesWritten.Load(),
+		AsyncReads:     c.asyncReads.Load(),
+		SyncReads:      c.syncReads.Load(),
+		IntersectOps:   c.intersectOps.Load(),
+		Intersections:  c.intersectCall.Load(),
+		Triangles:      c.triangles.Load(),
+		ReusedPages:    c.reusedPages.Load(),
+		Iterations:     c.iterations.Load(),
+		Morphs:         c.morphs.Load(),
+		CoalescedReads: c.coalescedReads.Load(),
+		CoalescedPages: c.coalescedPages.Load(),
+		PrefetchHits:   c.prefetchHits.Load(),
+		PrefetchWasted: c.prefetchWasted.Load(),
+		IOWait:         time.Duration(c.ioWait.Load()),
+		ParallelWork:   time.Duration(c.parallelWork.Load()),
+		SerialWork:     time.Duration(c.serialWork.Load()),
 	}
 }
 
 // String formats the snapshot for logs and experiment output.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("reads=%d writes=%d async=%d sync=%d ops=%d tri=%d reused=%d iowait=%v",
-		s.PagesRead, s.PagesWritten, s.AsyncReads, s.SyncReads, s.IntersectOps, s.Triangles, s.ReusedPages, s.IOWait)
+	return fmt.Sprintf("reads=%d writes=%d async=%d sync=%d ops=%d tri=%d reused=%d coalesced=%d(%dp) prefetch=%d/%dw iowait=%v",
+		s.PagesRead, s.PagesWritten, s.AsyncReads, s.SyncReads, s.IntersectOps, s.Triangles, s.ReusedPages,
+		s.CoalescedReads, s.CoalescedPages, s.PrefetchHits, s.PrefetchWasted, s.IOWait)
 }
 
 // AmdahlBound returns the theoretical speed-up upper bound 1/((1-p)+p/c) for

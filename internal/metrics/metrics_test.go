@@ -51,6 +51,41 @@ func TestCollectorCounters(t *testing.T) {
 	}
 }
 
+func TestCollectorSchedulerCounters(t *testing.T) {
+	c := NewCollector()
+	c.AddCoalescedRead(4) // one read covering 4 pages
+	c.AddCoalescedRead(2)
+	c.AddPrefetchHits(3)
+	c.AddPrefetchWasted(1)
+	if got := c.CoalescedReads(); got != 2 {
+		t.Errorf("CoalescedReads = %d, want 2", got)
+	}
+	if got := c.CoalescedPages(); got != 6 {
+		t.Errorf("CoalescedPages = %d, want 6", got)
+	}
+	if got := c.PrefetchHits(); got != 3 {
+		t.Errorf("PrefetchHits = %d, want 3", got)
+	}
+	if got := c.PrefetchWasted(); got != 1 {
+		t.Errorf("PrefetchWasted = %d, want 1", got)
+	}
+
+	// The same counters accumulate through the event-sink path.
+	c.Event(events.Event{Kind: events.CoalescedRead, N: 8})
+	c.Event(events.Event{Kind: events.PrefetchHit, N: 2})
+	c.Event(events.Event{Kind: events.PrefetchWasted, N: 1})
+	s := c.Snapshot()
+	if s.CoalescedReads != 3 || s.CoalescedPages != 14 || s.PrefetchHits != 5 || s.PrefetchWasted != 2 {
+		t.Fatalf("snapshot after events: %+v", s)
+	}
+
+	c.Reset()
+	s = c.Snapshot()
+	if s.CoalescedReads != 0 || s.CoalescedPages != 0 || s.PrefetchHits != 0 || s.PrefetchWasted != 0 {
+		t.Fatalf("Reset left scheduler counters: %+v", s)
+	}
+}
+
 func TestCollectorReset(t *testing.T) {
 	c := NewCollector()
 	c.AddPagesRead(9)

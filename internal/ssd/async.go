@@ -3,6 +3,7 @@ package ssd
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/optlab/opt/internal/events"
@@ -66,6 +67,12 @@ type AsyncDevice struct {
 	pending sync.WaitGroup
 	once    sync.Once
 
+	// Request accounting: submissions and retirements of asynchronous
+	// requests, exposed so schedulers and tests can observe the in-flight
+	// depth without instrumenting callbacks.
+	submitted atomic.Int64
+	completed atomic.Int64
+
 	syncMu sync.Mutex
 	syncTh Throttle // throttle for the synchronous path
 }
@@ -115,16 +122,60 @@ func (d *AsyncDevice) AsyncRead(first uint32, count int, cb func(data []byte, er
 	if m := d.opts.Metrics; m != nil {
 		m.AddAsyncReads(1)
 	}
+	d.submitted.Add(1)
 	d.pending.Add(1)
 	d.queue.push(request{first: first, count: count, cb: cb})
+}
+
+// AsyncReadScatter submits one asynchronous vectored read covering
+// len(spans) consecutive page runs: segment i spans spans[i] pages and
+// begins where segment i-1 ends, with segment 0 starting at page first.
+// The device performs a single read of the whole range (one submission,
+// one latency charge); on completion cb runs once per segment, in segment
+// order, on the callback dispatcher, each receiving a sub-slice of the one
+// read buffer — no copy. A failed read invokes cb for every segment with a
+// nil data slice and the read's error, so each constituent fails exactly
+// once.
+func (d *AsyncDevice) AsyncReadScatter(first uint32, spans []int, cb func(seg int, data []byte, err error)) {
+	total := 0
+	for _, s := range spans {
+		total += s
+	}
+	pageSize := d.dev.PageSize()
+	d.AsyncRead(first, total, func(data []byte, err error) {
+		if err != nil {
+			for i := range spans {
+				cb(i, nil, err)
+			}
+			return
+		}
+		off := 0
+		for i, s := range spans {
+			end := off + s*pageSize
+			cb(i, data[off:end:end], nil)
+			off = end
+		}
+	})
 }
 
 // AsyncWrite submits an asynchronous write. cb may be nil; if non-nil it
 // runs on the dispatcher with a nil data slice.
 func (d *AsyncDevice) AsyncWrite(first uint32, data []byte, cb func(data []byte, err error)) {
+	d.submitted.Add(1)
 	d.pending.Add(1)
 	d.queue.push(request{first: first, write: data, cb: cb})
 }
+
+// Submitted returns the number of asynchronous requests submitted so far.
+func (d *AsyncDevice) Submitted() int64 { return d.submitted.Load() }
+
+// Completed returns the number of asynchronous requests fully retired
+// (callback returned, or no callback was registered).
+func (d *AsyncDevice) Completed() int64 { return d.completed.Load() }
+
+// InFlight returns the number of asynchronous requests submitted but not
+// yet retired.
+func (d *AsyncDevice) InFlight() int64 { return d.submitted.Load() - d.completed.Load() }
 
 // ReadPages performs a synchronous read through the same latency model,
 // blocking the caller — the access pattern of the MGT baseline, which uses
@@ -174,6 +225,13 @@ func (d *AsyncDevice) emit(kind events.Kind, n int64) {
 	}
 }
 
+// retire marks one asynchronous request fully done: its callback has
+// returned, or it never had one.
+func (d *AsyncDevice) retire() {
+	d.completed.Add(1)
+	d.pending.Done()
+}
+
 // Drain blocks until every submitted asynchronous request has completed and
 // its callback has returned.
 func (d *AsyncDevice) Drain() { d.pending.Wait() }
@@ -204,7 +262,7 @@ func (d *AsyncDevice) worker() {
 			if req.cb != nil {
 				d.compl <- completion{data: nil, err: err, cb: req.cb}
 			} else {
-				d.pending.Done()
+				d.retire()
 			}
 			continue
 		}
@@ -220,7 +278,7 @@ func (d *AsyncDevice) worker() {
 			if req.cb != nil {
 				d.compl <- completion{data: nil, err: err, cb: req.cb}
 			} else {
-				d.pending.Done()
+				d.retire()
 			}
 			continue
 		}
@@ -243,14 +301,14 @@ func (d *AsyncDevice) dispatcher() {
 		select {
 		case c := <-d.compl:
 			c.cb(c.data, c.err)
-			d.pending.Done()
+			d.retire()
 		case <-d.done:
 			// Drain anything that raced with shutdown.
 			for {
 				select {
 				case c := <-d.compl:
 					c.cb(c.data, c.err)
-					d.pending.Done()
+					d.retire()
 				default:
 					return
 				}

@@ -199,10 +199,17 @@ func (w *pageWriter) finish() ([][]byte, []uint32) {
 // record boundary and must not cut a record run short; use
 // Store.AlignedRange to obtain such spans.
 func DecodeRange(pageSize int, data []byte) ([]VertexRec, error) {
+	return DecodeRangeAppend(nil, pageSize, data)
+}
+
+// DecodeRangeAppend is DecodeRange appending onto dst, so callers that
+// recycle record arrays across reads avoid reallocating them. On error the
+// records decoded so far are returned alongside the error.
+func DecodeRangeAppend(dst []VertexRec, pageSize int, data []byte) ([]VertexRec, error) {
 	if len(data)%pageSize != 0 {
-		return nil, fmt.Errorf("%w: %d bytes not page aligned", ErrCorruptPage, len(data))
+		return dst, fmt.Errorf("%w: %d bytes not page aligned", ErrCorruptPage, len(data))
 	}
-	var out []VertexRec
+	out := dst
 	numPages := len(data) / pageSize
 	for p := 0; p < numPages; p++ {
 		page := data[p*pageSize : (p+1)*pageSize]
@@ -213,13 +220,13 @@ func DecodeRange(pageSize int, data []byte) ([]VertexRec, error) {
 			off := pageHeaderSize
 			for r := 0; r < numRecs; r++ {
 				if off+recHeaderSize > pageSize {
-					return nil, fmt.Errorf("%w: record header beyond page", ErrCorruptPage)
+					return out, fmt.Errorf("%w: record header beyond page", ErrCorruptPage)
 				}
 				id := binary.LittleEndian.Uint32(page[off:])
 				deg := int(binary.LittleEndian.Uint32(page[off+4:]))
 				off += recHeaderSize
 				if off+4*deg > pageSize {
-					return nil, fmt.Errorf("%w: record body beyond page", ErrCorruptPage)
+					return out, fmt.Errorf("%w: record body beyond page", ErrCorruptPage)
 				}
 				adj := make([]uint32, deg)
 				for i := 0; i < deg; i++ {
@@ -242,11 +249,11 @@ func DecodeRange(pageSize int, data []byte) ([]VertexRec, error) {
 			for len(adj) < deg {
 				p++
 				if p >= numPages {
-					return nil, fmt.Errorf("%w: vertex %d needs %d more neighbors", ErrTruncatedRun, id, deg-len(adj))
+					return out, fmt.Errorf("%w: vertex %d needs %d more neighbors", ErrTruncatedRun, id, deg-len(adj))
 				}
 				page = data[p*pageSize : (p+1)*pageSize]
 				if page[2] != kindRunCont {
-					return nil, fmt.Errorf("%w: expected continuation page", ErrCorruptPage)
+					return out, fmt.Errorf("%w: expected continuation page", ErrCorruptPage)
 				}
 				n := int(binary.LittleEndian.Uint32(page[4:8]))
 				off := pageHeaderSize
@@ -258,11 +265,11 @@ func DecodeRange(pageSize int, data []byte) ([]VertexRec, error) {
 			out = append(out, VertexRec{ID: id, Adj: adj})
 		case kindRunCont:
 			if p == 0 {
-				return nil, ErrMisaligned
+				return out, ErrMisaligned
 			}
-			return nil, fmt.Errorf("%w: unexpected continuation page at offset %d", ErrCorruptPage, p)
+			return out, fmt.Errorf("%w: unexpected continuation page at offset %d", ErrCorruptPage, p)
 		default:
-			return nil, fmt.Errorf("%w: unknown page kind %d", ErrCorruptPage, kind)
+			return out, fmt.Errorf("%w: unknown page kind %d", ErrCorruptPage, kind)
 		}
 	}
 	return out, nil

@@ -270,3 +270,8 @@ func (s *Store) AlignedRange(start uint32, count int) int {
 func (s *Store) Decode(data []byte) ([]VertexRec, error) {
 	return DecodeRange(s.PageSize, data)
 }
+
+// DecodeAppend is Decode appending onto dst; see DecodeRangeAppend.
+func (s *Store) DecodeAppend(dst []VertexRec, data []byte) ([]VertexRec, error) {
+	return DecodeRangeAppend(dst, s.PageSize, data)
+}

@@ -170,6 +170,14 @@ type Options struct {
 	// QueueDepth is the FlashSSD channel parallelism for OPT (default 8).
 	// Must be non-negative.
 	QueueDepth int
+	// MaxCoalescePages caps the pages OPT's I/O scheduler merges into one
+	// vectored read (0 = default 32, clamped to the external area; 1
+	// disables coalescing). Must be non-negative.
+	MaxCoalescePages int
+	// PrefetchDepth bounds the coalesced reads OPT's I/O scheduler keeps in
+	// flight as read-ahead (0 = QueueDepth; 1 disables read-ahead). Must be
+	// non-negative.
+	PrefetchDepth int
 	// Latency simulates device latency on every page read and write.
 	Latency DeviceLatency
 	// DisableMorphing turns off thread morphing (OPT only; Figure 4).
@@ -266,6 +274,8 @@ func TriangulateContext(ctx context.Context, s *Store, opts Options) (res *Resul
 		MemoryPages:      opts.MemoryPages,
 		MemoryFraction:   opts.MemoryFraction,
 		QueueDepth:       opts.QueueDepth,
+		MaxCoalescePages: opts.MaxCoalescePages,
+		PrefetchDepth:    opts.PrefetchDepth,
 		Latency:          opts.latency(),
 		DisableMorphing:  opts.DisableMorphing,
 		OnTriangles:      opts.OnTriangles,
