@@ -1,0 +1,52 @@
+// Package cli holds the front-end plumbing shared by the command-line
+// tools: signal-driven cancellation with an optional deadline, and the
+// uniform wording of partial-result reports. Factoring it out of the
+// individual mains makes the SIGINT/SIGTERM and timeout paths testable
+// instead of manually exercised.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// SignalContext returns a context cancelled by the given signals (default
+// SIGINT and SIGTERM) or, when timeout > 0, by the deadline — the shape
+// every long-running command uses so a run winds down gracefully and its
+// partial result is still reported. The returned stop function releases
+// the signal registration and the timer; call it before exiting so a
+// second signal kills the process the default way.
+func SignalContext(parent context.Context, timeout time.Duration, sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	ctx, stop := signal.NotifyContext(parent, sigs...)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		cancel()
+		stop()
+	}
+}
+
+// PartialReason classifies the error of an interrupted run for the
+// "status  partial (…)" report line: "interrupted" for signal
+// cancellation, "timed out after d" for an expired deadline, "failed" for
+// anything else.
+func PartialReason(err error, timeout time.Duration) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Sprintf("timed out after %v", timeout)
+	case errors.Is(err, context.Canceled):
+		return "interrupted"
+	default:
+		return "failed"
+	}
+}

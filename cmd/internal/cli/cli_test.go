@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestSignalContextTimeout(t *testing.T) {
+	ctx, stop := SignalContext(context.Background(), 20*time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout did not cancel the context")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+func TestSignalContextSignal(t *testing.T) {
+	// SIGUSR1 keeps the test independent of the runner's own SIGINT
+	// handling; the production default (Interrupt+SIGTERM) shares the same
+	// NotifyContext path.
+	ctx, stop := SignalContext(context.Background(), 0, syscall.SIGUSR1)
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("signal did not cancel the context")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("ctx.Err() = %v, want Canceled", ctx.Err())
+	}
+}
+
+func TestSignalContextStopReleases(t *testing.T) {
+	ctx, stop := SignalContext(context.Background(), time.Hour)
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+}
+
+func TestPartialReason(t *testing.T) {
+	cases := []struct {
+		err     error
+		timeout time.Duration
+		want    string
+	}{
+		{context.Canceled, 0, "interrupted"},
+		{fmt.Errorf("wrapped: %w", context.Canceled), 0, "interrupted"},
+		{context.DeadlineExceeded, 30 * time.Second, "timed out after 30s"},
+		{fmt.Errorf("run: %w", context.DeadlineExceeded), time.Minute, "timed out after 1m0s"},
+		{errors.New("device exploded"), 0, "failed"},
+	}
+	for _, tc := range cases {
+		if got := PartialReason(tc.err, tc.timeout); got != tc.want {
+			t.Errorf("PartialReason(%v, %v) = %q, want %q", tc.err, tc.timeout, got, tc.want)
+		}
+	}
+}

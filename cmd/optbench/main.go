@@ -23,12 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 	"time"
 
+	"github.com/optlab/opt/cmd/internal/cli"
 	"github.com/optlab/opt/internal/bench"
 	"github.com/optlab/opt/internal/ssd"
 )
@@ -79,13 +78,8 @@ func main() {
 		return
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background(), *timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
@@ -152,10 +146,7 @@ func main() {
 
 	if runErr != nil {
 		report.Partial = true
-		report.Reason = "interrupted"
-		if errors.Is(runErr, context.DeadlineExceeded) {
-			report.Reason = fmt.Sprintf("timed out after %v", *timeout)
-		}
+		report.Reason = cli.PartialReason(runErr, *timeout)
 		fmt.Fprintf(os.Stderr, "optbench: %s: %d of %d experiments completed\n",
 			report.Reason, len(report.Experiments), len(ids))
 	}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestStoreFlags(t *testing.T) {
+	var fs storeFlags
+	for _, v := range []string{"web=web.optstore", "social=/data/social.optstore"} {
+		if err := fs.Set(v); err != nil {
+			t.Fatalf("Set(%q): %v", v, err)
+		}
+	}
+	if len(fs) != 2 || fs[0].name != "web" || fs[1].path != "/data/social.optstore" {
+		t.Fatalf("parsed %+v", fs)
+	}
+	if got := fs.String(); got != "web=web.optstore,social=/data/social.optstore" {
+		t.Fatalf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "noequals", "=path", "name="} {
+		if err := fs.Set(bad); err == nil {
+			t.Errorf("Set(%q): want error", bad)
+		}
+	}
+}

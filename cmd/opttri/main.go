@@ -13,15 +13,14 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"os/signal"
 	"sync"
-	"syscall"
 
 	opt "github.com/optlab/opt"
+	"github.com/optlab/opt/cmd/internal/cli"
 )
 
 func main() {
@@ -49,15 +48,11 @@ func main() {
 		fail(err)
 	}
 
-	// SIGINT/SIGTERM cancel the context; the run winds down within one
-	// iteration and the partial result is reported below.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// SIGINT/SIGTERM (or the -timeout deadline) cancel the context; the run
+	// winds down within one iteration and the partial result is reported
+	// below.
+	ctx, stop := cli.SignalContext(context.Background(), *timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	opts := opt.Options{
 		Algorithm:      algorithm,
@@ -101,30 +96,31 @@ func main() {
 	if err != nil {
 		// Cancelled or failed mid-run: report what completed, then exit
 		// non-zero so scripts can tell a partial count from a full one.
-		reason := "failed"
-		if errors.Is(err, context.Canceled) {
-			reason = "interrupted"
-		} else if errors.Is(err, context.DeadlineExceeded) {
-			reason = fmt.Sprintf("timed out after %v", *timeout)
-		}
+		reason := cli.PartialReason(err, *timeout)
 		fmt.Fprintf(os.Stderr, "opttri: %s: %v\n", reason, err)
-		fmt.Printf("status        partial (%s)\n", reason)
+		reportPartial(os.Stdout, reason)
 	}
-	report(res)
+	report(os.Stdout, res)
 	if err != nil {
 		os.Exit(1)
 	}
 }
 
-func report(res *opt.Result) {
-	fmt.Printf("algorithm     %v\n", res.Algorithm)
-	fmt.Printf("triangles     %d\n", res.Triangles)
-	fmt.Printf("elapsed       %v\n", res.Elapsed)
-	fmt.Printf("iterations    %d\n", res.Iterations)
-	fmt.Printf("pages read    %d\n", res.PagesRead)
-	fmt.Printf("pages written %d\n", res.PagesWritten)
-	fmt.Printf("pages reused  %d\n", res.ReusedPages)
-	fmt.Printf("intersect ops %d\n", res.IntersectOps)
+// reportPartial emits the status line that precedes a partial report, so
+// scripts can tell a partial count from a full one.
+func reportPartial(w io.Writer, reason string) {
+	fmt.Fprintf(w, "status        partial (%s)\n", reason)
+}
+
+func report(w io.Writer, res *opt.Result) {
+	fmt.Fprintf(w, "algorithm     %v\n", res.Algorithm)
+	fmt.Fprintf(w, "triangles     %d\n", res.Triangles)
+	fmt.Fprintf(w, "elapsed       %v\n", res.Elapsed)
+	fmt.Fprintf(w, "iterations    %d\n", res.Iterations)
+	fmt.Fprintf(w, "pages read    %d\n", res.PagesRead)
+	fmt.Fprintf(w, "pages written %d\n", res.PagesWritten)
+	fmt.Fprintf(w, "pages reused  %d\n", res.ReusedPages)
+	fmt.Fprintf(w, "intersect ops %d\n", res.IntersectOps)
 }
 
 func parseAlgo(s string) (opt.Algorithm, error) {

@@ -1,12 +1,76 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	opt "github.com/optlab/opt"
+	"github.com/optlab/opt/cmd/internal/cli"
 )
+
+// TestPartialReportOnTimeout covers the graceful-shutdown report path: an
+// expired -timeout produces the "status partial (timed out …)" line ahead
+// of the partial counts, exactly as the SIGINT path does for
+// "interrupted".
+func TestPartialReportOnTimeout(t *testing.T) {
+	err := fmt.Errorf("run: %w", context.DeadlineExceeded)
+	var out strings.Builder
+	reportPartial(&out, cli.PartialReason(err, 30*time.Second))
+	report(&out, &opt.Result{Algorithm: opt.OPT, Triangles: 7, Iterations: 2})
+	got := out.String()
+	for _, want := range []string{
+		"status        partial (timed out after 30s)",
+		"triangles     7",
+		"algorithm     OPT",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestPartialReportOnInterrupt covers the SIGINT wording of the same path.
+func TestPartialReportOnInterrupt(t *testing.T) {
+	var out strings.Builder
+	reportPartial(&out, cli.PartialReason(context.Canceled, 0))
+	if got := out.String(); got != "status        partial (interrupted)\n" {
+		t.Fatalf("partial line = %q", got)
+	}
+}
+
+// TestSignalContextDeadlineCancelsRun exercises the factored signal/timeout
+// helper end to end against a real (cancellable) triangulation, pinning
+// that an expired deadline yields a partial result plus a
+// DeadlineExceeded error — the pair main turns into a partial report and
+// a non-zero exit.
+func TestSignalContextDeadlineCancelsRun(t *testing.T) {
+	g, err := opt.GenerateRMAT(opt.RMATConfig{Vertices: 1 << 9, Edges: 6000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.optstore")
+	st, err := opt.BuildStore(path, g.DegreeOrdered(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := cli.SignalContext(context.Background(), time.Nanosecond)
+	defer stop()
+	res, err := opt.TriangulateContext(ctx, st, opt.Options{Algorithm: opt.MGT})
+	if err == nil {
+		t.Fatal("run under an expired deadline must fail")
+	}
+	if reason := cli.PartialReason(err, time.Nanosecond); !strings.HasPrefix(reason, "timed out") {
+		t.Fatalf("PartialReason = %q, want timed out", reason)
+	}
+	if res != nil && res.Triangles < 0 {
+		t.Fatalf("partial result %+v malformed", res)
+	}
+}
 
 func TestParseAlgo(t *testing.T) {
 	cases := map[string]opt.Algorithm{

@@ -1,0 +1,155 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"github.com/optlab/opt/internal/engine"
+	"github.com/optlab/opt/internal/gen"
+	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/storage"
+
+	// Every algorithm package registers its Runner in init; the sweep
+	// enumerates the registry, so importing one here adds it to the matrix.
+	_ "github.com/optlab/opt/internal/baselines/cc"
+	_ "github.com/optlab/opt/internal/baselines/gchi"
+	_ "github.com/optlab/opt/internal/baselines/mgt"
+	_ "github.com/optlab/opt/internal/core"
+)
+
+const pageSize = 128
+
+func buildStore(t testing.TB, g *graph.Graph) (*storage.Store, *ssd.FileDevice) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.optstore")
+	st, err := storage.BuildFile(path, g, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := st.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = dev.Close() })
+	return st, dev
+}
+
+// disconnected stitches several components together: a K10 clique, a
+// triangle-free 10-cycle, a K5, one extra triangle, and trailing isolated
+// vertices — triangles must be found per component, never across them.
+func disconnected(t testing.TB) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for u := 0; u < 10; u++ { // K10 on 0..9
+		for v := u + 1; v < 10; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+		}
+	}
+	for i := 0; i < 10; i++ { // 10-cycle on 20..29
+		edges = append(edges, graph.Edge{U: uint32(20 + i), V: uint32(20 + (i+1)%10)})
+	}
+	for u := 40; u < 45; u++ { // K5 on 40..44
+		for v := u + 1; v < 45; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+		}
+	}
+	edges = append(edges, // one triangle on 50..52
+		graph.Edge{U: 50, V: 51}, graph.Edge{U: 51, V: 52}, graph.Edge{U: 50, V: 52})
+	g, err := graph.FromEdges(64, edges) // 53..63 isolated
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// workloads is the shared graph matrix of the differential sweep.
+func workloads(t testing.TB) []struct {
+	name string
+	g    *graph.Graph
+} {
+	t.Helper()
+	empty, err := graph.FromEdges(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := gen.RMAT(gen.DefaultRMAT(1<<10, 12_000, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerlaw, _ := graph.DegreeOrder(raw)
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", empty},
+		{"star", graph.Star(300)},
+		{"clique", graph.Complete(25)},
+		{"powerlaw", powerlaw},
+		{"disconnected", disconnected(t)},
+	}
+}
+
+// TestAllAlgorithmsMatchReference is the differential sweep: every
+// registered algorithm, over every workload, under every memory budget,
+// must report exactly the in-memory reference count. One table replaces
+// the per-pair comparisons (MGT vs reference, CC vs reference, …) the
+// baseline tests used to duplicate, and automatically covers algorithms
+// registered in the future.
+func TestAllAlgorithmsMatchReference(t *testing.T) {
+	algos := engine.Names()
+	if len(algos) < 6 {
+		t.Fatalf("registry has %d algorithms %v, want the full suite", len(algos), algos)
+	}
+	budgets := []int{0, 4, 16} // 0 -> the 15% default fraction
+	for _, w := range workloads(t) {
+		want := graph.CountTrianglesReference(w.g)
+		for _, budget := range budgets {
+			for _, name := range algos {
+				t.Run(fmt.Sprintf("%s/m=%d/%s", w.name, budget, name), func(t *testing.T) {
+					st, dev := buildStore(t, w.g)
+					res, err := engine.Run(context.Background(), name, st, dev, engine.Options{
+						MemoryPages: budget,
+						TempDir:     t.TempDir(),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Triangles != want {
+						t.Fatalf("counted %d triangles, reference says %d", res.Triangles, want)
+					}
+					if res.Algorithm != name {
+						t.Fatalf("result algorithm %q, want %q", res.Algorithm, name)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReferenceOracle anchors the sweep's oracle itself on closed-form
+// counts, so a broken reference cannot silently vacuously pass the matrix.
+func TestReferenceOracle(t *testing.T) {
+	empty, err := graph.FromEdges(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"empty", empty, 0},
+		{"star", graph.Star(300), 0},
+		{"clique", graph.Complete(25), 25 * 24 * 23 / 6},
+		// K10 + K5 + one triangle; the cycle and isolated vertices add none.
+		{"disconnected", disconnected(t), 10*9*8/6 + 5*4*3/6 + 1},
+	}
+	for _, tc := range cases {
+		if got := graph.CountTrianglesReference(tc.g); got != tc.want {
+			t.Errorf("%s: reference = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

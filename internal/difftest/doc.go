@@ -1,0 +1,11 @@
+// Package difftest is the repository's cross-algorithm conformance layer.
+// Its tests drive every registered triangulation algorithm through the
+// one engine dispatch path over a shared matrix of generated graphs
+// (empty, star, clique, power-law, disconnected) and memory budgets,
+// asserting all of them produce the in-memory reference count — the
+// single differential sweep that replaces the ad-hoc per-pair comparisons
+// the baseline packages used to carry. The fault sweep walks one injected
+// device failure across every read position of a run and asserts each
+// algorithm surfaces the error with a partial result and no leaked
+// goroutines.
+package difftest

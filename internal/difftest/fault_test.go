@@ -1,0 +1,122 @@
+package difftest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/optlab/opt/internal/engine"
+	"github.com/optlab/opt/internal/gen"
+	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/ssd"
+)
+
+// waitGoroutines polls until the live goroutine count is back at the
+// baseline, reporting the stacks of the leak otherwise.
+func waitGoroutines(t *testing.T, baseline int, label string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("%s leaked goroutines: %d live, baseline %d\n%s",
+		label, runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+// TestFaultSweep walks a single injected read failure across the read
+// schedule of every registered algorithm: for each failing position k the
+// run must surface exactly one error (the injected one), hand back a
+// partial Result bounded by the true count, and leak no goroutines —
+// pinning the engine contract that failure behaves like cancellation, not
+// like a silent miscount or a hang.
+func TestFaultSweep(t *testing.T) {
+	raw, err := gen.RMAT(gen.DefaultRMAT(256, 3_000, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := graph.DegreeOrder(raw)
+	want := graph.CountTrianglesReference(g)
+	opts := engine.Options{MemoryPages: 4}
+
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			// Clean run through a no-fault FaultyDevice: learns the total
+			// read count R (the sweep domain) and re-checks the count.
+			st, dev := buildStore(t, g)
+			clean := &ssd.FaultyDevice{PageDevice: dev}
+			cleanOpts := opts
+			cleanOpts.TempDir = t.TempDir()
+			res, err := engine.Run(context.Background(), name, st, clean, cleanOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Triangles != want {
+				t.Fatalf("clean run counted %d, want %d", res.Triangles, want)
+			}
+			reads := clean.Reads()
+			if reads == 0 {
+				t.Fatal("clean run issued no reads; the sweep has no domain")
+			}
+
+			// Fail read k for the leading positions plus the middle and the
+			// very last read, deduplicated.
+			ks := []int64{reads / 2, reads}
+			for k := int64(1); k <= reads && k <= 8; k++ {
+				ks = append(ks, k)
+			}
+			seen := map[int64]bool{}
+			for _, k := range ks {
+				if k < 1 || seen[k] {
+					continue
+				}
+				seen[k] = true
+				t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+					baseline := runtime.NumGoroutine()
+					st, dev := buildStore(t, g)
+					faulty := &ssd.FaultyDevice{PageDevice: dev, FailAt: k}
+					failOpts := opts
+					failOpts.TempDir = t.TempDir()
+					res, err := engine.Run(context.Background(), name, st, faulty, failOpts)
+					if faulty.Reads() < k {
+						// Parallel coalescing and read-ahead make OPT's read
+						// schedule nondeterministic, so this run legitimately
+						// issued fewer reads than the clean one and the fault
+						// never fired — then the count must be exact.
+						if err != nil {
+							t.Fatalf("fault at %d never fired (%d reads) yet the run failed: %v", k, faulty.Reads(), err)
+						}
+						if res.Triangles != want {
+							t.Fatalf("fault at %d never fired yet the count is %d, want %d", k, res.Triangles, want)
+						}
+						return
+					}
+					if err == nil {
+						t.Fatalf("failing read %d surfaced no error (result %+v)", k, res)
+					}
+					if !errors.Is(err, ssd.ErrInjected) {
+						t.Fatalf("error %v does not wrap the injected fault", err)
+					}
+					if res == nil {
+						t.Fatalf("failing read %d lost the partial result", k)
+					}
+					if res.Triangles < 0 || res.Triangles > want {
+						t.Fatalf("partial count %d outside [0, %d]", res.Triangles, want)
+					}
+					if got := faulty.Reads(); got < k {
+						t.Fatalf("device observed %d reads, the fault at %d never fired", got, k)
+					}
+					waitGoroutines(t, baseline, fmt.Sprintf("%s k=%d", name, k))
+				})
+			}
+		})
+	}
+}

@@ -140,33 +140,47 @@ func (o Options) Budget(st *storage.Store) int {
 
 // Validate checks the options against the capabilities of the runner they
 // are destined for. It is the single validation point for every dispatch
-// path.
+// path. Every rejection names the offending field as Options.<Field>, so
+// callers surfacing the error (the optd admission layer, CLI front-ends)
+// report a uniform, greppable message regardless of which knob was bad.
 func (o Options) Validate(info Info) error {
-	if o.Threads < 0 {
-		return fmt.Errorf("engine: Threads must be non-negative, got %d", o.Threads)
+	nonNegative := []struct {
+		field string
+		v     int
+	}{
+		{"Threads", o.Threads},
+		{"QueueDepth", o.QueueDepth},
+		{"MemoryPages", o.MemoryPages},
+		{"MaxCoalescePages", o.MaxCoalescePages},
+		{"PrefetchDepth", o.PrefetchDepth},
 	}
-	if o.QueueDepth < 0 {
-		return fmt.Errorf("engine: QueueDepth must be non-negative, got %d", o.QueueDepth)
-	}
-	if o.MaxCoalescePages < 0 {
-		return fmt.Errorf("engine: MaxCoalescePages must be non-negative, got %d", o.MaxCoalescePages)
-	}
-	if o.PrefetchDepth < 0 {
-		return fmt.Errorf("engine: PrefetchDepth must be non-negative, got %d", o.PrefetchDepth)
-	}
-	if o.MemoryPages < 0 {
-		return fmt.Errorf("engine: MemoryPages must be non-negative, got %d", o.MemoryPages)
+	for _, k := range nonNegative {
+		if k.v < 0 {
+			return fmt.Errorf("engine: Options.%s must be non-negative, got %d", k.field, k.v)
+		}
 	}
 	if f := o.MemoryFraction; f < 0 || f > 1 {
-		return fmt.Errorf("engine: MemoryFraction must lie in (0, 1], got %v", f)
+		return fmt.Errorf("engine: Options.MemoryFraction must lie in (0, 1], got %v", f)
 	}
 	if o.OnTriangles != nil && !info.ListsTriangles {
-		return fmt.Errorf("engine: %s is a counting method and cannot list triangles (OnTriangles must be nil)", info.Name)
+		return fmt.Errorf("engine: Options.OnTriangles must be nil for %s: it is a counting method and cannot list triangles", info.Name)
 	}
 	if o.Model != ModelEdge && !info.Models {
-		return fmt.Errorf("engine: %s does not support iterator model selection", info.Name)
+		return fmt.Errorf("engine: Options.Model is unsupported by %s: it has no iterator model selection", info.Name)
 	}
 	return nil
+}
+
+// ValidateFor validates opts against the runner registered under name
+// without dispatching a run. Admission layers (the optd job manager) use
+// it to reject malformed jobs at submit time through the same single
+// validation point engine.Run applies before dispatch.
+func ValidateFor(name string, opts Options) error {
+	_, info, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("engine: unknown algorithm %q (registered: %v)", name, Names())
+	}
+	return opts.Validate(info)
 }
 
 // Run validates opts, resolves the memory budget, and dispatches to the

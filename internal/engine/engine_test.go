@@ -91,6 +91,53 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateNamesOffendingField pins the error-message contract: every
+// rejection names the offending knob as Options.<Field>, uniformly across
+// the original knobs and the PR 3 additions.
+func TestValidateNamesOffendingField(t *testing.T) {
+	full := Info{Name: "full", ListsTriangles: true, Models: true, Parallel: true}
+	counting := Info{Name: "counting"}
+	cases := []struct {
+		field string
+		opts  Options
+		info  Info
+	}{
+		{"Threads", Options{Threads: -1}, full},
+		{"QueueDepth", Options{QueueDepth: -1}, full},
+		{"MemoryPages", Options{MemoryPages: -1}, full},
+		{"MaxCoalescePages", Options{MaxCoalescePages: -1}, full},
+		{"PrefetchDepth", Options{PrefetchDepth: -1}, full},
+		{"MemoryFraction", Options{MemoryFraction: 2}, full},
+		{"OnTriangles", Options{OnTriangles: func(u, v uint32, ws []uint32) {}}, counting},
+		{"Model", Options{Model: ModelVertex}, counting},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate(tc.info)
+		if err == nil {
+			t.Errorf("%s: invalid options accepted", tc.field)
+			continue
+		}
+		if want := "Options." + tc.field; !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: error %q does not name %q", tc.field, err, want)
+		}
+	}
+}
+
+func TestValidateFor(t *testing.T) {
+	Register(Info{Name: "test-validatefor"}, &fakeRunner{res: &Result{}})
+	if err := ValidateFor("test-validatefor", Options{}); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	err := ValidateFor("test-validatefor", Options{Threads: -1})
+	if err == nil || !strings.Contains(err.Error(), "Options.Threads") {
+		t.Fatalf("ValidateFor = %v, want Options.Threads error", err)
+	}
+	err = ValidateFor("test-no-such-runner", Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("ValidateFor = %v, want unknown-algorithm error", err)
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	r := &fakeRunner{res: &Result{}}
 	Register(Info{Name: "test-registry"}, r)

@@ -81,6 +81,11 @@ func (k Kind) String() string {
 	}
 }
 
+// MarshalText implements encoding.TextMarshaler, so JSON-encoded events —
+// the optd SSE stream, persisted job reports — carry stable kind names
+// instead of raw integers that would shift whenever a kind is inserted.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
 // Event is one observation. The zero Iteration is the first iteration;
 // events not tied to an iteration (RunStart/RunEnd, device-level I/O)
 // leave it at -1 when the emitter knows no iteration, but emitters that

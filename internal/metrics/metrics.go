@@ -192,19 +192,27 @@ func (c *Collector) Reset() {
 	c.prefetchWasted.Store(0)
 }
 
-// Snapshot is an immutable copy of a Collector's counters.
+// Snapshot is an immutable copy of a Collector's counters. The JSON tags
+// make it the per-job metrics export of the optd status API; durations
+// marshal as nanoseconds.
 type Snapshot struct {
-	PagesRead, PagesWritten     int64
-	AsyncReads, SyncReads       int64
-	IntersectOps, Intersections int64
-	Triangles, ReusedPages      int64
-	Iterations, Morphs          int64
-	CoalescedReads              int64
-	CoalescedPages              int64
-	PrefetchHits                int64
-	PrefetchWasted              int64
-	IOWait                      time.Duration
-	ParallelWork, SerialWork    time.Duration
+	PagesRead      int64         `json:"pages_read"`
+	PagesWritten   int64         `json:"pages_written"`
+	AsyncReads     int64         `json:"async_reads"`
+	SyncReads      int64         `json:"sync_reads"`
+	IntersectOps   int64         `json:"intersect_ops"`
+	Intersections  int64         `json:"intersections"`
+	Triangles      int64         `json:"triangles"`
+	ReusedPages    int64         `json:"reused_pages"`
+	Iterations     int64         `json:"iterations"`
+	Morphs         int64         `json:"morphs"`
+	CoalescedReads int64         `json:"coalesced_reads"`
+	CoalescedPages int64         `json:"coalesced_pages"`
+	PrefetchHits   int64         `json:"prefetch_hits"`
+	PrefetchWasted int64         `json:"prefetch_wasted"`
+	IOWait         time.Duration `json:"io_wait_ns"`
+	ParallelWork   time.Duration `json:"parallel_work_ns"`
+	SerialWork     time.Duration `json:"serial_work_ns"`
 }
 
 // Snapshot returns a copy of the current counter values.

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// PageBudget arbitrates the global memory-page budget shared by every
+// concurrently running job. The engine's per-run Options.MemoryPages is
+// the §5 m_in/m_ex buffer budget of one triangulation; when optd runs many
+// jobs on one machine those budgets add up, so the manager acquires a
+// job's resolved page count here before dispatching it and the sum in use
+// never exceeds the configured total — the multi-tenant analogue of the
+// paper's single-run bound.
+type PageBudget struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	total int // 0 = unlimited
+	inUse int
+	high  int // high-water mark of inUse
+	// onChange, when non-nil, observes every acquire/release with the lock
+	// held (test accounting hook — it must not call back into the budget).
+	onChange func(inUse, total int)
+}
+
+// NewPageBudget returns a budget of total pages. total 0 disables
+// arbitration: every Acquire succeeds immediately (accounting still runs).
+func NewPageBudget(total int) *PageBudget {
+	b := &PageBudget{total: total}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Total returns the configured budget (0 = unlimited).
+func (b *PageBudget) Total() int { return b.total }
+
+// SetHook installs fn as the accounting observer. It is called with the
+// budget lock held on every acquire and release; tests use it to assert
+// the in-use sum never exceeds the total.
+func (b *PageBudget) SetHook(fn func(inUse, total int)) {
+	b.mu.Lock()
+	b.onChange = fn
+	b.mu.Unlock()
+}
+
+// InUse returns the pages currently acquired.
+func (b *PageBudget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// HighWater returns the maximum pages ever simultaneously acquired.
+func (b *PageBudget) HighWater() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.high
+}
+
+// Acquire blocks until n pages fit under the total, then takes them. It
+// fails immediately when n can never fit (n > total), and unblocks with
+// ctx's error when the context is cancelled while waiting.
+func (b *PageBudget) Acquire(ctx context.Context, n int) error {
+	if n < 0 {
+		return fmt.Errorf("server: budget acquire of %d pages", n)
+	}
+	if b.total > 0 && n > b.total {
+		return fmt.Errorf("%w: job needs %d pages, global budget is %d", ErrBudgetTooLarge, n, b.total)
+	}
+	// Wake the cond wait when ctx is cancelled, so a drain or DELETE does
+	// not leave a worker parked here forever.
+	stop := context.AfterFunc(ctx, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.cond.Broadcast()
+	})
+	defer stop()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.total > 0 && b.inUse+n > b.total {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	b.inUse += n
+	if b.inUse > b.high {
+		b.high = b.inUse
+	}
+	if b.onChange != nil {
+		b.onChange(b.inUse, b.total)
+	}
+	return nil
+}
+
+// Release returns n pages to the budget.
+func (b *PageBudget) Release(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inUse -= n
+	if b.inUse < 0 {
+		// A release without a matching acquire is a manager bug; clamp so
+		// accounting stays sane and make it visible to the hook.
+		b.inUse = 0
+	}
+	if b.onChange != nil {
+		b.onChange(b.inUse, b.total)
+	}
+	b.cond.Broadcast()
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPageBudgetAcquireRelease(t *testing.T) {
+	b := NewPageBudget(10)
+	ctx := context.Background()
+	if err := b.Acquire(ctx, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.InUse(); got != 6 {
+		t.Fatalf("InUse = %d, want 6", got)
+	}
+
+	// A second acquire that does not fit must block until pages free up.
+	acquired := make(chan error, 1)
+	go func() { acquired <- b.Acquire(ctx, 6) }()
+	select {
+	case err := <-acquired:
+		t.Fatalf("oversubscribing acquire returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Release(6)
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("release did not wake the waiter")
+	}
+	if hw := b.HighWater(); hw != 6 {
+		t.Fatalf("HighWater = %d, want 6", hw)
+	}
+	b.Release(6)
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+}
+
+func TestPageBudgetRejectsImpossible(t *testing.T) {
+	b := NewPageBudget(4)
+	err := b.Acquire(context.Background(), 5)
+	if !errors.Is(err, ErrBudgetTooLarge) {
+		t.Fatalf("Acquire(5) on total 4 = %v, want ErrBudgetTooLarge", err)
+	}
+}
+
+func TestPageBudgetCancelledWait(t *testing.T) {
+	b := NewPageBudget(4)
+	if err := b.Acquire(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Acquire(ctx, 2) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not wake the budget waiter")
+	}
+	if got := b.InUse(); got != 4 {
+		t.Fatalf("InUse after cancelled wait = %d, want 4 (no pages leaked)", got)
+	}
+}
+
+func TestPageBudgetUnlimited(t *testing.T) {
+	// total 0 disables arbitration: acquires never block, but accounting
+	// still tracks the in-use sum so /healthz reports it.
+	b := NewPageBudget(0)
+	for i := 0; i < 50; i++ {
+		if err := b.Acquire(context.Background(), 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.InUse(); got != 50<<20 {
+		t.Fatalf("InUse = %d, want %d", got, 50<<20)
+	}
+	for i := 0; i < 50; i++ {
+		b.Release(1 << 20)
+	}
+	if b.InUse() != 0 {
+		t.Fatal("releases did not return the pages")
+	}
+}
+
+func TestPageBudgetHookObservesEveryTransition(t *testing.T) {
+	b := NewPageBudget(8)
+	var calls []int
+	var mu sync.Mutex
+	b.SetHook(func(inUse, total int) {
+		mu.Lock()
+		calls = append(calls, inUse)
+		mu.Unlock()
+	})
+	ctx := context.Background()
+	_ = b.Acquire(ctx, 3)
+	_ = b.Acquire(ctx, 5)
+	b.Release(5)
+	b.Release(3)
+	want := []int{3, 8, 3, 0}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != len(want) {
+		t.Fatalf("hook calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("hook calls = %v, want %v", calls, want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// retryAfterSeconds is the backpressure hint sent with 429/503 responses.
+// Jobs at laptop scale finish in seconds; a saturated queue usually has
+// capacity again within one.
+const retryAfterSeconds = "1"
+
+// NewHandler builds the optd HTTP API over m:
+//
+//	POST   /jobs             submit a job (202; 200 on a cache hit;
+//	                         429 + Retry-After when the queue is full;
+//	                         503 while draining)
+//	GET    /jobs             list jobs
+//	GET    /jobs/{id}        job status, result, per-job metrics snapshot
+//	DELETE /jobs/{id}        cancel (the run winds down within an iteration)
+//	GET    /jobs/{id}/events server-sent progress events
+//	GET    /stores           registered store names
+//	GET    /healthz          daemon stats (queue, budget, cache)
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	h := &api{m: m}
+	mux.HandleFunc("POST /jobs", h.submit)
+	mux.HandleFunc("GET /jobs", h.list)
+	mux.HandleFunc("GET /jobs/{id}", h.get)
+	mux.HandleFunc("DELETE /jobs/{id}", h.cancel)
+	mux.HandleFunc("GET /jobs/{id}/events", h.stream)
+	mux.HandleFunc("GET /stores", h.stores)
+	mux.HandleFunc("GET /healthz", h.health)
+	return mux
+}
+
+type api struct {
+	m *Manager
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps the manager's error vocabulary onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrBudgetTooLarge):
+		code = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (h *api) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, errors.Join(ErrBadRequest, err))
+		return
+	}
+	job, err := h.m.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if job.Status().Cached {
+		code = http.StatusOK // served from the result cache, already done
+	}
+	writeJSON(w, code, job.Status())
+}
+
+func (h *api) list(w http.ResponseWriter, r *http.Request) {
+	jobs := h.m.Jobs()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *api) get(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (h *api) cancel(w http.ResponseWriter, r *http.Request) {
+	job, err := h.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// stream serves the job's progress as server-sent events: the buffered
+// history first, then live events, then one terminal "done" frame with
+// the final job status once the run reaches a terminal state.
+func (h *api) stream(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("server: streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := job.hub.Subscribe()
+	defer cancel()
+	for _, e := range replay {
+		if err := writeSSE(w, "progress", sseEvent{
+			Kind: e.Kind, Algorithm: e.Algorithm, Iteration: e.Iteration, N: e.N, ElapsedNS: int64(e.Elapsed),
+		}); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				// Hub closed: the job is terminal; send the final status.
+				_ = writeSSE(w, "done", job.Status())
+				flusher.Flush()
+				return
+			}
+			if err := writeSSE(w, "progress", sseEvent{
+				Kind: e.Kind, Algorithm: e.Algorithm, Iteration: e.Iteration, N: e.N, ElapsedNS: int64(e.Elapsed),
+			}); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (h *api) stores(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.m.Stores())
+}
+
+func (h *api) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.m.Stats())
+}

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/optlab/opt/internal/engine"
+	"github.com/optlab/opt/internal/metrics"
+)
+
+// State is a job's position in its lifecycle. The machine is linear with
+// three terminal states:
+//
+//	queued → running → done
+//	                 ↘ failed
+//	queued/running   → canceled   (DELETE, per-job timeout, drain deadline)
+type State int
+
+// Job states.
+const (
+	// StateQueued: admitted, waiting for a worker (or for budget pages).
+	StateQueued State = iota
+	// StateRunning: dispatched to engine.Run with budget pages acquired.
+	StateRunning
+	// StateDone: finished with a full Result.
+	StateDone
+	// StateFailed: finished with an error that was not a cancellation.
+	StateFailed
+	// StateCanceled: cancelled by DELETE, per-job timeout, or drain; a
+	// partial Result may accompany the state, exactly as engine.Run
+	// reports it under cancellation.
+	StateCanceled
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Spec is the client-supplied description of one triangulation job. Store
+// names a store registered with the daemon or a path to an .optstore file;
+// the remaining fields mirror the engine knobs (zero values select the
+// engine defaults).
+type Spec struct {
+	Store            string  `json:"store"`
+	Algorithm        string  `json:"algorithm"`
+	Model            string  `json:"model,omitempty"` // "", "edge", "vertex", "mgt"
+	Threads          int     `json:"threads,omitempty"`
+	MemoryPages      int     `json:"memory_pages,omitempty"`
+	MemoryFraction   float64 `json:"memory_fraction,omitempty"`
+	QueueDepth       int     `json:"queue_depth,omitempty"`
+	MaxCoalescePages int     `json:"max_coalesce_pages,omitempty"`
+	PrefetchDepth    int     `json:"prefetch_depth,omitempty"`
+	Timeout          string  `json:"timeout,omitempty"` // Go duration, e.g. "30s"
+	CollectIterStats bool    `json:"collect_iter_stats,omitempty"`
+}
+
+// engineOptions translates the spec into engine.Options (without an event
+// sink — the manager attaches the job-scoped sink at dispatch).
+func (s Spec) engineOptions() (engine.Options, error) {
+	opts := engine.Options{
+		Threads:          s.Threads,
+		MemoryPages:      s.MemoryPages,
+		MemoryFraction:   s.MemoryFraction,
+		QueueDepth:       s.QueueDepth,
+		MaxCoalescePages: s.MaxCoalescePages,
+		PrefetchDepth:    s.PrefetchDepth,
+		CollectIterStats: s.CollectIterStats,
+	}
+	switch s.Model {
+	case "", "edge":
+		opts.Model = engine.ModelEdge
+	case "vertex":
+		opts.Model = engine.ModelVertex
+	case "mgt":
+		opts.Model = engine.ModelMGTInstance
+	default:
+		return opts, fmt.Errorf("%w: unknown model %q (want edge, vertex or mgt)", ErrBadRequest, s.Model)
+	}
+	return opts, nil
+}
+
+// timeout parses the per-job timeout, 0 when unset.
+func (s Spec) timeout() (time.Duration, error) {
+	if s.Timeout == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s.Timeout)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("%w: invalid timeout %q", ErrBadRequest, s.Timeout)
+	}
+	return d, nil
+}
+
+// digest keys the result cache: two specs with the same digest would run
+// the identical deterministic computation over the same store file, so a
+// completed Result can be served without admission. The resolved store
+// path (not the client's spelling) anchors the key.
+func (s Spec) digest(storePath string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00%d\x00%v\x00%d\x00%d\x00%d\x00%v",
+		storePath, s.Algorithm, s.Model, s.Threads, s.MemoryPages, s.MemoryFraction,
+		s.QueueDepth, s.MaxCoalescePages, s.PrefetchDepth, s.CollectIterStats)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Job is one admitted triangulation request tracked by the manager's
+// in-memory job table.
+type Job struct {
+	// ID is the manager-assigned identifier ("j1", "j2", …).
+	ID string
+	// Spec is the admitted request.
+	Spec Spec
+
+	storePath string // resolved store file path
+	algorithm string // resolved registry name
+	digest    string
+	pages     int // resolved memory budget in pages, acquired before running
+
+	hub       *eventHub
+	collector *metrics.Collector
+
+	mu       sync.Mutex
+	state    State
+	cancel   context.CancelFunc // non-nil once the worker created the run context
+	result   *engine.Result
+	err      error
+	cached   bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	done chan struct{} // closed on reaching a terminal state
+}
+
+// Status is the JSON view of a job served by the HTTP API.
+type Status struct {
+	ID        string            `json:"id"`
+	State     string            `json:"state"`
+	Spec      Spec              `json:"spec"`
+	Algorithm string            `json:"algorithm"`
+	Pages     int               `json:"pages,omitempty"` // resolved budget
+	Cached    bool              `json:"cached,omitempty"`
+	Error     string            `json:"error,omitempty"`
+	Created   time.Time         `json:"created"`
+	Started   *time.Time        `json:"started,omitempty"`
+	Finished  *time.Time        `json:"finished,omitempty"`
+	Result    *ResultView       `json:"result,omitempty"`
+	Metrics   *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// ResultView is the JSON shape of an engine.Result. Partial results (a
+// cancelled or failed run) are served the same way, flagged by the job
+// state and error.
+type ResultView struct {
+	Algorithm    string                 `json:"algorithm"`
+	Triangles    int64                  `json:"triangles"`
+	Iterations   int                    `json:"iterations"`
+	ElapsedNS    time.Duration          `json:"elapsed_ns"`
+	PagesRead    int64                  `json:"pages_read"`
+	PagesWritten int64                  `json:"pages_written"`
+	ReusedPages  int64                  `json:"reused_pages"`
+	IntersectOps int64                  `json:"intersect_ops"`
+	IterStats    []engine.IterationStat `json:"iter_stats,omitempty"`
+}
+
+func viewOf(r *engine.Result) *ResultView {
+	if r == nil {
+		return nil
+	}
+	return &ResultView{
+		Algorithm:    r.Algorithm,
+		Triangles:    r.Triangles,
+		Iterations:   r.Iterations,
+		ElapsedNS:    r.Elapsed,
+		PagesRead:    r.PagesRead,
+		PagesWritten: r.PagesWritten,
+		ReusedPages:  r.ReusedPages,
+		IntersectOps: r.IntersectOps,
+		IterStats:    r.IterStats,
+	}
+}
+
+// Status returns a consistent snapshot of the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:        j.ID,
+		State:     j.state.String(),
+		Spec:      j.Spec,
+		Algorithm: j.algorithm,
+		Pages:     j.pages,
+		Cached:    j.cached,
+		Created:   j.created,
+		Result:    viewOf(j.result),
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	if j.state.Terminal() && j.collector != nil {
+		snap := j.collector.Snapshot()
+		s.Metrics = &snap
+	}
+	return s
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the (possibly partial) result and error after the job
+// reached a terminal state; both are nil/nil before that.
+func (j *Job) Result() (*engine.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, nil
+	}
+	return j.result, j.err
+}
+
+// finish moves the job to a terminal state, records the outcome, wakes
+// Done waiters, and closes the event hub so SSE streams terminate.
+func (j *Job) finish(state State, res *engine.Result, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+	j.hub.Close()
+}

@@ -1,0 +1,471 @@
+// Package server is the optd serving layer: a job manager that runs
+// triangulation jobs through engine.Run under a bounded worker pool, a
+// bounded admission queue with backpressure, and a global memory-page
+// budget, plus the HTTP/SSE front-end in http.go. DESIGN.md §10 documents
+// the job lifecycle, the admission and budget rules, and the event
+// mapping; this package is the substrate later scaling work (sharding,
+// remote workers) builds on.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/optlab/opt/internal/engine"
+	"github.com/optlab/opt/internal/events"
+	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/storage"
+)
+
+// Admission and lifecycle errors. The HTTP layer maps each onto a status
+// code; programmatic callers classify with errors.Is.
+var (
+	// ErrQueueFull: the bounded admission queue is at capacity → 429.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrDraining: the daemon received SIGTERM and stopped admitting → 503.
+	ErrDraining = errors.New("server: draining, not admitting jobs")
+	// ErrBadRequest: the spec is malformed or fails engine validation → 400.
+	ErrBadRequest = errors.New("server: bad request")
+	// ErrBudgetTooLarge: the job's resolved memory budget exceeds the
+	// global page budget, so it could never be scheduled → 413.
+	ErrBudgetTooLarge = errors.New("server: job exceeds global page budget")
+	// ErrNotFound: no job with that id → 404.
+	ErrNotFound = errors.New("server: no such job")
+)
+
+// Config sizes the manager. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the bounded pool size: at most Workers jobs run
+	// concurrently (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue: at most QueueDepth admitted
+	// jobs wait for a worker; beyond that Submit fails with ErrQueueFull
+	// (default 8).
+	QueueDepth int
+	// TotalPages is the global memory-page budget shared by concurrently
+	// running jobs; a job's resolved Options.MemoryPages is acquired from
+	// it before the run starts. 0 disables arbitration.
+	TotalPages int
+	// DefaultTimeout applies to jobs whose spec carries none (0 = no
+	// limit).
+	DefaultTimeout time.Duration
+	// EventBuffer is the per-job event ring/channel capacity (default 256).
+	EventBuffer int
+	// TempDir hosts per-job scratch directories (default: os.TempDir()).
+	TempDir string
+	// OnBudget, when non-nil, observes every budget acquire/release as
+	// (inUse, total) — the accounting hook the backpressure tests assert
+	// the never-exceeded invariant through.
+	OnBudget func(inUse, total int)
+}
+
+// Manager owns the job table, the worker pool, and the admission state.
+type Manager struct {
+	cfg    Config
+	budget *PageBudget
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	rootCtx    context.Context // parent of every job context; cancelled at the drain deadline
+	cancelJobs context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	seq      int64
+	jobs     map[string]*Job
+	order    []*Job            // insertion order for listing
+	stores   map[string]string // registered name → path
+	opened   map[string]*storage.Store
+	cache    map[string]*cacheEntry
+	hits     int64
+}
+
+// cacheEntry is a digest-keyed completed result.
+type cacheEntry struct {
+	result  *engine.Result
+	metrics metrics.Snapshot
+}
+
+// New starts a manager with cfg's worker pool running.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	m := &Manager{
+		cfg:    cfg,
+		budget: NewPageBudget(cfg.TotalPages),
+		queue:  make(chan *Job, cfg.QueueDepth),
+		jobs:   make(map[string]*Job),
+		stores: make(map[string]string),
+		opened: make(map[string]*storage.Store),
+		cache:  make(map[string]*cacheEntry),
+	}
+	m.budget.SetHook(cfg.OnBudget)
+	m.rootCtx, m.cancelJobs = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Budget exposes the global page-budget accounting.
+func (m *Manager) Budget() *PageBudget { return m.budget }
+
+// RegisterStore opens the store at path and makes it addressable as name
+// in job specs.
+func (m *Manager) RegisterStore(name, path string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty store name", ErrBadRequest)
+	}
+	st, err := storage.Open(path)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stores[name] = path
+	m.opened[path] = st
+	return nil
+}
+
+// Stores returns the registered store names, sorted.
+func (m *Manager) Stores() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.stores))
+	for n := range m.stores {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resolveStore maps a spec's store field — registered name or file path —
+// onto an opened store. Ad-hoc paths are opened once and cached; the
+// directories are memory resident but the data file is only opened per
+// job, so a cached store holds no descriptor.
+func (m *Manager) resolveStore(ref string) (*storage.Store, error) {
+	if ref == "" {
+		return nil, fmt.Errorf("%w: spec.store is required", ErrBadRequest)
+	}
+	m.mu.Lock()
+	path, ok := m.stores[ref]
+	if !ok {
+		path = ref
+	}
+	if st, ok := m.opened[path]; ok {
+		m.mu.Unlock()
+		return st, nil
+	}
+	m.mu.Unlock()
+	st, err := storage.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: opening store %q: %v", ErrBadRequest, ref, err)
+	}
+	m.mu.Lock()
+	m.opened[path] = st
+	m.mu.Unlock()
+	return st, nil
+}
+
+// Submit validates and admits a job. The fast path — a digest cache hit —
+// returns an already-completed job without consuming queue or budget
+// capacity. Admission failures are ErrBadRequest/ErrBudgetTooLarge
+// (rejected outright), ErrQueueFull (backpressure: retry later) or
+// ErrDraining (shutting down).
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if m.isDraining() {
+		return nil, ErrDraining
+	}
+	if spec.Algorithm == "" {
+		spec.Algorithm = "OPT"
+	}
+	opts, err := spec.engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := spec.timeout(); err != nil {
+		return nil, err
+	}
+	if err := engine.ValidateFor(spec.Algorithm, opts); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	st, err := m.resolveStore(spec.Store)
+	if err != nil {
+		return nil, err
+	}
+	pages := opts.Budget(st)
+	if total := m.budget.Total(); total > 0 && pages > total {
+		return nil, fmt.Errorf("%w: job needs %d pages, global budget is %d", ErrBudgetTooLarge, pages, total)
+	}
+
+	job := &Job{
+		Spec:      spec,
+		storePath: st.Path,
+		algorithm: spec.Algorithm,
+		digest:    spec.digest(st.Path),
+		pages:     pages,
+		hub:       newEventHub(m.cfg.EventBuffer),
+		collector: metrics.NewCollector(),
+		created:   time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.seq++
+	job.ID = "j" + strconv.FormatInt(m.seq, 10)
+	if hit, ok := m.cache[job.digest]; ok {
+		// Served from the result cache: the job is recorded in the table
+		// as done without ever touching the queue, budget, or a worker.
+		m.hits++
+		job.cached = true
+		job.started = job.created
+		res := *hit.result
+		m.jobs[job.ID] = job
+		m.order = append(m.order, job)
+		m.mu.Unlock()
+		job.finish(StateDone, &res, nil)
+		return job, nil
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job)
+	m.mu.Unlock()
+	return job, nil
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every tracked job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Job(nil), m.order...)
+}
+
+// Cancel cancels the job with the given id: a queued job moves straight
+// to canceled (the worker will skip it), a running one has its context
+// cancelled and winds down within an iteration, reporting the partial
+// result. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	queued := j.state == StateQueued && cancel == nil
+	j.mu.Unlock()
+	switch {
+	case queued:
+		j.finish(StateCanceled, nil, fmt.Errorf("server: job %s canceled before start: %w", id, context.Canceled))
+	case cancel != nil:
+		cancel()
+	}
+	return j, nil
+}
+
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// CacheHits returns the number of submissions served from the result
+// cache.
+func (m *Manager) CacheHits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits
+}
+
+// Drain shuts the manager down gracefully: admission stops immediately
+// (Submit fails with ErrDraining), in-flight and queued jobs get up to
+// deadline to finish, then every remaining job context is cancelled and
+// Drain waits for the workers to wind down — the engine contract bounds
+// that by one iteration per job. It reports whether the deadline forced
+// cancellation. Drain is idempotent; concurrent calls share the outcome.
+func (m *Manager) Drain(deadline time.Duration) (forced bool) {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(workersDone)
+	}()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case <-workersDone:
+	case <-timer.C:
+		forced = true
+		m.cancelJobs()
+		<-workersDone
+	}
+	// Idempotence: a second Drain finds the pool already stopped, and any
+	// job left queued was finalized by the worker loop before exit.
+	m.cancelJobs()
+	return forced
+}
+
+// worker pulls admitted jobs off the bounded queue until it closes at
+// drain time, finalizing every job it pops on every path.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.run(job)
+	}
+}
+
+// run executes one job end to end: context and timeout setup, budget
+// acquisition, device open, engine dispatch, and terminal-state
+// accounting.
+func (m *Manager) run(job *Job) {
+	// A DELETE may have finalized the job while it sat in the queue.
+	if job.State().Terminal() {
+		return
+	}
+	timeout, _ := job.Spec.timeout() // validated at admission
+	if timeout == 0 {
+		timeout = m.cfg.DefaultTimeout
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(m.rootCtx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(m.rootCtx)
+	}
+	defer cancel()
+	job.mu.Lock()
+	if job.state.Terminal() { // raced with DELETE
+		job.mu.Unlock()
+		return
+	}
+	job.cancel = cancel
+	job.mu.Unlock()
+
+	// The budget wait happens while still queued: pages are only held by
+	// running jobs, so the in-use sum tracks actual concurrent budgets.
+	if err := m.budget.Acquire(ctx, job.pages); err != nil {
+		job.finish(stateForError(err), nil, fmt.Errorf("server: job %s waiting for page budget: %w", job.ID, err))
+		return
+	}
+	defer m.budget.Release(job.pages)
+
+	st, err := m.resolveStore(job.storePath)
+	if err != nil {
+		job.finish(StateFailed, nil, err)
+		return
+	}
+	dev, err := st.Device()
+	if err != nil {
+		job.finish(StateFailed, nil, fmt.Errorf("server: job %s opening device: %w", job.ID, err))
+		return
+	}
+
+	tempDir, err := os.MkdirTemp(m.cfg.TempDir, "optd-job-")
+	if err != nil {
+		_ = dev.Close()
+		job.finish(StateFailed, nil, err)
+		return
+	}
+	defer func() { _ = os.RemoveAll(tempDir) }()
+
+	opts, _ := job.Spec.engineOptions() // validated at admission
+	opts.MemoryPages = job.pages
+	opts.TempDir = tempDir
+	opts.Events = events.Tee(job.collector, job.hub)
+
+	job.mu.Lock()
+	job.state = StateRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	res, err := engine.Run(ctx, job.algorithm, st, dev, opts)
+	if cerr := dev.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err == nil {
+		m.mu.Lock()
+		m.cache[job.digest] = &cacheEntry{result: res, metrics: job.collector.Snapshot()}
+		m.mu.Unlock()
+		job.finish(StateDone, res, nil)
+		return
+	}
+	job.finish(stateForError(err), res, err)
+}
+
+// stateForError maps a run error onto the terminal state: cancellation
+// (DELETE, per-job timeout, drain) is StateCanceled, everything else
+// StateFailed.
+func stateForError(err error) State {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return StateCanceled
+	}
+	return StateFailed
+}
+
+// Stats is the daemon-level accounting served by /healthz.
+type Stats struct {
+	Workers     int   `json:"workers"`
+	QueueLen    int   `json:"queue_len"`
+	QueueCap    int   `json:"queue_cap"`
+	Draining    bool  `json:"draining"`
+	Jobs        int   `json:"jobs"`
+	BudgetTotal int   `json:"budget_total_pages"`
+	BudgetUsed  int   `json:"budget_in_use_pages"`
+	BudgetHigh  int   `json:"budget_high_water_pages"`
+	CacheHits   int64 `json:"cache_hits"`
+}
+
+// Stats returns a point-in-time snapshot of the manager.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	s := Stats{
+		Workers:   m.cfg.Workers,
+		QueueLen:  len(m.queue),
+		QueueCap:  m.cfg.QueueDepth,
+		Draining:  m.draining,
+		Jobs:      len(m.jobs),
+		CacheHits: m.hits,
+	}
+	m.mu.Unlock()
+	s.BudgetTotal = m.budget.Total()
+	s.BudgetUsed = m.budget.InUse()
+	s.BudgetHigh = m.budget.HighWater()
+	return s
+}

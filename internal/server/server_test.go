@@ -1,0 +1,659 @@
+// Package server_test drives the optd serving layer end to end over real
+// HTTP: bounded admission with 429 backpressure, global page-budget
+// arbitration, SSE progress streams, DELETE cancellation, digest-keyed
+// result caching, and graceful drain with zero goroutine leaks.
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/optlab/opt/internal/engine"
+	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/server"
+	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/storage"
+
+	_ "github.com/optlab/opt/internal/baselines/mgt" // registers "MGT"
+)
+
+// gate lets tests hold admitted jobs inside engine.Run until released, so
+// worker-pool and queue occupancy are deterministic. Each test installs
+// its own channel.
+var gate atomic.Value // chan struct{}
+
+// gatedRunner blocks on the current gate channel (if any), then delegates
+// to the real MGT runner. Cancellation while parked returns a partial
+// result plus the context error, exactly per the Runner contract.
+type gatedRunner struct{}
+
+func (gatedRunner) Run(ctx context.Context, st *storage.Store, dev ssd.PageDevice, opts engine.Options) (*engine.Result, error) {
+	if ch, _ := gate.Load().(chan struct{}); ch != nil {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return &engine.Result{}, ctx.Err()
+		}
+	}
+	r, _, ok := engine.Lookup("MGT")
+	if !ok {
+		return nil, errors.New("MGT runner not registered")
+	}
+	return r.Run(ctx, st, dev, opts)
+}
+
+// blockingRunner parks until cancelled, returning a partial result — the
+// drain-deadline tests use it to force the forced-cancellation path.
+type blockingRunner struct{}
+
+func (blockingRunner) Run(ctx context.Context, st *storage.Store, dev ssd.PageDevice, opts engine.Options) (*engine.Result, error) {
+	<-ctx.Done()
+	return &engine.Result{Triangles: 1, Iterations: 1}, ctx.Err()
+}
+
+func init() {
+	engine.Register(engine.Info{Name: "test-gated", Parallel: true}, gatedRunner{})
+	engine.Register(engine.Info{Name: "test-blocking"}, blockingRunner{})
+}
+
+// buildStore writes g into a fresh slotted-page store file and returns its
+// path.
+func buildStore(t testing.TB, g *graph.Graph, pageSize int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.optstore")
+	if _, err := storage.BuildFile(path, g, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec server.Spec) (int, server.Status, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.Status
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding job status: %v", err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, st, resp.Header
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) server.Status {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s = %d", id, resp.StatusCode)
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitState(t *testing.T, m *server.Manager, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if j.State().String() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := m.Get(id)
+	t.Fatalf("job %s never reached %q (state %v)", id, want, j.State())
+}
+
+// waitGoroutines polls until the live goroutine count drops back to the
+// baseline, failing the leak check otherwise.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d live, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+// TestBackpressureE2E is the acceptance scenario: a daemon with worker
+// pool 2 and queue depth 2 takes 8 jobs; exactly the 4 overflow jobs get
+// 429 + Retry-After, every admitted job finishes with the in-memory
+// reference count, the global page budget is never exceeded (asserted
+// through the accounting hook), and the drain completes within its
+// deadline leaking zero goroutines.
+func TestBackpressureE2E(t *testing.T) {
+	g := graph.Complete(25)
+	want := graph.CountTrianglesReference(g) // C(25,3) = 2300
+	path := buildStore(t, g, 128)
+
+	const (
+		perJobPages = 8
+		totalPages  = 2 * perJobPages // exactly two concurrent budgets
+	)
+	// The hook runs under the budget lock, so plain fields are safe.
+	var (
+		maxInUse int
+		violated bool
+	)
+	baseline := runtime.NumGoroutine()
+	m := server.New(server.Config{
+		Workers:    2,
+		QueueDepth: 2,
+		TotalPages: totalPages,
+		OnBudget: func(inUse, total int) {
+			if inUse > maxInUse {
+				maxInUse = inUse
+			}
+			if inUse > total {
+				violated = true
+			}
+		},
+	})
+	ts := httptest.NewServer(server.NewHandler(m))
+	defer ts.Close()
+
+	release := make(chan struct{})
+	gate.Store(release)
+
+	spec := func(i int) server.Spec {
+		return server.Spec{
+			Store:       path,
+			Algorithm:   "test-gated",
+			MemoryPages: perJobPages,
+			Threads:     i + 1, // distinct digests: no accidental cache hits
+		}
+	}
+
+	// Fill the pool: two jobs admitted and parked inside engine.Run with
+	// their budgets acquired.
+	var admitted []string
+	for i := 0; i < 2; i++ {
+		code, st, _ := postJob(t, ts, spec(i))
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d: status %d, want 202", i, code)
+		}
+		admitted = append(admitted, st.ID)
+		waitState(t, m, st.ID, "running")
+	}
+	// Fill the queue: two more admitted, parked in the bounded queue.
+	for i := 2; i < 4; i++ {
+		code, st, _ := postJob(t, ts, spec(i))
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d: status %d, want 202", i, code)
+		}
+		admitted = append(admitted, st.ID)
+	}
+	// Overflow: four concurrent submissions beyond pool+queue must all be
+	// rejected with 429 and a Retry-After hint.
+	var wg sync.WaitGroup
+	var rejected atomic.Int32
+	for i := 4; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _, hdr := postJob(t, ts, spec(i))
+			if code != http.StatusTooManyRequests {
+				t.Errorf("overflow job %d: status %d, want 429", i, code)
+				return
+			}
+			if hdr.Get("Retry-After") == "" {
+				t.Errorf("overflow job %d: missing Retry-After", i)
+			}
+			rejected.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	if got := rejected.Load(); got != 4 {
+		t.Fatalf("rejected %d jobs, want exactly 4", got)
+	}
+	if len(m.Jobs()) != 4 {
+		t.Fatalf("job table has %d entries, want the 4 admitted", len(m.Jobs()))
+	}
+
+	// Release the gate: the two runners proceed, the queue drains, all four
+	// admitted jobs complete with the reference count.
+	close(release)
+	gate.Store((chan struct{})(nil))
+	for _, id := range admitted {
+		waitState(t, m, id, "done")
+		st := getStatus(t, ts, id)
+		if st.Result == nil || st.Result.Triangles != want {
+			t.Fatalf("job %s: result %+v, want %d triangles", id, st.Result, want)
+		}
+		if st.Error != "" {
+			t.Fatalf("job %s: unexpected error %q", id, st.Error)
+		}
+	}
+
+	// Budget invariant: with the pool parked, both budgets were held at
+	// once (high water = total), and the hook never saw an overshoot.
+	if violated {
+		t.Fatalf("page budget exceeded: hook saw in-use > %d", totalPages)
+	}
+	if maxInUse != totalPages {
+		t.Fatalf("budget high water %d, want %d (two concurrent jobs)", maxInUse, totalPages)
+	}
+	if hw := m.Budget().HighWater(); hw != totalPages {
+		t.Fatalf("Budget().HighWater() = %d, want %d", hw, totalPages)
+	}
+
+	// Graceful drain: nothing in flight, so the pool winds down well
+	// within the deadline and no goroutines outlive the manager.
+	start := time.Now()
+	if forced := m.Drain(5 * time.Second); forced {
+		t.Fatal("idle drain hit the deadline")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("drain took %v, want under the deadline", d)
+	}
+	if _, err := m.Submit(spec(9)); !errors.Is(err, server.ErrDraining) {
+		t.Fatalf("Submit after drain = %v, want ErrDraining", err)
+	}
+	ts.Close()
+	ts.Client().CloseIdleConnections()
+	waitGoroutines(t, baseline)
+}
+
+// TestDrainDeadlineForcesCancel pins the forced path: a job parked past
+// the drain deadline is cancelled, keeps its partial result, and the
+// workers still exit promptly.
+func TestDrainDeadlineForcesCancel(t *testing.T) {
+	path := buildStore(t, graph.Complete(10), 128)
+	baseline := runtime.NumGoroutine()
+	m := server.New(server.Config{Workers: 1, QueueDepth: 1})
+
+	job, err := m.Submit(server.Spec{Store: path, Algorithm: "test-blocking"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, job.ID, "running")
+
+	start := time.Now()
+	forced := m.Drain(100 * time.Millisecond)
+	if !forced {
+		t.Fatal("drain with a blocked job must report forced cancellation")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("forced drain took %v, want prompt wind-down after the deadline", d)
+	}
+	if st := job.State(); st != server.StateCanceled {
+		t.Fatalf("job state = %v, want canceled", st)
+	}
+	res, err := job.Result()
+	if res == nil || res.Triangles != 1 {
+		t.Fatalf("partial result %+v, want the runner's progress kept", res)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("job error = %v, want context.Canceled", err)
+	}
+	// Idempotent: a second drain returns immediately without forcing.
+	if m.Drain(time.Millisecond) {
+		t.Fatal("second drain reported forced")
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestCancelQueuedAndRunning covers DELETE for both lifecycle positions:
+// a queued job moves straight to canceled without running; a running job
+// winds down with a partial result and the canceled state.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	path := buildStore(t, graph.Complete(10), 128)
+	m := server.New(server.Config{Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(server.NewHandler(m))
+	defer ts.Close()
+	defer m.Drain(5 * time.Second)
+
+	release := make(chan struct{})
+	gate.Store(release)
+	defer gate.Store((chan struct{})(nil))
+
+	running, err := m.Submit(server.Spec{Store: path, Algorithm: "test-gated"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, "running")
+	queued, err := m.Submit(server.Spec{Store: path, Algorithm: "test-gated", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	del := func(id string) (int, server.Status) {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st server.Status
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		return resp.StatusCode, st
+	}
+
+	if code, _ := del(queued.ID); code != http.StatusAccepted {
+		t.Fatalf("DELETE queued = %d, want 202", code)
+	}
+	waitState(t, m, queued.ID, "canceled")
+	if st := getStatus(t, ts, queued.ID); st.Started != nil {
+		t.Fatalf("queued job started=%v after cancel; it must never run", st.Started)
+	}
+
+	if code, _ := del(running.ID); code != http.StatusAccepted {
+		t.Fatalf("DELETE running = %d, want 202", code)
+	}
+	waitState(t, m, running.ID, "canceled")
+	res, runErr := running.Result()
+	if res == nil {
+		t.Fatal("cancelled running job lost its partial result")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("cancelled job error = %v, want context.Canceled", runErr)
+	}
+	// Cancelling a terminal job is a no-op, not an error.
+	if code, st := del(running.ID); code != http.StatusAccepted || st.State != "canceled" {
+		t.Fatalf("re-DELETE = %d/%s, want 202/canceled", code, st.State)
+	}
+}
+
+// TestResultCache pins the digest-keyed fast path: an identical spec over
+// the same store is served 200 from the cache without re-running, while
+// any spec difference forces a fresh 202 run.
+func TestResultCache(t *testing.T) {
+	g := graph.Complete(12)
+	want := graph.CountTrianglesReference(g)
+	path := buildStore(t, g, 128)
+	m := server.New(server.Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(server.NewHandler(m))
+	defer ts.Close()
+	defer m.Drain(5 * time.Second)
+
+	spec := server.Spec{Store: path, Algorithm: "MGT", MemoryPages: 4}
+	code, first, _ := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", code)
+	}
+	waitState(t, m, first.ID, "done")
+
+	code, second, _ := postJob(t, ts, spec)
+	if code != http.StatusOK {
+		t.Fatalf("identical resubmit = %d, want 200 (cache hit)", code)
+	}
+	if !second.Cached || second.State != "done" {
+		t.Fatalf("resubmit status = %+v, want cached done", second)
+	}
+	if second.Result == nil || second.Result.Triangles != want {
+		t.Fatalf("cached result %+v, want %d triangles", second.Result, want)
+	}
+	if hits := m.CacheHits(); hits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", hits)
+	}
+
+	differing := spec
+	differing.MemoryPages = 6
+	if code, third, _ := postJob(t, ts, differing); code != http.StatusAccepted {
+		t.Fatalf("differing spec = %d, want a fresh 202 run", code)
+	} else {
+		waitState(t, m, third.ID, "done")
+	}
+}
+
+// TestSSEStream reads a job's event stream end to end: buffered progress
+// replay, then the terminal "done" frame carrying the final status.
+func TestSSEStream(t *testing.T) {
+	g := graph.Complete(12)
+	want := graph.CountTrianglesReference(g)
+	path := buildStore(t, g, 128)
+	m := server.New(server.Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(server.NewHandler(m))
+	defer ts.Close()
+	defer m.Drain(5 * time.Second)
+
+	job, err := m.Submit(server.Spec{Store: path, Algorithm: "MGT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	var progress, done []string
+	var current string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			current = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			if current == "done" {
+				done = append(done, data)
+			} else {
+				progress = append(progress, data)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("got %d done frames, want exactly 1 (progress: %v)", len(done), progress)
+	}
+	joined := strings.Join(progress, "\n")
+	for _, kind := range []string{"run-start", "run-end"} {
+		if !strings.Contains(joined, fmt.Sprintf("%q", kind)) {
+			t.Errorf("progress frames missing kind %q:\n%s", kind, joined)
+		}
+	}
+	var final server.Status
+	if err := json.Unmarshal([]byte(done[0]), &final); err != nil {
+		t.Fatalf("done frame %q: %v", done[0], err)
+	}
+	if final.State != "done" || final.Result == nil || final.Result.Triangles != want {
+		t.Fatalf("done frame = %+v, want done with %d triangles", final, want)
+	}
+	if final.Metrics == nil || final.Metrics.PagesRead == 0 {
+		t.Fatalf("done frame metrics = %+v, want a per-job snapshot with I/O", final.Metrics)
+	}
+}
+
+// TestBudgetSerializesJobs runs two jobs whose budgets cannot coexist: the
+// second must wait for the first to release its pages, and the accounting
+// hook must never observe in-use above the total.
+func TestBudgetSerializesJobs(t *testing.T) {
+	g := graph.Complete(12)
+	want := graph.CountTrianglesReference(g)
+	path := buildStore(t, g, 128)
+	var maxInUse int
+	m := server.New(server.Config{
+		Workers:    2,
+		QueueDepth: 2,
+		TotalPages: 8,
+		OnBudget: func(inUse, total int) {
+			if inUse > maxInUse {
+				maxInUse = inUse
+			}
+		},
+	})
+	defer m.Drain(5 * time.Second)
+
+	var jobs []*server.Job
+	for i := 0; i < 2; i++ {
+		j, err := m.Submit(server.Spec{Store: path, Algorithm: "MGT", MemoryPages: 8, Threads: i + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		<-j.Done()
+		res, err := j.Result()
+		if err != nil {
+			t.Fatalf("job %s: %v", j.ID, err)
+		}
+		if res.Triangles != want {
+			t.Fatalf("job %s: %d triangles, want %d", j.ID, res.Triangles, want)
+		}
+	}
+	if maxInUse > 8 {
+		t.Fatalf("budget high water %d with total 8: jobs were not serialized", maxInUse)
+	}
+}
+
+// TestSubmitValidation maps every admission failure onto its HTTP status.
+func TestSubmitValidation(t *testing.T) {
+	path := buildStore(t, graph.Complete(10), 128)
+	m := server.New(server.Config{Workers: 1, QueueDepth: 1, TotalPages: 10})
+	ts := httptest.NewServer(server.NewHandler(m))
+	defer ts.Close()
+	defer m.Drain(5 * time.Second)
+
+	cases := []struct {
+		name string
+		spec server.Spec
+		code int
+	}{
+		{"unknown algorithm", server.Spec{Store: path, Algorithm: "nope"}, http.StatusBadRequest},
+		{"bad model", server.Spec{Store: path, Algorithm: "MGT", Model: "diagonal"}, http.StatusBadRequest},
+		{"negative threads", server.Spec{Store: path, Algorithm: "MGT", Threads: -1}, http.StatusBadRequest},
+		{"bad timeout", server.Spec{Store: path, Algorithm: "MGT", Timeout: "soon"}, http.StatusBadRequest},
+		{"missing store", server.Spec{Algorithm: "MGT"}, http.StatusBadRequest},
+		{"unreadable store", server.Spec{Store: path + ".missing", Algorithm: "MGT"}, http.StatusBadRequest},
+		{"budget too large", server.Spec{Store: path, Algorithm: "MGT", MemoryPages: 64}, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		if code, _, _ := postJob(t, ts, tc.spec); code != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.code)
+		}
+	}
+	// Validation errors must name the offending field uniformly.
+	_, err := m.Submit(server.Spec{Store: path, Algorithm: "MGT", Threads: -1})
+	if err == nil || !strings.Contains(err.Error(), "Options.Threads") {
+		t.Fatalf("Submit error %v, want it to name Options.Threads", err)
+	}
+
+	for _, target := range []string{"/jobs/j999", "/jobs/j999/events"} {
+		resp, err := ts.Client().Get(ts.URL + target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", target, resp.StatusCode)
+		}
+	}
+}
+
+// TestRegisteredStores covers name-based store addressing: /stores lists
+// registrations and specs may reference stores by name.
+func TestRegisteredStores(t *testing.T) {
+	g := graph.Complete(12)
+	want := graph.CountTrianglesReference(g)
+	path := buildStore(t, g, 128)
+	m := server.New(server.Config{Workers: 1, QueueDepth: 1})
+	defer m.Drain(5 * time.Second)
+	if err := m.RegisterStore("k12", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterStore("", path); err == nil {
+		t.Fatal("empty store name must be rejected")
+	}
+	ts := httptest.NewServer(server.NewHandler(m))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/stores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(names) != 1 || names[0] != "k12" {
+		t.Fatalf("/stores = %v, want [k12]", names)
+	}
+
+	job, err := m.Submit(server.Spec{Store: "k12", Algorithm: "MGT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	res, err := job.Result()
+	if err != nil || res.Triangles != want {
+		t.Fatalf("named-store job = %+v/%v, want %d triangles", res, err, want)
+	}
+}
+
+// TestJobTimeout pins the per-job deadline: a spec timeout expires, the
+// run is cancelled, and the state is canceled with the deadline error.
+func TestJobTimeout(t *testing.T) {
+	path := buildStore(t, graph.Complete(10), 128)
+	m := server.New(server.Config{Workers: 1, QueueDepth: 1})
+	defer m.Drain(5 * time.Second)
+
+	job, err := m.Submit(server.Spec{Store: path, Algorithm: "test-blocking", Timeout: "50ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("job timeout never fired")
+	}
+	if st := job.State(); st != server.StateCanceled {
+		t.Fatalf("state = %v, want canceled on timeout", st)
+	}
+	_, runErr := job.Result()
+	if !errors.Is(runErr, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want DeadlineExceeded", runErr)
+	}
+}

@@ -15,6 +15,10 @@ type FaultyDevice struct {
 	PageDevice
 	// FailEveryN makes every Nth read fail (1-based count). 0 disables.
 	FailEveryN int64
+	// FailAt makes exactly the FailAt-th read fail (1-based count), once —
+	// the fault-sweep tests use it to walk a single injected failure across
+	// every read position of a run. 0 disables.
+	FailAt int64
 	// FailPage makes any read covering this page fail when FailPageSet.
 	FailPage    uint32
 	FailPageSet bool
@@ -26,6 +30,9 @@ type FaultyDevice struct {
 func (d *FaultyDevice) ReadPages(first uint32, count int) ([]byte, error) {
 	n := d.reads.Add(1)
 	if d.FailEveryN > 0 && n%d.FailEveryN == 0 {
+		return nil, ErrInjected
+	}
+	if d.FailAt > 0 && n == d.FailAt {
 		return nil, ErrInjected
 	}
 	if d.FailPageSet && first <= d.FailPage && d.FailPage < first+uint32(count) {
