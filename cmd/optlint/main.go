@@ -2,12 +2,18 @@
 // typechecks them with the standard library toolchain, and runs the OPT
 // project's analyzer suite (see internal/lint). Findings print one per
 // line as "file:line:col: [rule] message"; with -json they print as a JSON
-// array instead. The exit status is 0 when the tree is clean, 1 when any
-// finding was reported, and 2 on a load or typecheck failure.
+// array, with -sarif as a SARIF 2.1.0 log for GitHub code scanning. -fix
+// applies each finding's suggested edit in place and reports what remains.
+// //optlint:ignore <rule> <reason> comments suppress matching findings on
+// the same or next line; a reason-less or unused directive is itself a
+// finding. The exit status is 0 when the tree is clean, 1 when any finding
+// was reported, and 2 on a load or typecheck failure.
 //
 // Usage:
 //
 //	go run ./cmd/optlint ./...
+//	go run ./cmd/optlint -fix ./internal/server
+//	go run ./cmd/optlint -sarif ./... > optlint.sarif
 package main
 
 import (
@@ -21,7 +27,13 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log (for code scanning upload)")
+	applyFix := flag.Bool("fix", false, "apply suggested fixes in place, then report the remaining findings")
 	flag.Parse()
+
+	if *jsonOut && *sarifOut {
+		fatal(fmt.Errorf("-json and -sarif are mutually exclusive"))
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -32,20 +44,62 @@ func main() {
 		fatal(err)
 	}
 	openExport := func(path string) (io.ReadCloser, error) { return os.Open(path) }
-	loader, err := lint.NewLoader(cwd, openExport, patterns...)
+	analyzers := lint.Default("")
+	// load analyzes the tree once; fixed reports that suggested fixes were
+	// written to disk, which invalidates every recorded position.
+	load := func() (findings []lint.Finding, fixed bool, err error) {
+		loader, err := lint.NewLoader(cwd, openExport, patterns...)
+		if err != nil {
+			return nil, false, err
+		}
+		pkgs, err := loader.Load()
+		if err != nil {
+			return nil, false, err
+		}
+		analyzers = lint.Default(loader.ModulePath())
+		findings = lint.Analyze(pkgs, analyzers)
+		findings = lint.ApplySuppressions(pkgs, findings)
+		if *applyFix {
+			patched, n, err := lint.ApplyFixes(loader.Fset, findings, os.ReadFile)
+			if err != nil {
+				return nil, false, err
+			}
+			if n > 0 {
+				for path, content := range patched {
+					if err := writeFile(path, content); err != nil {
+						return nil, false, err
+					}
+				}
+				fmt.Fprintf(os.Stderr, "optlint: applied %d fixes across %d files\n", n, len(patched))
+				return nil, true, nil
+			}
+		}
+		return findings, false, nil
+	}
+
+	findings, fixed, err := load()
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := loader.Load()
-	if err != nil {
-		fatal(err)
+	if fixed {
+		// Fixes were applied; re-analyze the patched tree so the report
+		// (and the exit status) describes what is actually left.
+		findings, fixed, err = load()
+		if err != nil {
+			fatal(err)
+		}
+		if fixed {
+			fatal(fmt.Errorf("fixes were not idempotent: second -fix pass still produced edits"))
+		}
 	}
-	findings := lint.Analyze(pkgs, lint.Default(loader.ModulePath()))
 	lint.Relativize(findings, cwd)
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		err = lint.WriteJSON(os.Stdout, findings)
-	} else {
+	case *sarifOut:
+		err = lint.WriteSARIF(os.Stdout, analyzers, findings)
+	default:
 		err = lint.WriteText(os.Stdout, findings)
 	}
 	if err != nil {
@@ -54,6 +108,15 @@ func main() {
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeFile replaces path's content, preserving its permission bits.
+func writeFile(path string, content []byte) error {
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	return os.WriteFile(path, content, mode)
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ func TestDriverCleanPackage(t *testing.T) {
 	for _, args := range [][]string{
 		{"run", "./cmd/optlint", "./internal/events"},
 		{"run", "./cmd/optlint", "-json", "./internal/events"},
+		{"run", "./cmd/optlint", "-sarif", "./internal/events"},
 	} {
 		cmd := exec.Command("go", args...)
 		cmd.Dir = root
@@ -27,7 +28,8 @@ func TestDriverCleanPackage(t *testing.T) {
 		if err != nil {
 			t.Fatalf("go %v: %v\n%s", args, err, out)
 		}
-		if args[2] == "-json" {
+		switch args[2] {
+		case "-json":
 			var findings []map[string]any
 			if err := json.Unmarshal(out, &findings); err != nil {
 				t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
@@ -35,8 +37,26 @@ func TestDriverCleanPackage(t *testing.T) {
 			if len(findings) != 0 {
 				t.Fatalf("clean package reported findings: %v", findings)
 			}
-		} else if len(out) != 0 {
-			t.Fatalf("clean package produced output:\n%s", out)
+		case "-sarif":
+			var log struct {
+				Version string `json:"version"`
+				Runs    []struct {
+					Results []any `json:"results"`
+				} `json:"runs"`
+			}
+			if err := json.Unmarshal(out, &log); err != nil {
+				t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, out)
+			}
+			if log.Version != "2.1.0" || len(log.Runs) != 1 {
+				t.Fatalf("-sarif output is not a one-run 2.1.0 log:\n%s", out)
+			}
+			if len(log.Runs[0].Results) != 0 {
+				t.Fatalf("clean package reported SARIF results:\n%s", out)
+			}
+		default:
+			if len(out) != 0 {
+				t.Fatalf("clean package produced output:\n%s", out)
+			}
 		}
 	}
 }

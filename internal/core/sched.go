@@ -121,8 +121,11 @@ func (s *sched) submit(class taskClass, run func()) {
 	s.mu.Lock()
 	s.queues[class] = append(s.queues[class], run0(run))
 	s.inflight[class]++
-	s.mu.Unlock()
+	// Broadcast under the mutex: an unlocked notify can fire between a
+	// worker's predicate check and its park, and that worker sleeps through
+	// the wakeup.
 	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 func run0(fn func()) task { return task{run: fn} }
@@ -131,8 +134,8 @@ func run0(fn func()) task { return task{run: fn} }
 func (s *sched) close(class taskClass) {
 	s.mu.Lock()
 	s.closed[class] = true
-	s.mu.Unlock()
 	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // done reports whether a class has finished all its work.
@@ -185,11 +188,10 @@ func (s *sched) worker(home taskClass) {
 			s.workTime[home] += d
 		}
 		s.inflight[picked]--
-		finished := s.doneLocked(picked)
-		s.mu.Unlock()
-		if finished {
+		if s.doneLocked(picked) {
 			s.cond.Broadcast()
 		}
+		s.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// NewCancelfree builds the cancelfree analyzer: the cancel function
+// returned by context.WithCancel, WithTimeout, WithDeadline (and their
+// Cause variants) must be called on every path to the function's normal
+// exit — the discipline that keeps the job manager and engine free of
+// context leaks, where a forgotten cancel pins the parent context's
+// resources (and, for WithTimeout, a live timer goroutine) long after the
+// operation finished.
+//
+// The analysis is path-sensitive over the function's cfg: a cancel bound
+// to `_` is an immediate finding; a named cancel must be called, deferred,
+// or escape (returned, stored in a field, passed to another call, or
+// captured by a closure — whoever receives it owns the obligation) before
+// every reachable return. A `defer cancel()` anywhere discharges exactly
+// the paths that execute it, so a defer inside one branch still leaks the
+// other. Paths ending in panic or os.Exit are not leaks. The mechanical
+// fix — inserting `defer cancel()` right after the creation — ships as a
+// SuggestedFix applied by `optlint -fix`.
+func NewCancelfree() *Analyzer {
+	return &Analyzer{
+		Name: "cancelfree",
+		Doc:  "every context.WithCancel/WithTimeout/WithDeadline cancel func must be called on all exit paths",
+		Run:  runCancelfree,
+	}
+}
+
+func runCancelfree(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			var sites []*ast.AssignStmt
+			topLevelStmts(body, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok && cancelAssign(info, as) != "" {
+					sites = append(sites, as)
+				}
+				return true
+			})
+			if len(sites) == 0 {
+				return
+			}
+			g := buildCFG(body, info)
+			for _, as := range sites {
+				checkCancelSite(pass, g, as)
+			}
+		})
+	}
+}
+
+// cancelAssign reports the context constructor name ("WithCancel", …) when
+// as assigns the two results of a cancelable-context creation, "" when it
+// is anything else.
+func cancelAssign(info *types.Info, as *ast.AssignStmt) string {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return ""
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := funcFor(info, call)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithCancelCause", "WithTimeout", "WithTimeoutCause",
+		"WithDeadline", "WithDeadlineCause":
+		return fn.Name()
+	}
+	return ""
+}
+
+// checkCancelSite analyzes one creation site inside graph g.
+func checkCancelSite(pass *Pass, g *cfg, as *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	ctor := cancelAssign(info, as)
+	target := as.Lhs[1]
+	id, isIdent := target.(*ast.Ident)
+	switch {
+	case isIdent && id.Name == "_":
+		pass.Reportf(as.Pos(), "cancel func of context.%s discarded with _; the context can never be released", ctor)
+		return
+	case !isIdent:
+		// Stored straight into a field or element: ownership moved to the
+		// structure (the manager's rootCtx/cancelJobs pattern). Not ours.
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id] // `=` rebinding an existing variable
+	}
+	if obj == nil {
+		return
+	}
+	discharged := func(n ast.Node) bool { return referencesObject(info, n, obj) }
+	if g.mayReachExitWithout(as, discharged) {
+		f := Finding{
+			Pos:     pass.Pkg.Fset.Position(as.Pos()),
+			Rule:    "cancelfree",
+			Message: fmt.Sprintf("cancel func %q of context.%s is not called on every path to return (context leak)", id.Name, ctor),
+		}
+		if end := as.End(); end.IsValid() {
+			indent := indentFor(pass.Pkg.Fset.Position(as.Pos()).Column)
+			f.Fix = &Fix{
+				Message: fmt.Sprintf("insert `defer %s()` after the context creation", id.Name),
+				Edits: []TextEdit{{
+					Pos:     end,
+					End:     end,
+					NewText: "\n" + indent + "defer " + id.Name + "()",
+				}},
+			}
+		}
+		pass.report(f)
+	}
+}
+
+// indentFor rebuilds the leading tabs of a statement that starts at the
+// given 1-based column, assuming tab indentation (gofmt's output).
+func indentFor(column int) string {
+	if column < 1 {
+		return ""
+	}
+	out := make([]byte, column-1)
+	for i := range out {
+		out[i] = '\t'
+	}
+	return string(out)
+}
+
+// referencesObject reports whether node n mentions obj at all, including
+// inside nested function literals (a capture hands the obligation to the
+// closure). The defining identifier itself does not count.
+func referencesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

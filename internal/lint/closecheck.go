@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -32,9 +33,11 @@ func (cc *closecheck) run(pass *Pass) {
 	for _, file := range pass.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			var call *ast.CallExpr
+			fixable := false // `_ =` only rewrites a plain statement, not defer/go
 			switch st := n.(type) {
 			case *ast.ExprStmt:
 				call, _ = st.X.(*ast.CallExpr)
+				fixable = true
 			case *ast.DeferStmt:
 				call = st.Call
 			case *ast.GoStmt:
@@ -46,7 +49,18 @@ func (cc *closecheck) run(pass *Pass) {
 				return true
 			}
 			if recv, method, ok := cc.target(pass.Pkg.Info, call); ok {
-				pass.Reportf(call.Pos(), "error result of %s.%s() is unchecked (check it or discard with `_ =`)", recv, method)
+				f := Finding{
+					Pos:     pass.Pkg.Fset.Position(call.Pos()),
+					Rule:    "closecheck",
+					Message: fmt.Sprintf("error result of %s.%s() is unchecked (check it or discard with `_ =`)", recv, method),
+				}
+				if fixable {
+					f.Fix = &Fix{
+						Message: "discard the error explicitly with `_ =`",
+						Edits:   []TextEdit{{Pos: call.Pos(), End: call.Pos(), NewText: "_ = "}},
+					}
+				}
+				pass.report(f)
 			}
 			return true
 		})

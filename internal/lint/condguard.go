@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewCondguard builds the condguard analyzer, the PageBudget discipline
+// as a machine-checked rule:
+//
+//   - sync.Cond.Wait must execute inside a `for` loop (the predicate must
+//     be re-checked after every wakeup — Wait returns on Broadcast and on
+//     spurious wakeups alike, so an `if` admits waiters whose condition
+//     is still false), and
+//   - Wait, Signal and Broadcast all require a sync.Mutex/RWMutex to be
+//     definitely held at the call (must-held over the function's cfg).
+//
+// Signal/Broadcast under L is stricter than the sync package demands, and
+// deliberately so: an unlocked Signal can fire between a waiter's
+// predicate check and its park — the lost-wakeup window that stalls a
+// condvar-arbitrated budget under exactly the heavy-traffic interleavings
+// the roadmap targets. Holding L for the notify closes the window; the
+// cost is nanoseconds on a path that just took the lock anyway.
+func NewCondguard() *Analyzer {
+	return &Analyzer{
+		Name: "condguard",
+		Doc:  "sync.Cond.Wait needs a predicate-rechecking for loop with L held; Signal/Broadcast require L",
+		Run:  runCondguard,
+	}
+}
+
+func runCondguard(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			// Gather the cond-method calls of this function (not of nested
+			// literals, which get their own visit).
+			type condCall struct {
+				call *ast.CallExpr
+				name string // Wait, Signal, Broadcast
+			}
+			var calls []condCall
+			topLevelStmts(body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if name := condMethod(info, call); name != "" {
+						calls = append(calls, condCall{call: call, name: name})
+					}
+				}
+				return true
+			})
+			if len(calls) == 0 {
+				return
+			}
+			g := buildCFG(body, info)
+			held := heldLocks(g, info)
+			par := parents(body)
+			for _, cc := range calls {
+				if cc.name == "Wait" && !insideForLoop(body, par, cc.call) {
+					pass.Reportf(cc.call.Pos(), "sync.Cond.Wait outside a for loop; the predicate must be re-checked after every wakeup")
+				}
+				if !lockHeldAt(g, held, cc.call) {
+					pass.Reportf(cc.call.Pos(), "sync.Cond.%s without holding a mutex; notify under L or a waiter can miss the wakeup", cc.name)
+				}
+			}
+		})
+	}
+}
+
+// condMethod returns the method name when call is sync.Cond.Wait, Signal
+// or Broadcast, "" otherwise.
+func condMethod(info *types.Info, call *ast.CallExpr) string {
+	fn, ok := funcFor(info, call)
+	if !ok {
+		return ""
+	}
+	name := fn.Name()
+	if name != "Wait" && name != "Signal" && name != "Broadcast" {
+		return ""
+	}
+	pkg, typ, isMethod := methodOn(fn)
+	if !isMethod || pkg != "sync" || typ != "Cond" {
+		return ""
+	}
+	return name
+}
+
+// insideForLoop reports whether call sits inside a ForStmt of this
+// function (parent chain up to body, stopping at a nested literal — a
+// goroutine spawned inside a loop is not itself looping).
+func insideForLoop(body *ast.BlockStmt, par map[ast.Node]ast.Node, call *ast.CallExpr) bool {
+	for cur := par[call]; cur != nil; cur = par[cur] {
+		switch cur.(type) {
+		case *ast.ForStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+		if cur == body {
+			return false
+		}
+	}
+	return false
+}
+
+// lockHeldAt reports whether the must-held set on entry to the statement
+// containing call is non-empty. heldAt is keyed by cfg nodes (statements
+// and guard expressions); the innermost recorded node containing the call
+// carries its entry state. Statements earlier in the same basic block
+// have already been applied by the dataflow, so `mu.Lock()` on the line
+// above is credited.
+func lockHeldAt(g *cfg, heldAt map[ast.Node]lockset, call *ast.CallExpr) bool {
+	var best ast.Node
+	var bestHeld lockset
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if n.Pos() <= call.Pos() && call.End() <= n.End() {
+				if best == nil || (n.Pos() >= best.Pos() && n.End() <= best.End()) {
+					best = n
+					bestHeld = heldAt[n]
+				}
+			}
+		}
+	}
+	return best != nil && len(bestHeld) > 0
+}

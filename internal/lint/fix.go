@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// TextEdit is one replacement of the source range [Pos, End) by NewText.
+// Pos == End inserts.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// Fix is a mechanical remediation attached to a Finding, applied by
+// `optlint -fix`. Fixes must be safe to apply blindly: after application
+// the analyzer that produced the finding no longer fires (the -fix golden
+// tests pin idempotence — a second pass is a no-op).
+type Fix struct {
+	// Message describes the edit for -fix's per-file report.
+	Message string
+	// Edits are the textual changes, all within one file.
+	Edits []TextEdit
+}
+
+// fileEdit is a TextEdit resolved to byte offsets in a named file.
+type fileEdit struct {
+	file       string
+	start, end int
+	newText    string
+}
+
+// ApplyFixes applies every finding's Fix and returns the new contents of
+// each edited file, keyed by file path as recorded in the FileSet (call
+// it before Relativize). read supplies the current content of a file —
+// injected, like the Loader's openExport, so this package does its own
+// confinement honest and performs no direct file I/O. Overlapping edits
+// within one file are an error; edits are applied bottom-up so offsets
+// stay valid.
+func ApplyFixes(fset *token.FileSet, findings []Finding, read func(path string) ([]byte, error)) (map[string][]byte, int, error) {
+	var edits []fileEdit
+	applied := 0
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		applied++
+		for _, e := range f.Fix.Edits {
+			pos := fset.PositionFor(e.Pos, false)
+			end := fset.PositionFor(e.End, false)
+			if !pos.IsValid() || !end.IsValid() || pos.Filename != end.Filename || end.Offset < pos.Offset {
+				return nil, 0, fmt.Errorf("lint: invalid fix range for %s finding at %s", f.Rule, f.Pos)
+			}
+			edits = append(edits, fileEdit{file: pos.Filename, start: pos.Offset, end: end.Offset, newText: e.NewText})
+		}
+	}
+	if len(edits) == 0 {
+		return map[string][]byte{}, 0, nil
+	}
+	// Bottom-up per file, with overlap detection.
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].file != edits[j].file {
+			return edits[i].file < edits[j].file
+		}
+		return edits[i].start > edits[j].start
+	})
+	out := map[string][]byte{}
+	for _, e := range edits {
+		content, ok := out[e.file]
+		if !ok {
+			var err error
+			content, err = read(e.file)
+			if err != nil {
+				return nil, 0, fmt.Errorf("lint: reading %s to fix it: %w", e.file, err)
+			}
+		}
+		if e.end > len(content) {
+			return nil, 0, fmt.Errorf("lint: fix range [%d,%d) beyond %s (%d bytes)", e.start, e.end, e.file, len(content))
+		}
+		patched := make([]byte, 0, len(content)+len(e.newText))
+		patched = append(patched, content[:e.start]...)
+		patched = append(patched, e.newText...)
+		patched = append(patched, content[e.end:]...)
+		out[e.file] = patched
+	}
+	// Descending-offset order catches only same-file overlaps between
+	// neighbours; verify pairwise within each file for clarity of failure.
+	for i := 1; i < len(edits); i++ {
+		a, b := edits[i], edits[i-1] // a precedes b in the file
+		if a.file == b.file && a.end > b.start {
+			return nil, 0, fmt.Errorf("lint: overlapping fixes in %s at offsets %d and %d", a.file, a.start, b.start)
+		}
+	}
+	return out, applied, nil
+}

@@ -151,6 +151,11 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"ioconfine", lint.NewIoconfine([]string{"fixture/other"})},
 		{"closecheck", lint.NewClosecheck([]string{"fixture/closecheck"})},
 		{"eventkind", lint.NewEventkind("github.com/optlab/opt/internal/events")},
+		{"cancelfree", lint.NewCancelfree()},
+		{"poolpair", lint.NewPoolpair("github.com/optlab/opt/internal/buffer")},
+		{"atomicfield", lint.NewAtomicfield()},
+		{"condguard", lint.NewCondguard()},
+		{"gojoin", lint.NewGojoin()},
 	}
 	for _, tc := range cases {
 		for _, variant := range []string{"bad", "ok"} {
@@ -160,6 +165,23 @@ func TestAnalyzerFixtures(t *testing.T) {
 				diffWant(t, filepath.Join("testdata", tc.rule, variant), findings)
 			})
 		}
+	}
+}
+
+// TestSuppression runs the suppress fixtures through the full
+// Analyze→ApplySuppressions path: the bad variant's want comments describe
+// the findings that survive (underlying findings the directives fail to
+// suppress, plus the directive diagnostics under the "suppression"
+// pseudo-rule); the ok variant carries reasoned, matching directives and
+// must come out clean.
+func TestSuppression(t *testing.T) {
+	for _, variant := range []string{"bad", "ok"} {
+		t.Run(variant, func(t *testing.T) {
+			pkg := loadFixture(t, "suppress", variant)
+			findings := lint.Analyze([]*lint.Package{pkg}, []*lint.Analyzer{lint.NewCtxflow()})
+			findings = lint.ApplySuppressions([]*lint.Package{pkg}, findings)
+			diffWant(t, filepath.Join("testdata", "suppress", variant), findings)
+		})
 	}
 }
 
@@ -183,7 +205,10 @@ func TestDefaultRegistry(t *testing.T) {
 			t.Errorf("analyzer %s is missing Doc or Run", a.Name)
 		}
 	}
-	want := []string{"ctxflow", "lockheld", "ioconfine", "closecheck", "eventkind"}
+	want := []string{
+		"ctxflow", "lockheld", "ioconfine", "closecheck", "eventkind",
+		"cancelfree", "poolpair", "atomicfield", "condguard", "gojoin",
+	}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("Default() = %v, want %v", names, want)
 	}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewGojoin builds the gojoin analyzer: every `go` statement in a library
+// package (not package main, not test files) must carry a visible join
+// edge — evidence that something can observe the goroutine's completion.
+// Accepted evidence:
+//
+//   - a sync.WaitGroup Add call earlier in the same enclosing function
+//     (the Add-before-go idiom; the goroutine or its callee does the
+//     matching Done),
+//   - the spawned function literal itself containing a WaitGroup
+//     Add/Done, a channel send, or a close() — an owned result channel or
+//     a completion marker someone drains,
+//   - a channel-typed value among the spawned call's arguments (the
+//     callee reports back through it).
+//
+// A goroutine with none of these is unjoinable from the spawn site: the
+// no-leaked-goroutine invariant the server e2e tests assert dynamically
+// (goroutine counts before/after drain) becomes unfalsifiable, and a
+// cancelled run can strand work that still touches freed buffers. The
+// rule deliberately wants the evidence *visible near the spawn* — a
+// drain registered three calls away may exist, but nobody reviewing the
+// spawn can tell, and the paper's overlap machinery (Algorithm 9) is
+// precisely a protocol of spawn/complete pairs.
+func NewGojoin() *Analyzer {
+	return &Analyzer{
+		Name: "gojoin",
+		Doc:  "every go statement in library packages needs a visible join edge (WaitGroup, result channel, or close)",
+		Run:  runGojoin,
+	}
+}
+
+func runGojoin(pass *Pass) {
+	if pass.Pkg.Types == nil || pass.Pkg.Types.Name() == "main" {
+		return
+	}
+	info := pass.Pkg.Info
+	for i, file := range pass.Pkg.Files {
+		if pass.Pkg.IsTest[i] {
+			continue
+		}
+		par := parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if hasJoinEdge(info, par, gs) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "go statement without a visible join edge (no WaitGroup.Add before it, no Done/send/close in the body, no channel argument); a leaked goroutine outlives its run")
+			return true
+		})
+	}
+}
+
+// hasJoinEdge checks the three accepted evidence shapes for one go
+// statement.
+func hasJoinEdge(info *types.Info, par map[ast.Node]ast.Node, gs *ast.GoStmt) bool {
+	// Shape 1: the spawned literal's body joins by itself.
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if bodyJoins(info, lit.Body) {
+			return true
+		}
+	}
+	// Shape 2: a channel-typed argument — the callee owns a way back.
+	for _, arg := range gs.Call.Args {
+		if tv, ok := info.Types[arg]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	}
+	// Shape 3: WaitGroup.Add positioned before the spawn in the same
+	// enclosing function.
+	return addBeforeSpawn(info, par, gs)
+}
+
+// bodyJoins reports whether body contains a WaitGroup Add/Done call, a
+// channel send, or a close() — without descending into further nested
+// literals (their execution is not implied by this goroutine running).
+func bodyJoins(info *types.Info, body *ast.BlockStmt) bool {
+	joins := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joins {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			joins = true
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "close" {
+					joins = true
+					return false
+				}
+			}
+			if isWaitGroupMethod(info, x, "Done") || isWaitGroupMethod(info, x, "Add") {
+				joins = true
+				return false
+			}
+		}
+		return true
+	})
+	return joins
+}
+
+// addBeforeSpawn reports whether a sync.WaitGroup Add call occurs before
+// gs (by source position) within the function enclosing gs.
+func addBeforeSpawn(info *types.Info, par map[ast.Node]ast.Node, gs *ast.GoStmt) bool {
+	var scope ast.Node
+	for cur := par[gs]; cur != nil; cur = par[cur] {
+		if _, ok := cur.(*ast.FuncLit); ok {
+			scope = cur
+			break
+		}
+		if fd, ok := cur.(*ast.FuncDecl); ok {
+			scope = fd
+			break
+		}
+	}
+	if scope == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if n.Pos() >= gs.Pos() {
+			return false // only evidence before the spawn counts
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupMethod(info, call, "Add") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupMethod reports whether call invokes the named method on a
+// sync.WaitGroup.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn, ok := funcFor(info, call)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	pkg, typ, isMethod := methodOn(fn)
+	return isMethod && pkg == "sync" && typ == "WaitGroup"
+}

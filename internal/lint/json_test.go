@@ -67,3 +67,24 @@ func TestWriteJSONEmpty(t *testing.T) {
 		t.Fatalf("WriteJSON(nil) = %q, want %q", got, "[]\n")
 	}
 }
+
+// TestWriteJSONCleanPipeline runs the whole Analyze→suppress→WriteJSON
+// pipeline over a clean fixture package with the full default registry and
+// pins that the output is exactly the empty array — the regression a `jq`
+// consumer hits when a clean tree suddenly prints `null`.
+func TestWriteJSONCleanPipeline(t *testing.T) {
+	pkg := loadFixture(t, "ctxflow", "ok")
+	pkgs := []*lint.Package{pkg}
+	findings := lint.Analyze(pkgs, lint.Default("github.com/optlab/opt"))
+	findings = lint.ApplySuppressions(pkgs, findings)
+	if len(findings) > 0 {
+		t.Fatalf("clean fixture reported %d findings, first: %s", len(findings), findings[0])
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, findings); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Fatalf("clean pipeline JSON = %q, want %q", got, "[]\n")
+	}
+}

@@ -8,15 +8,17 @@ import (
 	"go/types"
 	"io"
 	"path/filepath"
-	"sort"
 	"strings"
 )
 
-// Finding is one rule violation at a source position.
+// Finding is one rule violation at a source position. Fix, when non-nil,
+// is a mechanical remediation `optlint -fix` can apply; it never appears
+// in the -json schema.
 type Finding struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	Fix     *Fix
 }
 
 // String renders the driver's line format: file:line:col: [rule] message.
@@ -62,22 +64,7 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			a.Run(&Pass{Pkg: pkg, rule: a.Name, report: func(f Finding) { out = append(out, f) }})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		return a.Message < b.Message
-	})
+	sortFindings(out)
 	return out
 }
 
@@ -148,11 +135,11 @@ func anyPathWithin(p string, prefixes []string) bool {
 	return false
 }
 
-// parents builds a child→parent node map for one file.
-func parents(file *ast.File) map[ast.Node]ast.Node {
+// parents builds a child→parent node map for the subtree rooted at root.
+func parents(root ast.Node) map[ast.Node]ast.Node {
 	m := map[ast.Node]ast.Node{}
 	var stack []ast.Node
-	ast.Inspect(file, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true

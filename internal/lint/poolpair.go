@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewPoolpair builds the poolpair analyzer for the buffer package at the
+// given import path: in non-test code, a value obtained from
+// buffer.GetChunk or a sync.Pool's Get must, on every path to the
+// function's normal exit, either be returned to its pool (PutChunk /
+// Put) or visibly change owner — returned, stored into a field, slice,
+// map or channel, passed to another call, or captured by a closure. A
+// path that drops the value on the floor un-recycles it: the steady-state
+// 0 allocs/op of the PR-3 hot loops holds only while every Get has a
+// matching Put, and a leak here shows up as allocation growth no unit
+// test pins until the benchmark regresses.
+//
+// Field reads and writes through the value (c.Recs, c.FirstPage = …) are
+// plain uses, not ownership transfers; only the bare value moving
+// somewhere else discharges the obligation. Panic/Fatal paths are exempt,
+// and the analyzer skips test files entirely — fixtures churn pools in
+// ways production code must not.
+func NewPoolpair(bufferPath string) *Analyzer {
+	pp := &poolpair{bufferPath: bufferPath}
+	return &Analyzer{
+		Name: "poolpair",
+		Doc:  "buffer.GetChunk/PutChunk and sync.Pool Get/Put must pair on every path in non-test code",
+		Run:  pp.run,
+	}
+}
+
+type poolpair struct {
+	bufferPath string
+}
+
+func (pp *poolpair) run(pass *Pass) {
+	if pathWithin(pass.Pkg.Path, pp.bufferPath) {
+		return // the pool's own package defines the lifecycle
+	}
+	info := pass.Pkg.Info
+	for i, file := range pass.Pkg.Files {
+		if pass.Pkg.IsTest[i] {
+			continue
+		}
+		funcBodies(file, func(body *ast.BlockStmt) {
+			var sites []*ast.AssignStmt
+			topLevelStmts(body, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok && pp.getKind(info, as) != "" {
+					sites = append(sites, as)
+				}
+				return true
+			})
+			if len(sites) == 0 {
+				return
+			}
+			g := buildCFG(body, info)
+			for _, as := range sites {
+				pp.checkSite(pass, g, as)
+			}
+		})
+	}
+}
+
+// getKind classifies as: "GetChunk" for buffer.GetChunk, "Get" for a
+// sync.Pool Get, "" otherwise. Only single-value assignments to a plain
+// identifier create an obligation this analyzer tracks.
+func (pp *poolpair) getKind(info *types.Info, as *ast.AssignStmt) string {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+		return ""
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := funcFor(info, call)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if fn.Name() == "GetChunk" && pathWithin(fn.Pkg().Path(), pp.bufferPath) {
+		return "GetChunk"
+	}
+	if fn.Name() == "Get" {
+		if pkg, typ, isMethod := methodOn(fn); isMethod && pkg == "sync" && typ == "Pool" {
+			return "Get"
+		}
+	}
+	return ""
+}
+
+func (pp *poolpair) checkSite(pass *Pass, g *cfg, as *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	kind := pp.getKind(info, as)
+	id, isIdent := as.Lhs[0].(*ast.Ident)
+	if !isIdent || id.Name == "_" {
+		return // dropped or stored elsewhere immediately: not trackable here
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	discharged := func(n ast.Node) bool { return transfersOwnership(info, n, obj) }
+	if g.mayReachExitWithout(as, discharged) {
+		what := "chunk from buffer.GetChunk"
+		putName := "buffer.PutChunk"
+		if kind == "Get" {
+			what = "value from sync.Pool Get"
+			putName = "Put"
+		}
+		pass.Reportf(as.Pos(), "%s is not handed back via %s (or otherwise released) on every path to return", what, putName)
+	}
+}
+
+// transfersOwnership reports whether node n uses obj *as a value* — bare,
+// not through a field selector — in a position that moves ownership:
+// argument of a call (Put and any other callee alike), return result,
+// right-hand side of an assignment, composite literal element, channel
+// send, or any appearance inside a function literal (the closure now owns
+// it). `c.Recs` and `c.FirstPage = 0` are reads/writes through the value
+// and transfer nothing.
+func transfersOwnership(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	litDepth := 0
+	var stack []ast.Node
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, isLit := top.(*ast.FuncLit); isLit {
+				litDepth--
+			}
+			return true
+		}
+		stack = append(stack, x)
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			litDepth++
+		}
+		if found {
+			return true // keep traversal (and the stack) balanced
+		}
+		id, isIdent := x.(*ast.Ident)
+		if !isIdent || info.Uses[id] != obj {
+			return true
+		}
+		if litDepth > 0 {
+			found = true // captured by a closure: the closure owns it now
+			return true
+		}
+		if len(stack) >= 2 {
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.SelectorExpr:
+				if parent.X == id {
+					return true // field access through the value: plain use
+				}
+			case *ast.StarExpr:
+				if parent.X == id {
+					return true // dereference: plain use
+				}
+			}
+		}
+		found = true
+		return true
+	})
+	return found
+}

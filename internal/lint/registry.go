@@ -24,5 +24,10 @@ func Default(module string) []*Analyzer {
 			module + "/internal/storage",
 		}),
 		NewEventkind(module + "/internal/events"),
+		NewCancelfree(),
+		NewPoolpair(module + "/internal/buffer"),
+		NewAtomicfield(),
+		NewCondguard(),
+		NewGojoin(),
 	}
 }

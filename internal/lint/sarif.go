@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the minimal subset GitHub code scanning ingests:
+// one run, one rule descriptor per analyzer, one result per finding with
+// a physical location. Finding filenames should already be relative to
+// the repo root (call Relativize first) — code scanning matches
+// annotations to checkout-relative URIs.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF writes the findings as a SARIF 2.1.0 log. analyzers supplies
+// the rule descriptors; findings under rules not in the list (the
+// suppression pseudo-rule) get a descriptor synthesized on the fly.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	addRule := func(id, doc string) int {
+		if i, ok := ruleIndex[id]; ok {
+			return i
+		}
+		ruleIndex[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+		return len(rules) - 1
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule(SuppressRule, "optlint:ignore directives must carry a reason and suppress a live finding")
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: addRule(f.Rule, f.Rule),
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(f.Pos.Filename)},
+					Region: sarifRegion{
+						StartLine:   max(f.Pos.Line, 1),
+						StartColumn: max(f.Pos.Column, 1),
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "optlint",
+				InformationURI: "https://github.com/optlab/opt",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a filename as the forward-slash relative URI code
+// scanning expects.
+func sarifURI(name string) string {
+	return strings.TrimPrefix(filepath.ToSlash(name), "./")
+}

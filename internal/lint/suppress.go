@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// suppressPrefix marks a suppression comment: //optlint:ignore <rule> <reason>.
+const suppressPrefix = "optlint:ignore"
+
+// SuppressRule is the pseudo-rule under which directive problems are
+// reported: a directive with no reason, and a directive that suppresses
+// nothing. Both are findings, so a stale ignore fails CI the same way the
+// bug it once hid would have.
+const SuppressRule = "suppression"
+
+// directive is one parsed //optlint:ignore comment.
+type directive struct {
+	pos    token.Position // of the comment itself
+	rule   string
+	reason string
+	used   bool
+}
+
+// ApplySuppressions filters findings through the //optlint:ignore
+// directives found in the packages' files, and appends directive
+// diagnostics (missing reason, unused directive) under the "suppression"
+// pseudo-rule. A directive suppresses findings of its rule on the same
+// line (trailing comment) or on the line immediately below (comment on
+// its own line). Call it after Analyze and before Relativize.
+func ApplySuppressions(pkgs []*Package, findings []Finding) []Finding {
+	directives := collectDirectives(pkgs)
+	if len(directives) == 0 {
+		return findings
+	}
+	// Index by file:line the directive covers.
+	type key struct {
+		file string
+		line int
+	}
+	index := map[key][]*directive{}
+	for _, d := range directives {
+		index[key{d.pos.Filename, d.pos.Line}] = append(index[key{d.pos.Filename, d.pos.Line}], d)
+		index[key{d.pos.Filename, d.pos.Line + 1}] = append(index[key{d.pos.Filename, d.pos.Line + 1}], d)
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range index[key{f.Pos.Filename, f.Pos.Line}] {
+			if d.rule == f.Rule && d.reason != "" {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, d := range directives {
+		switch {
+		case d.reason == "":
+			kept = append(kept, Finding{
+				Pos:     d.pos,
+				Rule:    SuppressRule,
+				Message: fmt.Sprintf("optlint:ignore %s has no reason; a suppression must say why (//optlint:ignore %s <reason>)", d.rule, d.rule),
+			})
+		case !d.used:
+			kept = append(kept, Finding{
+				Pos:     d.pos,
+				Rule:    SuppressRule,
+				Message: fmt.Sprintf("unused optlint:ignore %s directive; the finding it suppressed is gone, so delete the directive", d.rule),
+			})
+		}
+	}
+	sortFindings(kept)
+	return kept
+}
+
+// collectDirectives parses every //optlint:ignore comment in the
+// packages' files, deduplicating files shared between a package and its
+// test variant.
+func collectDirectives(pkgs []*Package) []*directive {
+	var out []*directive
+	seen := map[string]bool{} // file:line of already-collected directives
+	for _, pkg := range pkgs {
+		if pkg == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//"+suppressPrefix)
+					if !ok {
+						continue
+					}
+					// A trailing comment (`… // see ISSUE-42`) is not part
+					// of the reason — and a directive whose "reason" is only
+					// a trailing comment has no reason at all.
+					if i := strings.Index(text, "//"); i >= 0 {
+						text = text[:i]
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					id := fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+					if seen[id] {
+						continue
+					}
+					seen[id] = true
+					fields := strings.Fields(text)
+					d := &directive{pos: pos}
+					if len(fields) > 0 {
+						d.rule = fields[0]
+					}
+					if len(fields) > 1 {
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sortFindings orders findings by position, then rule, then message — the
+// same order Analyze produces.
+func sortFindings(out []Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}

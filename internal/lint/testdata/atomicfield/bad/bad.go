@@ -1,0 +1,30 @@
+package bad
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	errs int64
+}
+
+func (c *counter) Observe() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) Snapshot() int64 {
+	return c.hits // want "non-atomic access to field hits"
+}
+
+func (c *counter) Reset() {
+	c.hits = 0 // want "non-atomic access to field hits"
+}
+
+// errs is only ever touched atomically in one branch and plainly in the
+// other — the mixed pair races with itself.
+func (c *counter) Record(fatal bool) {
+	if fatal {
+		atomic.AddInt64(&c.errs, 1)
+		return
+	}
+	c.errs++ // want "non-atomic access to field errs"
+}

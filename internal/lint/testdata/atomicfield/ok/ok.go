@@ -1,0 +1,36 @@
+package ok
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	plain int64 // never touched atomically; plain access everywhere is fine
+}
+
+func (c *counter) Observe() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) Snapshot() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) Swap() int64 {
+	return atomic.SwapInt64((&c.hits), 0) // parens around the address are fine
+}
+
+func (c *counter) Bump() {
+	c.plain++
+}
+
+// Composite-literal keys name the field without accessing shared state.
+func Fresh() *counter {
+	return &counter{hits: 0, plain: 0}
+}
+
+// The typed atomic API needs no rule: non-atomic access is inexpressible.
+type typedCounter struct {
+	n atomic.Int64
+}
+
+func (t *typedCounter) Observe() { t.n.Add(1) }

@@ -1,0 +1,24 @@
+package fix
+
+import (
+	"context"
+	"time"
+)
+
+func Run(ctx context.Context, fail bool) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	if fail {
+		return ctx.Err()
+	}
+	cancel()
+	return nil
+}
+
+func Watch(ctx context.Context, stop <-chan struct{}) {
+	ctx, cancel := context.WithCancel(ctx)
+	select {
+	case <-stop:
+		cancel()
+	case <-ctx.Done():
+	}
+}

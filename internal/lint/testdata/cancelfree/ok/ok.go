@@ -1,0 +1,50 @@
+package ok
+
+import (
+	"context"
+	"time"
+)
+
+type holder struct {
+	cancel context.CancelFunc
+}
+
+// The canonical idiom: defer immediately after creation.
+func Deferred(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return ctx.Err()
+}
+
+// Called explicitly on every path.
+func EveryPath(ctx context.Context, fail bool) error {
+	ctx, cancel := context.WithCancel(ctx)
+	if fail {
+		cancel()
+		return ctx.Err()
+	}
+	cancel()
+	return nil
+}
+
+// Ownership moves into a struct field; whoever holds the struct cancels.
+func Stored(ctx context.Context, h *holder) context.Context {
+	ctx, h.cancel = context.WithCancel(ctx)
+	return ctx
+}
+
+// Escapes into a closure: the caller runs the cleanup.
+func Escapes(ctx context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	return ctx, func() { cancel() }
+}
+
+// Paths that end in panic are not leaks.
+func PanicPath(ctx context.Context, bad bool) {
+	ctx, cancel := context.WithCancel(ctx)
+	if bad {
+		panic("unreachable in production")
+	}
+	cancel()
+	_ = ctx
+}

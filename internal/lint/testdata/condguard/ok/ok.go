@@ -1,0 +1,45 @@
+package ok
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []int
+	done  bool
+}
+
+// The canonical shape: Wait in a predicate-rechecking for loop, lock held
+// via defer to the function's end.
+func (q *queue) Pop() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.done {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Notify under the lock, explicit unlock after.
+func (q *queue) Push(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// Broadcast under a deferred lock, reached through a branch.
+func (q *queue) Close(flush bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if flush {
+		q.items = nil
+	}
+	q.done = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,41 @@
+package bad
+
+import "sync"
+
+type worker struct {
+	jobs []func()
+}
+
+// Fire-and-forget: nothing can observe this goroutine finishing.
+func (w *worker) Kick() {
+	go func() { // want "go statement without a visible join edge"
+		for _, j := range w.jobs {
+			j()
+		}
+	}()
+}
+
+// A named method spawn with no channel argument and no Add before it.
+func (w *worker) KickAll() {
+	for _, j := range w.jobs {
+		go runOne(j) // want "go statement without a visible join edge"
+	}
+}
+
+func runOne(j func()) { j() }
+
+// A spawn buried inside a callback literal: the Add in the enclosing
+// function is outside the literal's scope and earns no credit — the
+// callback may run long after that frame returned.
+func (w *worker) KickNested() func() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	defer wg.Done()
+	return func() {
+		go func() { // want "go statement without a visible join edge"
+			for _, j := range w.jobs {
+				j()
+			}
+		}()
+	}
+}

@@ -1,0 +1,55 @@
+package ok
+
+import "sync"
+
+type worker struct {
+	jobs []func()
+}
+
+// Add-before-go with Done in the body: the classic join.
+func (w *worker) Run() {
+	var wg sync.WaitGroup
+	for _, j := range w.jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j()
+		}()
+	}
+	wg.Wait()
+}
+
+// The body closes an owned channel: whoever holds done can join.
+func (w *worker) RunSignal() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, j := range w.jobs {
+			j()
+		}
+	}()
+	return done
+}
+
+// The body sends its result: the receiver is the join.
+func Compute(f func() int) <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- f()
+	}()
+	return out
+}
+
+// A channel argument hands the callee a way to report back.
+func Feed(items []int) <-chan int {
+	ch := make(chan int)
+	go produce(ch, items)
+	return ch
+}
+
+func produce(ch chan<- int, items []int) {
+	defer close(ch)
+	for _, v := range items {
+		ch <- v
+	}
+}

@@ -1,0 +1,24 @@
+package bad
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// A directive with no reason is itself a finding and suppresses nothing.
+func NoReason(ctx context.Context) error {
+	//optlint:ignore ctxflow // want "optlint:ignore ctxflow has no reason"
+	return helper(context.Background()) // want "context\\.Background\\(\\) passed to a call"
+}
+
+// A directive whose finding is gone must be deleted.
+//
+//optlint:ignore ctxflow the bug was fixed long ago // want "unused optlint:ignore ctxflow directive"
+func Unused(ctx context.Context) error {
+	return helper(ctx)
+}
+
+// A directive for the wrong rule suppresses nothing and is unused.
+func WrongRule(ctx context.Context) error {
+	//optlint:ignore lockheld not the right rule // want "unused optlint:ignore lockheld directive"
+	return helper(context.Background()) // want "context\\.Background\\(\\) passed to a call"
+}

@@ -1,0 +1,16 @@
+package ok
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// A reasoned directive on the line above the finding suppresses it.
+func Detach(ctx context.Context) error {
+	//optlint:ignore ctxflow detached maintenance task must outlive the request
+	return helper(context.Background())
+}
+
+// The trailing form on the finding's own line works too.
+func DetachInline(ctx context.Context) error {
+	return helper(context.Background()) //optlint:ignore ctxflow detached maintenance task must outlive the request
+}

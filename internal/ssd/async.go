@@ -65,6 +65,7 @@ type AsyncDevice struct {
 	done    chan struct{}
 	compl   chan completion
 	pending sync.WaitGroup
+	workers sync.WaitGroup // worker + dispatcher goroutines, joined by Close
 	once    sync.Once
 
 	// Request accounting: submissions and retirements of asynchronous
@@ -100,8 +101,10 @@ func NewAsyncDevice(dev PageDevice, opts AsyncOptions) *AsyncDevice {
 		compl: make(chan completion, opts.QueueDepth*2),
 	}
 	for i := 0; i < opts.QueueDepth; i++ {
+		d.workers.Add(1)
 		go d.worker()
 	}
+	d.workers.Add(1)
 	go d.dispatcher()
 	return d
 }
@@ -236,17 +239,20 @@ func (d *AsyncDevice) retire() {
 // its callback has returned.
 func (d *AsyncDevice) Drain() { d.pending.Wait() }
 
-// Close drains outstanding requests and stops the device goroutines. The
-// backing device is not closed.
+// Close drains outstanding requests and stops the device goroutines,
+// waiting until every worker and the dispatcher have returned. The backing
+// device is not closed.
 func (d *AsyncDevice) Close() {
 	d.once.Do(func() {
 		d.pending.Wait()
 		close(d.done)
 		d.queue.close()
+		d.workers.Wait()
 	})
 }
 
 func (d *AsyncDevice) worker() {
+	defer d.workers.Done()
 	// Each worker is one device channel with its own latency throttle, so
 	// aggregate throughput scales with QueueDepth as real NCQ channels do.
 	var th Throttle
@@ -297,6 +303,7 @@ func (d *AsyncDevice) worker() {
 // dispatcher is the callback thread: it executes completion callbacks
 // serially in completion order.
 func (d *AsyncDevice) dispatcher() {
+	defer d.workers.Done()
 	for {
 		select {
 		case c := <-d.compl:
@@ -334,8 +341,11 @@ func newReqQueue() *reqQueue {
 func (q *reqQueue) push(r request) {
 	q.mu.Lock()
 	q.items = append(q.items, r)
-	q.mu.Unlock()
+	// Signal under the mutex: an unlocked notify can land between a
+	// worker's emptiness check and its park, and the request sits unserved
+	// until the next push.
 	q.cond.Signal()
+	q.mu.Unlock()
 }
 
 func (q *reqQueue) pop() (request, bool) {
@@ -355,6 +365,6 @@ func (q *reqQueue) pop() (request, bool) {
 func (q *reqQueue) close() {
 	q.mu.Lock()
 	q.closed = true
-	q.mu.Unlock()
 	q.cond.Broadcast()
+	q.mu.Unlock()
 }
