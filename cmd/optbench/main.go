@@ -70,6 +70,8 @@ func main() {
 		format   = flag.String("format", "text", "output format: text or csv")
 		timeout  = flag.Duration("timeout", 0, "cancel the sweep after this duration (0 = no limit)")
 		jsonOut  = flag.String("json", "BENCH.json", "write machine-readable results to this file ('' disables)")
+		baseline = flag.String("baseline", "", "compare the pages experiment against this committed BENCH_pages.json")
+		regress  = flag.Float64("regress", 0.15, "fail if elapsed_ms regresses by more than this fraction vs -baseline")
 	)
 	flag.Parse()
 
@@ -164,6 +166,21 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "[kernel counters written to %s]\n", path)
 		}
+		// The page-codec experiment likewise lands in its own file; it is the
+		// committed baseline the -baseline flag compares against.
+		if pr := experimentOnly(&report, "pages"); pr != nil {
+			path := filepath.Join(filepath.Dir(*jsonOut), "BENCH_pages.json")
+			if err := writeJSON(path, pr); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "[page-codec results written to %s]\n", path)
+		}
+	}
+	if *baseline != "" {
+		if err := comparePagesBaseline(&report, *baseline, *regress); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "[pages within %.0f%% of baseline %s]\n", *regress*100, *baseline)
 	}
 	if runErr != nil {
 		os.Exit(1)
@@ -172,9 +189,13 @@ func main() {
 
 // kernelsOnly extracts the kernels experiment into a standalone report, or
 // returns nil when the sweep did not run it.
-func kernelsOnly(r *jsonReport) *jsonReport {
+func kernelsOnly(r *jsonReport) *jsonReport { return experimentOnly(r, "kernels") }
+
+// experimentOnly extracts one experiment into a standalone report sharing
+// the sweep's config, or returns nil when the sweep did not run it.
+func experimentOnly(r *jsonReport, id string) *jsonReport {
 	for _, e := range r.Experiments {
-		if e.ID == "kernels" {
+		if e.ID == id {
 			return &jsonReport{
 				Config:      r.Config,
 				Partial:     r.Partial,
@@ -182,6 +203,88 @@ func kernelsOnly(r *jsonReport) *jsonReport {
 				Experiments: []jsonExperiment{e},
 			}
 		}
+	}
+	return nil
+}
+
+// pagesElapsed indexes a pages experiment's elapsed_ms column by its
+// (dataset, codec) key columns, using the header so column order is not
+// load-bearing.
+func pagesElapsed(e *jsonExperiment) (map[string]float64, error) {
+	col := map[string]int{}
+	for i, h := range e.Header {
+		col[h] = i
+	}
+	for _, want := range []string{"dataset", "codec", "elapsed_ms"} {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("pages experiment has no %q column (header %v)", want, e.Header)
+		}
+	}
+	out := make(map[string]float64, len(e.Rows))
+	for _, row := range e.Rows {
+		var ms float64
+		if _, err := fmt.Sscanf(row[col["elapsed_ms"]], "%g", &ms); err != nil {
+			return nil, fmt.Errorf("pages row %v: bad elapsed_ms: %v", row, err)
+		}
+		out[row[col["dataset"]]+"/"+row[col["codec"]]] = ms
+	}
+	return out, nil
+}
+
+// comparePagesBaseline compares the sweep's pages experiment against a
+// committed BENCH_pages.json and errors when any (dataset, codec) row's
+// elapsed time regressed by more than tol, or when the configs are not
+// comparable. Rows only present on one side are reported but not fatal, so
+// adding a dataset or codec does not require regenerating the baseline in
+// the same change.
+func comparePagesBaseline(r *jsonReport, path string, tol float64) error {
+	cur := experimentOnly(r, "pages")
+	if cur == nil {
+		return fmt.Errorf("-baseline given but the sweep did not run the pages experiment (add -exp pages)")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base jsonReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	bexp := experimentOnly(&base, "pages")
+	if bexp == nil {
+		return fmt.Errorf("%s has no pages experiment", path)
+	}
+	if base.Config != r.Config {
+		return fmt.Errorf("baseline config %+v does not match run config %+v; rerun with matching -scale/-pagesize/-threads/-lat-* or regenerate %s",
+			base.Config, r.Config, path)
+	}
+	got, err := pagesElapsed(&cur.Experiments[0])
+	if err != nil {
+		return err
+	}
+	want, err := pagesElapsed(&bexp.Experiments[0])
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	var regressions []string
+	for key, baseMs := range want {
+		curMs, ok := got[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "optbench: baseline row %s missing from this run\n", key)
+			continue
+		}
+		if baseMs > 0 && curMs > baseMs*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.3fms vs baseline %.3fms (+%.0f%%)", key, curMs, baseMs, (curMs/baseMs-1)*100))
+		}
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			fmt.Fprintf(os.Stderr, "optbench: row %s not in baseline (new dataset/codec?)\n", key)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("pages regressed beyond %.0f%%:\n  %s", tol*100, strings.Join(regressions, "\n  "))
 	}
 	return nil
 }

@@ -28,12 +28,23 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("store        %s\n", st.Path)
+	fmt.Printf("version      %d\n", st.Version())
+	fmt.Printf("codec        %s\n", st.CodecName())
 	fmt.Printf("page size    %d bytes\n", st.PageSize)
 	fmt.Printf("vertices     %d\n", st.NumVertices)
 	fmt.Printf("edges        %d\n", st.NumEdges)
 	fmt.Printf("data pages   %d (%d bytes)\n", st.NumPages, int64(st.NumPages)*int64(st.PageSize))
 	if st.NumVertices > 0 {
 		fmt.Printf("avg degree   %.2f\n", 2*float64(st.NumEdges)/float64(st.NumVertices))
+	}
+	if st.NumEdges > 0 {
+		// Stored adjacency is both edge directions, so data bytes per
+		// undirected edge divide by |E|.
+		fmt.Printf("bytes/edge   %.2f\n", float64(int64(st.NumPages)*int64(st.PageSize))/float64(st.NumEdges))
+	}
+	if rawPages := st.RawDataPages(); rawPages > 0 && st.NumPages > 0 {
+		fmt.Printf("vs raw       %d pages (compression ratio %.2fx)\n",
+			rawPages, float64(rawPages)/float64(st.NumPages))
 	}
 
 	// Degree distribution summary from the directory (no page I/O).

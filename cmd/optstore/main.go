@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,8 @@ func main() {
 		pageSize = flag.Int("pagesize", 0, "page size in bytes (0 = 8192)")
 		order    = flag.Bool("order", true, "apply the degree-based vertex ordering")
 		stream   = flag.Bool("stream", false, "bounded-memory build via external sort (edge list never held in RAM)")
+		codec    = flag.String("codec", opt.CodecRaw,
+			fmt.Sprintf("page codec, one of %v (deltavarint shrinks P(G) via delta+varint neighbors)", opt.Codecs()))
 	)
 	flag.Parse()
 
@@ -29,12 +32,12 @@ func main() {
 		if *in == "" {
 			fail(fmt.Errorf("-stream requires -in (the input is scanned twice)"))
 		}
-		st, err := opt.BuildStoreStreaming(*out, *in, *pageSize)
+		st, err := opt.BuildStoreStreamingCodecContext(context.Background(), *out, *in, *pageSize, *codec)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "built %s (streaming): |V|=%d |E|=%d pages=%d pagesize=%d\n",
-			*out, st.NumVertices(), st.NumEdges(), st.NumPages(), st.PageSize())
+		fmt.Fprintf(os.Stderr, "built %s (streaming): |V|=%d |E|=%d pages=%d pagesize=%d codec=%s\n",
+			*out, st.NumVertices(), st.NumEdges(), st.NumPages(), st.PageSize(), st.Codec())
 		return
 	}
 
@@ -54,12 +57,12 @@ func main() {
 	if *order {
 		g = g.DegreeOrdered()
 	}
-	st, err := opt.BuildStore(*out, g, *pageSize)
+	st, err := opt.BuildStoreCodec(*out, g, *pageSize, *codec)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "built %s: |V|=%d |E|=%d pages=%d pagesize=%d\n",
-		*out, st.NumVertices(), st.NumEdges(), st.NumPages(), st.PageSize())
+	fmt.Fprintf(os.Stderr, "built %s: |V|=%d |E|=%d pages=%d pagesize=%d codec=%s\n",
+		*out, st.NumVertices(), st.NumEdges(), st.NumPages(), st.PageSize(), st.Codec())
 }
 
 func fail(err error) {

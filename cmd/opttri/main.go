@@ -36,6 +36,7 @@ func main() {
 		perPage  = flag.Duration("lat-page", 0, "simulated per-page device latency")
 		timeout  = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 		progress = flag.Bool("progress", false, "print per-iteration progress to stderr")
+		codec    = flag.String("codec", "", "require the store's page codec to match (\"\" = any)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		MemoryFraction: *mem,
 		MemoryPages:    *memPages,
 		Latency:        opt.DeviceLatency{PerRead: *perRead, PerPage: *perPage},
+		Codec:          *codec,
 	}
 	if *model == "vertex" {
 		opts.Model = opt.VertexIteratorModel

@@ -222,19 +222,27 @@ func (h *Harness) proxy(name string) (*graph.Graph, error) {
 }
 
 // store returns (building on first use) the slotted-page store for a named
-// graph.
+// graph, in the default raw page codec.
 func (h *Harness) store(name string, g *graph.Graph) (*storage.Store, error) {
+	return h.storeCodec(name, g, storage.CodecRaw)
+}
+
+// storeCodec returns (building on first use) the store for a named graph in
+// the named page codec. Stores are cached per (name, codec) pair so the
+// pages experiment and the raw-codec experiments never collide.
+func (h *Harness) storeCodec(name string, g *graph.Graph, codec string) (*storage.Store, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if st, ok := h.stores[name]; ok {
+	key := name + "/" + codec
+	if st, ok := h.stores[key]; ok {
 		return st, nil
 	}
-	path := filepath.Join(h.workDir, name+".optstore")
-	st, err := storage.BuildFile(path, g, h.cfg.PageSize)
+	path := filepath.Join(h.workDir, name+"-"+codec+".optstore")
+	st, err := storage.BuildFileCodec(path, g, h.cfg.PageSize, codec)
 	if err != nil {
 		return nil, err
 	}
-	h.stores[name] = st
+	h.stores[key] = st
 	return st, nil
 }
 
@@ -286,6 +294,7 @@ var registry = map[string]func(*Harness) (*Table, error){
 	"fig7c":   Fig7c,
 	"table7":  Table7,
 	"kernels": Kernels,
+	"pages":   Pages,
 }
 
 // Run executes one experiment by id and renders it to w as aligned text.

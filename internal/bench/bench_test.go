@@ -83,14 +83,14 @@ func TestTableRender(t *testing.T) {
 
 func TestExperimentsListStable(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 15 {
-		t.Fatalf("got %d experiments, want 15 (one per table/figure plus kernels)", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("got %d experiments, want 16 (one per table/figure plus kernels and pages)", len(ids))
 	}
 	want := map[string]bool{
 		"table2": true, "table3": true, "table4": true, "table5": true,
 		"table6": true, "table7": true, "fig3a": true, "fig3b": true,
 		"fig4": true, "fig5": true, "fig6": true, "fig7a": true,
-		"fig7b": true, "fig7c": true, "kernels": true,
+		"fig7b": true, "fig7c": true, "kernels": true, "pages": true,
 	}
 	for _, id := range ids {
 		if !want[id] {
@@ -132,6 +132,50 @@ func TestKernelsExperiment(t *testing.T) {
 		}
 		if coalesced == 0 {
 			t.Errorf("%s: no coalesced reads recorded", row[0])
+		}
+	}
+}
+
+// TestPagesExperiment checks the page-codec table's invariants at tiny
+// scale: one row per (dataset, codec), identical triangle counts within a
+// dataset, and delta+varint never producing more pages than raw. (The ≥25%
+// power-law reduction bar is pinned by the storage tests.)
+func TestPagesExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	h, err := NewHarness(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	tb, err := h.Table("pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(fig3Datasets); len(tb.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), want)
+	}
+	for i := 0; i < len(tb.Rows); i += 2 {
+		raw, dv := tb.Rows[i], tb.Rows[i+1]
+		if raw[0] != dv[0] || raw[1] != "raw" || dv[1] != "deltavarint" {
+			t.Fatalf("unexpected row pairing: %v / %v", raw, dv)
+		}
+		rawPages, err1 := strconv.ParseInt(raw[2], 10, 64)
+		dvPages, err2 := strconv.ParseInt(dv[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: unparsable page counts in %v / %v", raw[0], raw, dv)
+		}
+		if dvPages > rawPages {
+			t.Errorf("%s: deltavarint grew the store: %d > %d pages", raw[0], dvPages, rawPages)
+		}
+		if raw[5] != dv[5] {
+			t.Errorf("%s: triangle counts diverge across codecs: %s vs %s", raw[0], raw[5], dv[5])
+		}
+		for _, row := range [][]string{raw, dv} {
+			if _, err := strconv.ParseFloat(row[6], 64); err != nil {
+				t.Errorf("%s/%s: unparsable elapsed_ms %q", row[0], row[1], row[6])
+			}
 		}
 	}
 }

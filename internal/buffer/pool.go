@@ -15,30 +15,35 @@ import (
 	"github.com/optlab/opt/internal/storage"
 )
 
-// Chunk is a decoded, aligned span of pages.
+// Chunk is a decoded, aligned span of pages. Arena is the shared neighbor
+// backing that every Recs[i].Adj sub-slices (see storage.DecodeRangeAppend);
+// recycling it alongside Recs keeps warm decodes at zero allocations.
 type Chunk struct {
 	FirstPage uint32
 	NumPages  int
 	Recs      []storage.VertexRec
+	Arena     []uint32
 }
 
-// chunkFree recycles Chunk headers and their Recs backing arrays between
-// iterations so the steady-state external path allocates nothing.
+// chunkFree recycles Chunk headers and their Recs/Arena backing arrays
+// between iterations so the steady-state external path allocates nothing.
 var chunkFree = sync.Pool{New: func() any { return new(Chunk) }}
 
-// GetChunk returns a recycled (or fresh) Chunk with zeroed fields and a
-// Recs slice of length zero retaining any recycled capacity.
+// GetChunk returns a recycled (or fresh) Chunk with zeroed fields and
+// Recs/Arena slices of length zero retaining any recycled capacity.
 func GetChunk() *Chunk {
 	c := chunkFree.Get().(*Chunk)
 	c.FirstPage = 0
 	c.NumPages = 0
 	c.Recs = c.Recs[:0]
+	c.Arena = c.Arena[:0]
 	return c
 }
 
 // PutChunk returns a chunk to the free list. The caller must no longer hold
-// references to the chunk or its Recs; record contents are cleared so the
-// free list does not pin adjacency arrays from previous graphs.
+// references to the chunk, its Recs, or its Arena; record contents are
+// cleared so the free list does not pin adjacency arrays from previous
+// graphs (the Arena holds no pointers, so its capacity is retained as is).
 func PutChunk(c *Chunk) {
 	if c == nil {
 		return
@@ -47,6 +52,7 @@ func PutChunk(c *Chunk) {
 		c.Recs[i] = storage.VertexRec{}
 	}
 	c.Recs = c.Recs[:0]
+	c.Arena = c.Arena[:0]
 	chunkFree.Put(c)
 }
 

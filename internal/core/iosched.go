@@ -211,7 +211,8 @@ func (io *ioSched) handleSeg(g *extGroup, seg int, data []byte, err error) {
 	}
 	work := func() {
 		c := buffer.GetChunk()
-		recs, derr := r.st.DecodeAppend(c.Recs, data)
+		recs, arena, derr := r.st.DecodeAppend(c.Recs, c.Arena, data)
+		c.Recs, c.Arena = recs, arena
 		if derr != nil {
 			buffer.PutChunk(c)
 			r.fail(derr)
@@ -220,7 +221,6 @@ func (io *ioSched) handleSeg(g *extGroup, seg int, data []byte, err error) {
 		}
 		c.FirstPage = req.first
 		c.NumPages = req.span
-		c.Recs = recs
 		r.pool.Insert(c) // pinned once
 		r.processExternal(c, req)
 		r.pool.Unpin(c.FirstPage)

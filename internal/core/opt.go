@@ -432,7 +432,8 @@ func (r *runner) iteration(index int, lo, hi uint32) (IterationStat, error) {
 				return
 			}
 			c := buffer.GetChunk()
-			recs, derr := r.st.DecodeAppend(c.Recs, data)
+			recs, arena, derr := r.st.DecodeAppend(c.Recs, c.Arena, data)
+			c.Recs, c.Arena = recs, arena
 			if derr != nil {
 				buffer.PutChunk(c)
 				r.fail(derr)
@@ -440,7 +441,6 @@ func (r *runner) iteration(index int, lo, hi uint32) (IterationStat, error) {
 			}
 			c.FirstPage = pl.first
 			c.NumPages = pl.span
-			c.Recs = recs
 			r.internalChunks[pl.idx] = c
 			for _, rec := range recs {
 				r.ctx.addInternal(rec)

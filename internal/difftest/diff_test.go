@@ -22,10 +22,18 @@ import (
 
 const pageSize = 128
 
+// codecs is the page-codec axis of the sweep: every algorithm must produce
+// identical counts whether the store pages are raw or delta+varint.
+var codecs = []string{storage.CodecRaw, storage.CodecDeltaVarint}
+
 func buildStore(t testing.TB, g *graph.Graph) (*storage.Store, *ssd.FileDevice) {
+	return buildStoreCodec(t, g, storage.CodecRaw)
+}
+
+func buildStoreCodec(t testing.TB, g *graph.Graph, codec string) (*storage.Store, *ssd.FileDevice) {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "g.optstore")
-	st, err := storage.BuildFile(path, g, pageSize)
+	st, err := storage.BuildFileCodec(path, g, pageSize, codec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,10 +101,10 @@ func workloads(t testing.TB) []struct {
 }
 
 // TestAllAlgorithmsMatchReference is the differential sweep: every
-// registered algorithm, over every workload, under every memory budget,
-// must report exactly the in-memory reference count. One table replaces
-// the per-pair comparisons (MGT vs reference, CC vs reference, …) the
-// baseline tests used to duplicate, and automatically covers algorithms
+// registered algorithm, over every workload, under every memory budget and
+// page codec, must report exactly the in-memory reference count. One table
+// replaces the per-pair comparisons (MGT vs reference, CC vs reference, …)
+// the baseline tests used to duplicate, and automatically covers algorithms
 // registered in the future.
 func TestAllAlgorithmsMatchReference(t *testing.T) {
 	algos := engine.Names()
@@ -106,24 +114,27 @@ func TestAllAlgorithmsMatchReference(t *testing.T) {
 	budgets := []int{0, 4, 16} // 0 -> the 15% default fraction
 	for _, w := range workloads(t) {
 		want := graph.CountTrianglesReference(w.g)
-		for _, budget := range budgets {
-			for _, name := range algos {
-				t.Run(fmt.Sprintf("%s/m=%d/%s", w.name, budget, name), func(t *testing.T) {
-					st, dev := buildStore(t, w.g)
-					res, err := engine.Run(context.Background(), name, st, dev, engine.Options{
-						MemoryPages: budget,
-						TempDir:     t.TempDir(),
+		for _, codec := range codecs {
+			for _, budget := range budgets {
+				for _, name := range algos {
+					t.Run(fmt.Sprintf("%s/%s/m=%d/%s", w.name, codec, budget, name), func(t *testing.T) {
+						st, dev := buildStoreCodec(t, w.g, codec)
+						res, err := engine.Run(context.Background(), name, st, dev, engine.Options{
+							MemoryPages: budget,
+							TempDir:     t.TempDir(),
+							Codec:       codec,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if res.Triangles != want {
+							t.Fatalf("counted %d triangles, reference says %d", res.Triangles, want)
+						}
+						if res.Algorithm != name {
+							t.Fatalf("result algorithm %q, want %q", res.Algorithm, name)
+						}
 					})
-					if err != nil {
-						t.Fatal(err)
-					}
-					if res.Triangles != want {
-						t.Fatalf("counted %d triangles, reference says %d", res.Triangles, want)
-					}
-					if res.Algorithm != name {
-						t.Fatalf("result algorithm %q, want %q", res.Algorithm, name)
-					}
-				})
+				}
 			}
 		}
 	}

@@ -69,6 +69,11 @@ type Options struct {
 	OnTriangles func(u, v uint32, ws []uint32)
 	// CollectIterStats records per-iteration timings where supported.
 	CollectIterStats bool
+	// Codec, when non-empty, requires the store to have been built with the
+	// named page codec (see storage.Codecs); Run rejects a mismatch before
+	// dispatch. It documents a throughput assumption — e.g. a job tuned for
+	// deltavarint page counts — rather than converting the store.
+	Codec string
 	// TempDir holds working files for runners that rewrite the graph.
 	TempDir string
 	// Events receives progress events (nil disables the event layer).
@@ -168,6 +173,11 @@ func (o Options) Validate(info Info) error {
 	if o.Model != ModelEdge && !info.Models {
 		return fmt.Errorf("engine: Options.Model is unsupported by %s: it has no iterator model selection", info.Name)
 	}
+	if o.Codec != "" {
+		if _, err := storage.CodecByName(o.Codec); err != nil {
+			return fmt.Errorf("engine: Options.Codec: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -195,6 +205,9 @@ func Run(ctx context.Context, name string, st *storage.Store, dev ssd.PageDevice
 	}
 	if err := opts.Validate(info); err != nil {
 		return nil, err
+	}
+	if opts.Codec != "" && st.CodecName() != opts.Codec {
+		return nil, fmt.Errorf("engine: Options.Codec is %q but the store was built with %q", opts.Codec, st.CodecName())
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

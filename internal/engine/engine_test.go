@@ -82,6 +82,8 @@ func TestValidate(t *testing.T) {
 		{"triangles from listing method", Options{OnTriangles: cb}, full, false},
 		{"model on model-less method", Options{Model: ModelVertex}, counting, true},
 		{"model on modelled method", Options{Model: ModelVertex}, full, false},
+		{"known codec", Options{Codec: "deltavarint"}, full, false},
+		{"unknown codec", Options{Codec: "zstd"}, full, true},
 	}
 	for _, tc := range cases {
 		err := tc.opts.Validate(tc.info)
@@ -110,6 +112,7 @@ func TestValidateNamesOffendingField(t *testing.T) {
 		{"MemoryFraction", Options{MemoryFraction: 2}, full},
 		{"OnTriangles", Options{OnTriangles: func(u, v uint32, ws []uint32) {}}, counting},
 		{"Model", Options{Model: ModelVertex}, counting},
+		{"Codec", Options{Codec: "zstd"}, full},
 	}
 	for _, tc := range cases {
 		err := tc.opts.Validate(tc.info)
@@ -236,6 +239,25 @@ func TestRunValidatesCentrally(t *testing.T) {
 	}
 	if fake.called != 0 {
 		t.Fatalf("runner reached %d times despite invalid options", fake.called)
+	}
+}
+
+// TestRunRejectsCodecMismatch pins the Options.Codec contract: a run that
+// requires a specific page codec is rejected before dispatch when the store
+// was built with a different one (a zero-value Store reports raw).
+func TestRunRejectsCodecMismatch(t *testing.T) {
+	fake := &fakeRunner{res: &Result{}}
+	Register(Info{Name: "test-codec"}, fake)
+	st := &storage.Store{NumPages: 10}
+	if _, err := Run(context.Background(), "test-codec", st, nil, Options{Codec: storage.CodecRaw}); err != nil {
+		t.Fatalf("matching codec rejected: %v", err)
+	}
+	_, err := Run(context.Background(), "test-codec", st, nil, Options{Codec: storage.CodecDeltaVarint})
+	if err == nil || !strings.Contains(err.Error(), "Options.Codec") {
+		t.Fatalf("codec mismatch err = %v, want it to name Options.Codec", err)
+	}
+	if fake.called != 1 {
+		t.Fatalf("runner called %d times, want 1 (the matching run only)", fake.called)
 	}
 }
 

@@ -75,6 +75,10 @@ type Spec struct {
 	PrefetchDepth    int     `json:"prefetch_depth,omitempty"`
 	Timeout          string  `json:"timeout,omitempty"` // Go duration, e.g. "30s"
 	CollectIterStats bool    `json:"collect_iter_stats,omitempty"`
+	// Codec, when non-empty, requires the store to have been built with the
+	// named page codec; unknown names are rejected at admission and a
+	// mismatch fails the run.
+	Codec string `json:"codec,omitempty"`
 }
 
 // engineOptions translates the spec into engine.Options (without an event
@@ -88,6 +92,7 @@ func (s Spec) engineOptions() (engine.Options, error) {
 		MaxCoalescePages: s.MaxCoalescePages,
 		PrefetchDepth:    s.PrefetchDepth,
 		CollectIterStats: s.CollectIterStats,
+		Codec:            s.Codec,
 	}
 	switch s.Model {
 	case "", "edge":
@@ -120,9 +125,9 @@ func (s Spec) timeout() (time.Duration, error) {
 // path (not the client's spelling) anchors the key.
 func (s Spec) digest(storePath string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00%d\x00%v\x00%d\x00%d\x00%d\x00%v",
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00%d\x00%v\x00%d\x00%d\x00%d\x00%v\x00%s",
 		storePath, s.Algorithm, s.Model, s.Threads, s.MemoryPages, s.MemoryFraction,
-		s.QueueDepth, s.MaxCoalescePages, s.PrefetchDepth, s.CollectIterStats)
+		s.QueueDepth, s.MaxCoalescePages, s.PrefetchDepth, s.CollectIterStats, s.Codec)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

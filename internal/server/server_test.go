@@ -564,6 +564,7 @@ func TestSubmitValidation(t *testing.T) {
 		{"bad model", server.Spec{Store: path, Algorithm: "MGT", Model: "diagonal"}, http.StatusBadRequest},
 		{"negative threads", server.Spec{Store: path, Algorithm: "MGT", Threads: -1}, http.StatusBadRequest},
 		{"bad timeout", server.Spec{Store: path, Algorithm: "MGT", Timeout: "soon"}, http.StatusBadRequest},
+		{"unknown codec", server.Spec{Store: path, Algorithm: "MGT", Codec: "zstd"}, http.StatusBadRequest},
 		{"missing store", server.Spec{Algorithm: "MGT"}, http.StatusBadRequest},
 		{"unreadable store", server.Spec{Store: path + ".missing", Algorithm: "MGT"}, http.StatusBadRequest},
 		{"budget too large", server.Spec{Store: path, Algorithm: "MGT", MemoryPages: 64}, http.StatusRequestEntityTooLarge},

@@ -1,0 +1,213 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/optlab/opt/internal/gen"
+	"github.com/optlab/opt/internal/graph"
+)
+
+func TestCodecRegistry(t *testing.T) {
+	for i, name := range Codecs() {
+		c, err := CodecByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(c.ID()) != i {
+			t.Fatalf("codec %s: id %d at registry slot %d", name, c.ID(), i)
+		}
+	}
+	if c, err := CodecByName(""); err != nil || c.Name() != CodecRaw {
+		t.Fatalf("empty name: (%v, %v), want raw", c, err)
+	}
+	if _, err := CodecByName("zstd"); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("unknown name err = %v, want ErrUnknownCodec", err)
+	}
+	if _, err := codecByID(99); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("unknown id err = %v, want ErrUnknownCodec", err)
+	}
+}
+
+func TestBuildFileCodecValidation(t *testing.T) {
+	g := graph.PaperExample()
+	dir := t.TempDir()
+	if _, err := BuildFileCodec(filepath.Join(dir, "x"), g, 128, "zstd"); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("unknown codec err = %v, want ErrUnknownCodec", err)
+	}
+	// deltavarint needs one extra byte over the raw minimum page.
+	if _, err := BuildFileCodec(filepath.Join(dir, "y"), g, MinPageSize, CodecDeltaVarint); err == nil {
+		t.Fatal("deltavarint at raw minimum page size: want error")
+	}
+	dv, err := CodecByName(CodecDeltaVarint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildFileCodec(filepath.Join(dir, "z"), g, MinPageSizeFor(dv), CodecDeltaVarint); err != nil {
+		t.Fatalf("deltavarint at its minimum page size: %v", err)
+	}
+}
+
+// rewriteHeaderV1 turns a raw-codec v2 store file into the v1 layout: the
+// pages are bit-identical, only the header magic/version differ (v1 kept
+// the codec bytes zero).
+func rewriteHeaderV1(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data[0:8], storeMagicV1)
+	binary.LittleEndian.PutUint32(data[8:], storeVersionV1)
+	binary.LittleEndian.PutUint16(data[48:], 0)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenV1Store(t *testing.T) {
+	g := graph.PaperExample()
+	path := filepath.Join(t.TempDir(), "v1.optstore")
+	if _, err := BuildFileCodec(path, g, 64, CodecRaw); err != nil {
+		t.Fatal(err)
+	}
+	rewriteHeaderV1(t, path)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("opening v1 store: %v", err)
+	}
+	if s.Version() != storeVersionV1 || s.CodecName() != CodecRaw {
+		t.Fatalf("v1 store reports v%d/%s, want v1/raw", s.Version(), s.CodecName())
+	}
+	verifyMatchesGraph(t, g, s)
+}
+
+func TestOpenRejectsUnknownVersionAndCodec(t *testing.T) {
+	g := graph.PaperExample()
+	dir := t.TempDir()
+	build := func(name string) ([]byte, string) {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if _, err := BuildFileCodec(p, g, 64, CodecRaw); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, p
+	}
+
+	data, p := build("badmagic")
+	copy(data[0:8], "OPTSTOR9")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(p); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("future magic err = %v, want ErrUnknownVersion", err)
+	}
+
+	data, p = build("badversion")
+	binary.LittleEndian.PutUint32(data[8:], 7)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(p); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("v2 magic with version 7 err = %v, want ErrUnknownVersion", err)
+	}
+
+	data, p = build("badcodec")
+	binary.LittleEndian.PutUint16(data[48:], 99)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(p); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("codec id 99 err = %v, want ErrUnknownCodec", err)
+	}
+}
+
+// TestDeltaVarintShrinksPowerLawStore pins the acceptance criterion: on the
+// power-law kernels workload the deltavarint codec must shrink P(G) by at
+// least 25% relative to raw.
+func TestDeltaVarintShrinksPowerLawStore(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(1<<10, 12_000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, _ := graph.DegreeOrder(g)
+	dir := t.TempDir()
+	raw, err := BuildFileCodec(filepath.Join(dir, "raw"), og, 1024, CodecRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := BuildFileCodec(filepath.Join(dir, "dv"), og, 1024, CodecDeltaVarint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.NumPages == 0 || raw.NumPages == 0 {
+		t.Fatal("empty store")
+	}
+	reduction := 1 - float64(dv.NumPages)/float64(raw.NumPages)
+	t.Logf("P(G): raw %d pages, deltavarint %d pages, reduction %.1f%%",
+		raw.NumPages, dv.NumPages, 100*reduction)
+	if reduction < 0.25 {
+		t.Fatalf("deltavarint reduced P(G) by %.1f%%, want >= 25%%", 100*reduction)
+	}
+	// The raw-packing simulation must agree exactly with the raw writer.
+	if got := raw.RawDataPages(); got != int64(raw.NumPages) {
+		t.Fatalf("RawDataPages() = %d on a raw store with %d pages", got, raw.NumPages)
+	}
+	if got := dv.RawDataPages(); got != int64(raw.NumPages) {
+		t.Fatalf("RawDataPages() on dv store = %d, want %d", got, raw.NumPages)
+	}
+}
+
+// TestDecodeSteadyStateAllocs pins the decode hot path at zero allocations
+// per operation once the record and arena slices are warm, for both codecs.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+	g, err := gen.RMAT(gen.DefaultRMAT(512, 6000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, _ := graph.DegreeOrder(g)
+	for _, codec := range codecNames {
+		t.Run(codec, func(t *testing.T) {
+			s := buildAndOpenCodec(t, og, 128, codec)
+			dev, err := s.Device()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = dev.Close() }()
+			data, err := dev.ReadPages(0, int(s.NumPages))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var recs []VertexRec
+			var arena []uint32
+			// Warm pass grows both slices to their steady-state capacity.
+			recs, arena, err = s.DecodeAppend(recs[:0], arena[:0], data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				var derr error
+				recs, arena, derr = s.DecodeAppend(recs[:0], arena[:0], data)
+				if derr != nil {
+					t.Fatal(derr)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state decode allocates %.1f per run, want 0", allocs)
+			}
+			if len(recs) != s.NumVertices {
+				t.Fatalf("decoded %d records, want %d", len(recs), s.NumVertices)
+			}
+		})
+	}
+}

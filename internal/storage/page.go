@@ -4,6 +4,12 @@
 // directory maps every vertex to the first page of its record, and a page
 // directory marks which pages begin a new record (so page ranges can be
 // aligned to record boundaries).
+//
+// Neighbor payloads are encoded through a pluggable Codec (see codec.go).
+// Because codecs may be variable-width, a record's page span is a write-time
+// fact recorded in the directories — spans are always derived from the page
+// directory (Store.SpanOf / Store.AlignedRange), never recomputed from the
+// degree.
 package storage
 
 import (
@@ -20,35 +26,41 @@ const (
 )
 
 // pageHeaderSize is the fixed per-page header: numRecords (uint16),
-// kind (uint8), pad (uint8), contCount (uint32).
+// kind (uint8), pad (uint8), valCount (uint32; the number of neighbor
+// values in this page for run pages that record it — see Codec.countedRuns).
 const pageHeaderSize = 8
 
 // recHeaderSize is the per-record header inside a page: vertex id (uint32)
 // and degree (uint32).
 const recHeaderSize = 8
 
-// MinPageSize is the smallest supported page size: header plus one record
-// header plus one neighbor.
+// MinPageSize is the smallest page size any codec supports: header plus one
+// record header plus one raw neighbor. Variable-width codecs may require
+// slightly more; see MinPageSizeFor.
 const MinPageSize = pageHeaderSize + recHeaderSize + 4
 
-// VertexRec is a decoded (v, n(v)) record. Adj aliases the decode buffer.
+// VertexRec is a decoded (v, n(v)) record. Adj sub-slices the decode arena.
 type VertexRec struct {
 	ID  uint32
 	Adj []uint32
 }
 
-// Errors returned by the codec.
+// Errors returned by the page decoder.
 var (
 	ErrCorruptPage  = errors.New("storage: corrupt page")
 	ErrMisaligned   = errors.New("storage: page range starts inside a record run")
 	ErrTruncatedRun = errors.New("storage: page range ends inside a record run")
 )
 
-// pageWriter incrementally encodes records into fixed-size pages. With a
-// sink set, pages stream out as they fill (bounded memory); otherwise they
-// accumulate in pages/firstRec.
+func putUint32(b []byte, x uint32) { binary.LittleEndian.PutUint32(b, x) }
+func getUint32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
+
+// pageWriter incrementally encodes records into fixed-size pages through a
+// codec. With a sink set, pages stream out as they fill (bounded memory);
+// otherwise they accumulate in pages/firstRec.
 type pageWriter struct {
 	pageSize int
+	codec    Codec
 	cur      []byte
 	curRecs  int
 	curUsed  int
@@ -63,49 +75,30 @@ type pageWriter struct {
 // NoRecord marks a page in which no record starts (a run continuation).
 const NoRecord = ^uint32(0)
 
-func newPageWriter(pageSize int) *pageWriter {
-	return &pageWriter{pageSize: pageSize}
+// newPageWriter requires pageSize >= MinPageSizeFor(c) so every run page
+// holds at least one encoded value (callers validate before constructing).
+func newPageWriter(pageSize int, c Codec) *pageWriter {
+	return &pageWriter{pageSize: pageSize, codec: c}
 }
 
 func (w *pageWriter) payload() int { return w.pageSize - pageHeaderSize }
 
-// neighborsPerStartPage returns how many neighbors fit in a run-start page.
-func neighborsPerStartPage(pageSize int) int {
-	return (pageSize - pageHeaderSize - recHeaderSize) / 4
-}
-
-// neighborsPerContPage returns how many neighbors fit in a continuation page.
-func neighborsPerContPage(pageSize int) int {
-	return (pageSize - pageHeaderSize) / 4
-}
-
-// RecordSpan returns the number of pages the record of a degree-d vertex
-// occupies under the given page size: 1 when it shares a slotted page, more
-// when it needs a run.
-func RecordSpan(pageSize int, degree int) int {
-	if recHeaderSize+4*degree <= pageSize-pageHeaderSize {
-		return 1
-	}
-	rest := degree - neighborsPerStartPage(pageSize)
-	per := neighborsPerContPage(pageSize)
-	return 1 + (rest+per-1)/per
-}
-
 func (w *pageWriter) ensurePage() {
 	if w.cur == nil {
+		// make zeroes the page, so unused payload tails are zero on disk.
 		w.cur = make([]byte, w.pageSize)
 		w.curRecs = 0
 		w.curUsed = pageHeaderSize
 	}
 }
 
-func (w *pageWriter) flush(kind uint8, contCount uint32, firstRec uint32) {
+func (w *pageWriter) flush(kind uint8, valCount uint32, firstRec uint32) {
 	if w.cur == nil {
 		return
 	}
 	binary.LittleEndian.PutUint16(w.cur[0:2], uint16(w.curRecs))
 	w.cur[2] = kind
-	binary.LittleEndian.PutUint32(w.cur[4:8], contCount)
+	putUint32(w.cur[4:8], valCount)
 	w.emitted++
 	if w.sink != nil {
 		if err := w.sink(w.cur, firstRec); err != nil && w.sinkErr == nil {
@@ -120,60 +113,54 @@ func (w *pageWriter) flush(kind uint8, contCount uint32, firstRec uint32) {
 	w.cur = nil
 }
 
-// appendRecord adds one (id, adj) record, emitting pages as they fill.
-func (w *pageWriter) appendRecord(id uint32, adj []uint32) {
-	recSize := recHeaderSize + 4*len(adj)
-	if recSize <= w.payload() {
+// appendRecord adds one (id, adj) record, emitting pages as they fill, and
+// returns the index of the page where the record starts — the span of a
+// record is a write-time fact recorded in the directories, not recomputable
+// from the degree once codecs are variable-width.
+func (w *pageWriter) appendRecord(id uint32, adj []uint32) uint32 {
+	plen := w.codec.encodedLen(0, false, adj)
+	if recHeaderSize+plen <= w.payload() {
 		// Fits in a (possibly shared) slotted page.
 		w.ensurePage()
-		if w.curUsed+recSize > w.pageSize {
+		if w.curUsed+recHeaderSize+plen > w.pageSize {
 			w.flush(kindSlotted, 0, w.pageFirst())
 			w.ensurePage()
 		}
+		start := w.emitted
 		if w.curRecs == 0 {
 			w.curFirst = id
 		}
-		binary.LittleEndian.PutUint32(w.cur[w.curUsed:], id)
-		binary.LittleEndian.PutUint32(w.cur[w.curUsed+4:], uint32(len(adj)))
-		off := w.curUsed + recHeaderSize
-		for _, x := range adj {
-			binary.LittleEndian.PutUint32(w.cur[off:], x)
-			off += 4
-		}
-		w.curUsed = off
+		putUint32(w.cur[w.curUsed:], id)
+		putUint32(w.cur[w.curUsed+4:], uint32(len(adj)))
+		_, n := w.codec.encodeInto(w.cur[w.curUsed+recHeaderSize:w.pageSize], 0, false, adj)
+		w.curUsed += recHeaderSize + n
 		w.curRecs++
-		return
+		return start
 	}
 	// Oversized record: close the current shared page, then emit a run.
 	w.flush(kindSlotted, 0, w.pageFirst())
+	start := w.emitted
 	w.ensurePage()
 	w.curFirst = id
-	binary.LittleEndian.PutUint32(w.cur[pageHeaderSize:], id)
-	binary.LittleEndian.PutUint32(w.cur[pageHeaderSize+4:], uint32(len(adj)))
-	nStart := neighborsPerStartPage(w.pageSize)
-	off := pageHeaderSize + recHeaderSize
-	for i := 0; i < nStart; i++ {
-		binary.LittleEndian.PutUint32(w.cur[off:], adj[i])
-		off += 4
-	}
+	putUint32(w.cur[pageHeaderSize:], id)
+	putUint32(w.cur[pageHeaderSize+4:], uint32(len(adj)))
+	vals, _ := w.codec.encodeInto(w.cur[pageHeaderSize+recHeaderSize:w.pageSize], 0, false, adj)
 	w.curRecs = 1
-	w.flush(kindRunStart, 0, id)
-	rest := adj[nStart:]
-	per := neighborsPerContPage(w.pageSize)
+	var startCount uint32
+	if w.codec.countedRuns() {
+		startCount = uint32(vals)
+	}
+	w.flush(kindRunStart, startCount, id)
+	prev := adj[vals-1] // vals >= 1: the page holds at least maxValBytes
+	rest := adj[vals:]
 	for len(rest) > 0 {
-		n := per
-		if n > len(rest) {
-			n = len(rest)
-		}
 		w.ensurePage()
-		off := pageHeaderSize
-		for i := 0; i < n; i++ {
-			binary.LittleEndian.PutUint32(w.cur[off:], rest[i])
-			off += 4
-		}
+		n, _ := w.codec.encodeInto(w.cur[pageHeaderSize:w.pageSize], prev, true, rest)
 		w.flush(kindRunCont, uint32(n), NoRecord)
+		prev = rest[n-1]
 		rest = rest[n:]
 	}
+	return start
 }
 
 func (w *pageWriter) pageFirst() uint32 {
@@ -195,21 +182,38 @@ func (w *pageWriter) finish() ([][]byte, []uint32) {
 }
 
 // DecodeRange decodes the records of a contiguous span of raw pages
-// (len(data) must be a multiple of pageSize). The span must begin at a
-// record boundary and must not cut a record run short; use
-// Store.AlignedRange to obtain such spans.
-func DecodeRange(pageSize int, data []byte) ([]VertexRec, error) {
-	return DecodeRangeAppend(nil, pageSize, data)
+// (len(data) must be a multiple of pageSize) under the given codec. The
+// span must begin at a record boundary and must not cut a record run short;
+// use Store.AlignedRange to obtain such spans.
+func DecodeRange(c Codec, pageSize int, data []byte) ([]VertexRec, error) {
+	recs, _, err := DecodeRangeAppend(nil, nil, c, pageSize, data)
+	return recs, err
 }
 
-// DecodeRangeAppend is DecodeRange appending onto dst, so callers that
-// recycle record arrays across reads avoid reallocating them. On error the
-// records decoded so far are returned alongside the error.
-func DecodeRangeAppend(dst []VertexRec, pageSize int, data []byte) ([]VertexRec, error) {
-	if len(data)%pageSize != 0 {
-		return dst, fmt.Errorf("%w: %d bytes not page aligned", ErrCorruptPage, len(data))
+// DecodeRangeAppend is DecodeRange appending records onto dst and neighbor
+// values onto arena; each returned record's Adj sub-slices the returned
+// arena, so callers recycling both slices across reads allocate nothing at
+// steady state. On error the records decoded so far are still returned
+// (with valid Adj views) alongside the error.
+func DecodeRangeAppend(dst []VertexRec, arena []uint32, c Codec, pageSize int, data []byte) ([]VertexRec, []uint32, error) {
+	nDst, base := len(dst), len(arena)
+	out, arena, err := decodeRange(dst, arena, c, pageSize, data)
+	// The arena may have been reallocated mid-decode, so records are
+	// repointed into its final backing here: segments are contiguous from
+	// base, and each record's segment length survives reallocation.
+	off := base
+	for i := nDst; i < len(out); i++ {
+		n := len(out[i].Adj)
+		out[i].Adj = arena[off : off+n : off+n]
+		off += n
 	}
-	out := dst
+	return out, arena, err
+}
+
+func decodeRange(out []VertexRec, arena []uint32, c Codec, pageSize int, data []byte) ([]VertexRec, []uint32, error) {
+	if len(data)%pageSize != 0 {
+		return out, arena, fmt.Errorf("%w: %d bytes not page aligned", ErrCorruptPage, len(data))
+	}
 	numPages := len(data) / pageSize
 	for p := 0; p < numPages; p++ {
 		page := data[p*pageSize : (p+1)*pageSize]
@@ -220,57 +224,74 @@ func DecodeRangeAppend(dst []VertexRec, pageSize int, data []byte) ([]VertexRec,
 			off := pageHeaderSize
 			for r := 0; r < numRecs; r++ {
 				if off+recHeaderSize > pageSize {
-					return out, fmt.Errorf("%w: record header beyond page", ErrCorruptPage)
+					return out, arena, fmt.Errorf("%w: record header beyond page", ErrCorruptPage)
 				}
-				id := binary.LittleEndian.Uint32(page[off:])
-				deg := int(binary.LittleEndian.Uint32(page[off+4:]))
+				id := getUint32(page[off:])
+				deg := int(getUint32(page[off+4:]))
 				off += recHeaderSize
-				if off+4*deg > pageSize {
-					return out, fmt.Errorf("%w: record body beyond page", ErrCorruptPage)
+				aStart := len(arena)
+				var n int
+				var err error
+				arena, n, err = c.decodeInto(arena, page[off:], deg, 0, false)
+				if err != nil {
+					return out, arena, fmt.Errorf("record body of vertex %d: %w", id, err)
 				}
-				adj := make([]uint32, deg)
-				for i := 0; i < deg; i++ {
-					adj[i] = binary.LittleEndian.Uint32(page[off:])
-					off += 4
-				}
-				out = append(out, VertexRec{ID: id, Adj: adj})
+				off += n
+				out = append(out, VertexRec{ID: id, Adj: arena[aStart:len(arena)]})
 			}
 		case kindRunStart:
-			id := binary.LittleEndian.Uint32(page[pageHeaderSize:])
-			deg := int(binary.LittleEndian.Uint32(page[pageHeaderSize+4:]))
-			adj := make([]uint32, 0, deg)
-			off := pageHeaderSize + recHeaderSize
-			nStart := neighborsPerStartPage(pageSize)
-			for i := 0; i < nStart && len(adj) < deg; i++ {
-				adj = append(adj, binary.LittleEndian.Uint32(page[off:]))
-				off += 4
+			id := getUint32(page[pageHeaderSize:])
+			deg := int(getUint32(page[pageHeaderSize+4:]))
+			payload := page[pageHeaderSize+recHeaderSize:]
+			count := deg
+			if c.countedRuns() {
+				count = int(getUint32(page[4:8]))
+				if count > deg {
+					return out, arena, fmt.Errorf("%w: run start holds %d of %d neighbors", ErrCorruptPage, count, deg)
+				}
+			} else if max := len(payload) / c.maxValBytes(); count > max {
+				count = max
 			}
-			// Consume continuation pages.
-			for len(adj) < deg {
+			aStart := len(arena)
+			var err error
+			arena, _, err = c.decodeInto(arena, payload, count, 0, false)
+			if err != nil {
+				return out, arena, fmt.Errorf("run start of vertex %d: %w", id, err)
+			}
+			// Consume continuation pages, carrying the delta chain across
+			// page boundaries.
+			for len(arena)-aStart < deg {
 				p++
 				if p >= numPages {
-					return out, fmt.Errorf("%w: vertex %d needs %d more neighbors", ErrTruncatedRun, id, deg-len(adj))
+					return out, arena, fmt.Errorf("%w: vertex %d needs %d more neighbors", ErrTruncatedRun, id, deg-(len(arena)-aStart))
 				}
 				page = data[p*pageSize : (p+1)*pageSize]
 				if page[2] != kindRunCont {
-					return out, fmt.Errorf("%w: expected continuation page", ErrCorruptPage)
+					return out, arena, fmt.Errorf("%w: expected continuation page", ErrCorruptPage)
 				}
-				n := int(binary.LittleEndian.Uint32(page[4:8]))
-				off := pageHeaderSize
-				for i := 0; i < n; i++ {
-					adj = append(adj, binary.LittleEndian.Uint32(page[off:]))
-					off += 4
+				n := int(getUint32(page[4:8]))
+				if n > deg-(len(arena)-aStart) {
+					return out, arena, fmt.Errorf("%w: continuation holds %d of %d pending neighbors", ErrCorruptPage, n, deg-(len(arena)-aStart))
+				}
+				var prev uint32
+				cont := false
+				if len(arena) > aStart {
+					prev, cont = arena[len(arena)-1], true
+				}
+				arena, _, err = c.decodeInto(arena, page[pageHeaderSize:], n, prev, cont)
+				if err != nil {
+					return out, arena, fmt.Errorf("run continuation of vertex %d: %w", id, err)
 				}
 			}
-			out = append(out, VertexRec{ID: id, Adj: adj})
+			out = append(out, VertexRec{ID: id, Adj: arena[aStart:len(arena)]})
 		case kindRunCont:
 			if p == 0 {
-				return out, ErrMisaligned
+				return out, arena, ErrMisaligned
 			}
-			return out, fmt.Errorf("%w: unexpected continuation page at offset %d", ErrCorruptPage, p)
+			return out, arena, fmt.Errorf("%w: unexpected continuation page at offset %d", ErrCorruptPage, p)
 		default:
-			return out, fmt.Errorf("%w: unknown page kind %d", ErrCorruptPage, kind)
+			return out, arena, fmt.Errorf("%w: unknown page kind %d", ErrCorruptPage, kind)
 		}
 	}
-	return out, nil
+	return out, arena, nil
 }

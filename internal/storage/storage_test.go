@@ -12,12 +12,19 @@ import (
 	"github.com/optlab/opt/internal/graph"
 )
 
-// buildAndOpen round-trips g through a store file and returns the reopened
-// store.
+// codecNames is the codec axis shared by the parameterized tests.
+var codecNames = []string{CodecRaw, CodecDeltaVarint}
+
+// buildAndOpen round-trips g through a raw-codec store file and returns the
+// reopened store.
 func buildAndOpen(t *testing.T, g *graph.Graph, pageSize int) *Store {
+	return buildAndOpenCodec(t, g, pageSize, CodecRaw)
+}
+
+func buildAndOpenCodec(t *testing.T, g *graph.Graph, pageSize int, codec string) *Store {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "g.optstore")
-	built, err := BuildFile(path, g, pageSize)
+	built, err := BuildFileCodec(path, g, pageSize, codec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,6 +35,10 @@ func buildAndOpen(t *testing.T, g *graph.Graph, pageSize int) *Store {
 	if opened.NumVertices != built.NumVertices || opened.NumPages != built.NumPages ||
 		opened.NumEdges != built.NumEdges || opened.PageSize != built.PageSize {
 		t.Fatalf("reopened store differs: %+v vs %+v", opened, built)
+	}
+	if opened.CodecName() != codec || opened.Version() != storeVersionV2 {
+		t.Fatalf("reopened store codec/version = %s/v%d, want %s/v%d",
+			opened.CodecName(), opened.Version(), codec, storeVersionV2)
 	}
 	return opened
 }
@@ -78,7 +89,7 @@ func verifyMatchesGraph(t *testing.T, g *graph.Graph, s *Store) {
 			t.Fatalf("vertex %d: decoded %v, want %v", v, got, want)
 		}
 	}
-	// Directory agrees with decode and with RecordSpan.
+	// Directory agrees with decode.
 	for v := 0; v < g.NumVertices(); v++ {
 		if s.DegreeOf(graph.VertexID(v)) != g.Degree(graph.VertexID(v)) {
 			t.Fatalf("DegreeOf(%d) = %d, want %d", v, s.DegreeOf(graph.VertexID(v)), g.Degree(graph.VertexID(v)))
@@ -88,43 +99,59 @@ func verifyMatchesGraph(t *testing.T, g *graph.Graph, s *Store) {
 
 func TestStoreRoundtripPaperExample(t *testing.T) {
 	g := graph.PaperExample()
-	for _, ps := range []int{MinPageSize, 64, 128, 4096} {
-		s := buildAndOpen(t, g, ps)
-		verifyMatchesGraph(t, g, s)
+	for _, codec := range codecNames {
+		t.Run(codec, func(t *testing.T) {
+			c, err := CodecByName(codec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ps := range []int{MinPageSizeFor(c), 64, 128, 4096} {
+				s := buildAndOpenCodec(t, g, ps, codec)
+				verifyMatchesGraph(t, g, s)
+			}
+		})
 	}
 }
 
 func TestStoreRoundtripRandom(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
-	for trial := 0; trial < 5; trial++ {
-		n := 50 + rng.Intn(200)
-		b := graph.NewBuilder(n)
-		m := rng.Intn(2000)
-		for i := 0; i < m; i++ {
-			_ = b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
-		}
-		g := b.Build()
-		s := buildAndOpen(t, g, 128)
-		verifyMatchesGraph(t, g, s)
+	for _, codec := range codecNames {
+		t.Run(codec, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			for trial := 0; trial < 5; trial++ {
+				n := 50 + rng.Intn(200)
+				b := graph.NewBuilder(n)
+				m := rng.Intn(2000)
+				for i := 0; i < m; i++ {
+					_ = b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+				}
+				g := b.Build()
+				s := buildAndOpenCodec(t, g, 128, codec)
+				verifyMatchesGraph(t, g, s)
+			}
+		})
 	}
 }
 
 func TestStoreOversizedRecords(t *testing.T) {
 	// A star hub with degree 500 forces multi-page runs at page size 64
-	// (start page holds 12 neighbors, continuations 14).
+	// under both codecs.
 	g := graph.Star(501)
-	s := buildAndOpen(t, g, 64)
-	verifyMatchesGraph(t, g, s)
-	hub := graph.VertexID(0)
-	if got := s.SpanOf(hub); got < 2 {
-		t.Fatalf("SpanOf(hub) = %d, want >= 2", got)
-	}
-	// Continuation pages must not start records.
-	first := s.FirstPageOf(hub)
-	for p := first + 1; p < first+uint32(s.SpanOf(hub)); p++ {
-		if s.StartsRecord(p) {
-			t.Fatalf("continuation page %d claims to start a record", p)
-		}
+	for _, codec := range codecNames {
+		t.Run(codec, func(t *testing.T) {
+			s := buildAndOpenCodec(t, g, 64, codec)
+			verifyMatchesGraph(t, g, s)
+			hub := graph.VertexID(0)
+			if got := s.SpanOf(hub); got < 2 {
+				t.Fatalf("SpanOf(hub) = %d, want >= 2", got)
+			}
+			// Continuation pages must not start records.
+			first := s.FirstPageOf(hub)
+			for p := first + 1; p < first+uint32(s.SpanOf(hub)); p++ {
+				if s.StartsRecord(p) {
+					t.Fatalf("continuation page %d claims to start a record", p)
+				}
+			}
+		})
 	}
 }
 
@@ -140,18 +167,58 @@ func TestStoreEmptyAndIsolatedVertices(t *testing.T) {
 	}
 }
 
-func TestRecordSpan(t *testing.T) {
-	// Page 64: payload 56, record header 8 -> 12 neighbors in start page,
-	// 14 per continuation.
-	cases := []struct {
-		deg, want int
-	}{
-		{0, 1}, {1, 1}, {12, 1}, {13, 2}, {26, 2}, {27, 3},
+func TestSpanOfMatchesDirectory(t *testing.T) {
+	// Spans are a write-time fact read back from the page directory: for
+	// every vertex, SpanOf must cover exactly the pages up to the next
+	// record start, and decoding exactly that range must yield the record.
+	g, err := gen.RMAT(gen.DefaultRMAT(256, 3000, 7))
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, tc := range cases {
-		if got := RecordSpan(64, tc.deg); got != tc.want {
-			t.Errorf("RecordSpan(64, %d) = %d, want %d", tc.deg, got, tc.want)
-		}
+	og, _ := graph.DegreeOrder(g)
+	for _, codec := range codecNames {
+		t.Run(codec, func(t *testing.T) {
+			s := buildAndOpenCodec(t, og, 64, codec)
+			dev, err := s.Device()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = dev.Close() }()
+			for v := 0; v < s.NumVertices; v++ {
+				first := s.FirstPageOf(graph.VertexID(v))
+				span := s.SpanOf(graph.VertexID(v))
+				if span < 1 {
+					t.Fatalf("SpanOf(%d) = %d", v, span)
+				}
+				if !s.StartsRecord(first) {
+					t.Fatalf("vertex %d: first page %d does not start a record", v, first)
+				}
+				// A span beyond one page means a run: its continuation
+				// pages must not start records.
+				for p := first + 1; p < first+uint32(span); p++ {
+					if s.StartsRecord(p) {
+						t.Fatalf("vertex %d: span %d crosses record start at page %d", v, span, p)
+					}
+				}
+				data, err := dev.ReadPages(first, span)
+				if err != nil {
+					t.Fatal(err)
+				}
+				recs, err := s.Decode(data)
+				if err != nil {
+					t.Fatalf("vertex %d: decoding its span: %v", v, err)
+				}
+				found := false
+				for _, r := range recs {
+					if r.ID == uint32(v) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("vertex %d not found in its own span [%d,+%d)", v, first, span)
+				}
+			}
+		})
 	}
 }
 

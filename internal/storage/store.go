@@ -11,18 +11,24 @@ import (
 	"github.com/optlab/opt/internal/ssd"
 )
 
-// Store file layout:
+// Store file layout (v2):
 //
-//	header (64 bytes): magic, version, pageSize, numVertices, numPages,
-//	                   numEdges, dirOffset, dataOffset
+//	header (64 bytes): magic "OPTSTOR2", version, pageSize, numVertices,
+//	                   numPages, numEdges, dirOffset, dataOffset, codec id
 //	vertex directory:  numVertices × (firstPage uint32, degree uint32)
 //	page directory:    numPages × (firstRecord uint32; NoRecord for
 //	                   continuation pages)
 //	data pages:        numPages × pageSize
+//
+// v1 files ("OPTSTOR1", no codec field) remain readable: their pages are
+// bit-identical to v2 pages under the raw codec.
 const (
-	storeMagic   = "OPTSTOR1"
-	headerSize   = 64
-	storeVersion = 1
+	storeMagicV1   = "OPTSTOR1"
+	storeMagicV2   = "OPTSTOR2"
+	storeMagicStem = "OPTSTOR"
+	headerSize     = 64
+	storeVersionV1 = 1
+	storeVersionV2 = 2
 )
 
 // DefaultPageSize is used when BuildFile is given a page size of 0.
@@ -38,35 +44,64 @@ type Store struct {
 	NumVertices int
 	NumEdges    int64
 	NumPages    uint32
+	version     int
+	codec       Codec
 	dataOffset  int64
 	firstPage   []uint32 // vertex id -> first data page of its record
 	degree      []uint32 // vertex id -> |n(v)|
 	pageFirst   []uint32 // page id -> first record starting there, or NoRecord
 }
 
-// BuildFile encodes g into a store file at path. Vertices are written in id
-// order, so with a degree-ordered graph the storage order matches the ≺
-// order (see DESIGN.md). pageSize 0 selects DefaultPageSize.
+// Version returns the store file format version (1 or 2); a zero-value
+// Store reports the current version.
+func (s *Store) Version() int {
+	if s.version == 0 {
+		return storeVersionV2
+	}
+	return s.version
+}
+
+// CodecName returns the name of the page codec the store was built with; a
+// zero-value Store reports raw.
+func (s *Store) CodecName() string { return s.codecOrRaw().Name() }
+
+func (s *Store) codecOrRaw() Codec {
+	if s.codec == nil {
+		return rawCodecInst
+	}
+	return s.codec
+}
+
+// BuildFile encodes g into a store file at path using the raw codec.
+// Vertices are written in id order, so with a degree-ordered graph the
+// storage order matches the ≺ order (see DESIGN.md). pageSize 0 selects
+// DefaultPageSize.
 func BuildFile(path string, g *graph.Graph, pageSize int) (*Store, error) {
+	return BuildFileCodec(path, g, pageSize, CodecRaw)
+}
+
+// BuildFileCodec is BuildFile with an explicit page codec name (see Codecs).
+func BuildFileCodec(path string, g *graph.Graph, pageSize int, codecName string) (*Store, error) {
+	codec, err := CodecByName(codecName)
+	if err != nil {
+		return nil, err
+	}
 	if pageSize == 0 {
 		pageSize = DefaultPageSize
 	}
-	if pageSize < MinPageSize {
-		return nil, fmt.Errorf("storage: page size %d below minimum %d", pageSize, MinPageSize)
+	if min := MinPageSizeFor(codec); pageSize < min {
+		return nil, fmt.Errorf("storage: page size %d below %s codec minimum %d", pageSize, codec.Name(), min)
 	}
-	w := newPageWriter(pageSize)
+	w := newPageWriter(pageSize, codec)
 	n := g.NumVertices()
 	firstPage := make([]uint32, n)
 	degree := make([]uint32, n)
 	for v := 0; v < n; v++ {
 		adj := g.Neighbors(graph.VertexID(v))
-		// appendRecord flushes the shared page first for oversized records,
-		// so the record's first page is the page count before... after any
-		// pending flush. Compute from the writer state: record the page
-		// index where this record will start.
-		firstPage[v] = w.startPageOf(len(adj))
+		// The record's start page is a write-time fact the writer reports;
+		// with variable-width codecs it cannot be recomputed from degrees.
+		firstPage[v] = w.appendRecord(uint32(v), adj)
 		degree[v] = uint32(len(adj))
-		w.appendRecord(uint32(v), adj)
 	}
 	pages, pageFirst := w.finish()
 
@@ -76,6 +111,8 @@ func BuildFile(path string, g *graph.Graph, pageSize int) (*Store, error) {
 		NumVertices: n,
 		NumEdges:    g.NumEdges(),
 		NumPages:    uint32(len(pages)),
+		version:     storeVersionV2,
+		codec:       codec,
 		firstPage:   firstPage,
 		degree:      degree,
 		pageFirst:   pageFirst,
@@ -105,33 +142,17 @@ func BuildFile(path string, g *graph.Graph, pageSize int) (*Store, error) {
 	return s, nil
 }
 
-// startPageOf returns the page index at which a record of the given degree
-// will start if appended now.
-func (w *pageWriter) startPageOf(degree int) uint32 {
-	recSize := recHeaderSize + 4*degree
-	emitted := w.emitted
-	if recSize <= w.payload() {
-		if w.cur != nil && w.curUsed+recSize > w.pageSize {
-			return emitted + 1 // current page will flush first
-		}
-		return emitted // appended to current (possibly fresh) page
-	}
-	if w.cur != nil && w.curRecs > 0 {
-		return emitted + 1 // shared page flushes before the run starts
-	}
-	return emitted
-}
-
 func (s *Store) writeHeader(w io.Writer) error {
 	var h [headerSize]byte
-	copy(h[0:8], storeMagic)
-	binary.LittleEndian.PutUint32(h[8:], storeVersion)
+	copy(h[0:8], storeMagicV2)
+	binary.LittleEndian.PutUint32(h[8:], storeVersionV2)
 	binary.LittleEndian.PutUint32(h[12:], uint32(s.PageSize))
 	binary.LittleEndian.PutUint32(h[16:], uint32(s.NumVertices))
 	binary.LittleEndian.PutUint32(h[20:], s.NumPages)
 	binary.LittleEndian.PutUint64(h[24:], uint64(s.NumEdges))
 	binary.LittleEndian.PutUint64(h[32:], uint64(headerSize))
 	binary.LittleEndian.PutUint64(h[40:], uint64(s.dataOffset))
+	binary.LittleEndian.PutUint16(h[48:], s.codecOrRaw().ID())
 	_, err := w.Write(h[:])
 	return err
 }
@@ -153,7 +174,10 @@ func (s *Store) writeDirectories(w io.Writer) error {
 	return err
 }
 
-// Open reads the directories of a store file built by BuildFile.
+// Open reads the directories of a store file built by BuildFile. Both v1
+// ("OPTSTOR1", always raw pages) and v2 ("OPTSTOR2", codec id in the
+// header) files are accepted; unknown versions and codec ids are rejected
+// with ErrUnknownVersion / ErrUnknownCodec.
 func Open(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -164,11 +188,28 @@ func Open(path string) (*Store, error) {
 	if _, err := io.ReadFull(f, h[:]); err != nil {
 		return nil, fmt.Errorf("storage: reading header of %s: %w", path, err)
 	}
-	if string(h[0:8]) != storeMagic {
+	magic := string(h[0:8])
+	version := binary.LittleEndian.Uint32(h[8:])
+	var codec Codec
+	switch magic {
+	case storeMagicV1:
+		if version != storeVersionV1 {
+			return nil, fmt.Errorf("%w: %s: v1 magic with version field %d", ErrUnknownVersion, path, version)
+		}
+		codec = rawCodecInst
+	case storeMagicV2:
+		if version != storeVersionV2 {
+			return nil, fmt.Errorf("%w: %s: v2 magic with version field %d", ErrUnknownVersion, path, version)
+		}
+		codec, err = codecByID(binary.LittleEndian.Uint16(h[48:]))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	default:
+		if string(h[0:7]) == storeMagicStem {
+			return nil, fmt.Errorf("%w: %s: magic %q", ErrUnknownVersion, path, magic)
+		}
 		return nil, fmt.Errorf("storage: %s is not a store file", path)
-	}
-	if v := binary.LittleEndian.Uint32(h[8:]); v != storeVersion {
-		return nil, fmt.Errorf("storage: %s has version %d, want %d", path, v, storeVersion)
 	}
 	s := &Store{
 		Path:        path,
@@ -176,6 +217,8 @@ func Open(path string) (*Store, error) {
 		NumVertices: int(binary.LittleEndian.Uint32(h[16:])),
 		NumPages:    binary.LittleEndian.Uint32(h[20:]),
 		NumEdges:    int64(binary.LittleEndian.Uint64(h[24:])),
+		version:     int(version),
+		codec:       codec,
 		dataOffset:  int64(binary.LittleEndian.Uint64(h[40:])),
 	}
 	// Validate the header against the file size before allocating
@@ -228,9 +271,15 @@ func (s *Store) FirstPageOf(v graph.VertexID) uint32 { return s.firstPage[v] }
 // DegreeOf returns |n(v)|.
 func (s *Store) DegreeOf(v graph.VertexID) int { return int(s.degree[v]) }
 
-// SpanOf returns the number of pages v's record occupies.
+// SpanOf returns the number of pages v's record occupies, derived from the
+// page directory (with variable-width codecs the span is not a function of
+// the degree). A directory pointing outside the store yields 0.
 func (s *Store) SpanOf(v graph.VertexID) int {
-	return RecordSpan(s.PageSize, int(s.degree[v]))
+	first := s.firstPage[v]
+	if first >= s.NumPages {
+		return 0
+	}
+	return s.AlignedRange(first, 1)
 }
 
 // StartsRecord reports whether a record begins in page pid (false for run
@@ -266,12 +315,45 @@ func (s *Store) AlignedRange(start uint32, count int) int {
 }
 
 // Decode decodes a raw page span read from the device, where data begins at
-// page boundary. See DecodeRange.
+// a page boundary, dispatching to the store's codec. See DecodeRange.
 func (s *Store) Decode(data []byte) ([]VertexRec, error) {
-	return DecodeRange(s.PageSize, data)
+	return DecodeRange(s.codecOrRaw(), s.PageSize, data)
 }
 
-// DecodeAppend is Decode appending onto dst; see DecodeRangeAppend.
-func (s *Store) DecodeAppend(dst []VertexRec, data []byte) ([]VertexRec, error) {
-	return DecodeRangeAppend(dst, s.PageSize, data)
+// DecodeAppend is Decode appending records onto dst and neighbors onto
+// arena; see DecodeRangeAppend.
+func (s *Store) DecodeAppend(dst []VertexRec, arena []uint32, data []byte) ([]VertexRec, []uint32, error) {
+	return DecodeRangeAppend(dst, arena, s.codecOrRaw(), s.PageSize, data)
+}
+
+// RawDataPages returns how many data pages the store's records would occupy
+// under the raw codec at the same page size, simulated from the degree
+// directory. optinfo reports the ratio NumPages/RawDataPages as the
+// compression achieved by the store's codec.
+func (s *Store) RawDataPages() int64 {
+	nStart := (s.PageSize - pageHeaderSize - recHeaderSize) / 4
+	nCont := (s.PageSize - pageHeaderSize) / 4
+	var pages int64
+	used := 0 // payload bytes used in the current shared page, 0 = no open page
+	for _, d := range s.degree {
+		recSize := recHeaderSize + 4*int(d)
+		if recSize <= s.PageSize-pageHeaderSize {
+			if used > 0 && pageHeaderSize+used+recSize > s.PageSize {
+				pages++
+				used = 0
+			}
+			used += recSize
+			continue
+		}
+		if used > 0 {
+			pages++
+			used = 0
+		}
+		rest := int(d) - nStart
+		pages += 1 + int64((rest+nCont-1)/nCont)
+	}
+	if used > 0 {
+		pages++
+	}
+	return pages
 }

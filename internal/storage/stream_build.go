@@ -35,6 +35,8 @@ type StreamBuildOptions struct {
 	// first pass's degree counts) before writing. Strongly recommended:
 	// every algorithm in the paper assumes it.
 	DegreeOrder bool
+	// Codec names the page codec ("" selects raw); see Codecs.
+	Codec string
 }
 
 // BuildFileStreaming builds a store from an edge stream with bounded
@@ -66,11 +68,15 @@ func BuildFileStreamingContext(ctx context.Context, path string, src EdgeScanner
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	codec, err := CodecByName(opts.Codec)
+	if err != nil {
+		return nil, err
+	}
 	if opts.PageSize == 0 {
 		opts.PageSize = DefaultPageSize
 	}
-	if opts.PageSize < MinPageSize {
-		return nil, fmt.Errorf("storage: page size %d below minimum %d", opts.PageSize, MinPageSize)
+	if min := MinPageSizeFor(codec); opts.PageSize < min {
+		return nil, fmt.Errorf("storage: page size %d below %s codec minimum %d", opts.PageSize, codec.Name(), min)
 	}
 	if opts.TempDir == "" {
 		opts.TempDir = filepath.Dir(path)
@@ -167,7 +173,7 @@ func BuildFileStreamingContext(ctx context.Context, path string, src EdgeScanner
 	}()
 	stageW := bufio.NewWriterSize(stage, 1<<20)
 
-	w := newPageWriter(opts.PageSize)
+	w := newPageWriter(opts.PageSize, codec)
 	var pageFirst []uint32
 	w.sink = func(page []byte, _ uint32) error {
 		_, err := stageW.Write(page)
@@ -182,10 +188,9 @@ func BuildFileStreamingContext(ctx context.Context, path string, src EdgeScanner
 	var curAdj []uint32
 	var last uint64
 	emitRecord := func(id uint32) {
-		firstPage[id] = w.startPageOf(len(curAdj))
 		exactDeg[id] = uint32(len(curAdj))
 		edges += int64(len(curAdj))
-		w.appendRecord(id, curAdj)
+		firstPage[id] = w.appendRecord(id, curAdj)
 		curAdj = curAdj[:0]
 	}
 	flushThrough := func(nextID int64) {
@@ -233,6 +238,8 @@ func BuildFileStreamingContext(ctx context.Context, path string, src EdgeScanner
 		NumVertices: n,
 		NumEdges:    edges / 2,
 		NumPages:    w.emitted,
+		version:     storeVersionV2,
+		codec:       codec,
 		firstPage:   firstPage,
 		degree:      exactDeg,
 		pageFirst:   pageFirst,

@@ -26,9 +26,18 @@ type Store struct {
 	st *storage.Store
 }
 
-// BuildStore writes g to path. pageSize 0 selects the 8 KiB default.
+// BuildStore writes g to path with the raw page codec. pageSize 0 selects
+// the 8 KiB default.
 func BuildStore(path string, g *Graph, pageSize int) (*Store, error) {
-	st, err := storage.BuildFile(path, g.internal(), pageSize)
+	return BuildStoreCodec(path, g, pageSize, CodecRaw)
+}
+
+// BuildStoreCodec is BuildStore with an explicit page codec: CodecRaw keeps
+// fixed 4-byte neighbors, CodecDeltaVarint stores sorted adjacency lists as
+// varint-encoded deltas, shrinking P(G) — the page count every external
+// algorithm's I/O cost is measured in.
+func BuildStoreCodec(path string, g *Graph, pageSize int, codec string) (*Store, error) {
+	st, err := storage.BuildFileCodec(path, g.internal(), pageSize, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -58,6 +67,23 @@ func (s *Store) PageSize() int { return s.st.PageSize }
 
 // Path returns the store file's path.
 func (s *Store) Path() string { return s.st.Path }
+
+// Codec returns the name of the page codec the store was built with.
+func (s *Store) Codec() string { return s.st.CodecName() }
+
+// Version returns the store file format version.
+func (s *Store) Version() int { return s.st.Version() }
+
+// Page codec names for BuildStoreCodec and Options.Codec.
+const (
+	// CodecRaw stores neighbors as fixed 4-byte values (the v1 format).
+	CodecRaw = storage.CodecRaw
+	// CodecDeltaVarint stores sorted adjacency lists as varint deltas.
+	CodecDeltaVarint = storage.CodecDeltaVarint
+)
+
+// Codecs returns the names of every available page codec.
+func Codecs() []string { return storage.Codecs() }
 
 // Algorithm selects a triangulation method.
 type Algorithm int
@@ -193,6 +219,9 @@ type Options struct {
 	CollectIterStats bool
 	// TempDir is used by CCSeq/CCDS/GraphChiTri for remainder files.
 	TempDir string
+	// Codec, when non-empty, requires the store to have been built with the
+	// named page codec (see Codecs); the run is rejected on a mismatch.
+	Codec string
 }
 
 // IterationStat mirrors engine.IterationStat for the public API.
@@ -281,6 +310,7 @@ func TriangulateContext(ctx context.Context, s *Store, opts Options) (res *Resul
 		OnTriangles:      opts.OnTriangles,
 		CollectIterStats: opts.CollectIterStats,
 		TempDir:          opts.TempDir,
+		Codec:            opts.Codec,
 		Events:           sink,
 	})
 	if eres == nil {
@@ -330,8 +360,14 @@ func BuildStoreStreaming(storePath, edgeListPath string, pageSize int) (*Store, 
 // two edge-list passes and the external sort check ctx periodically, so
 // preparing a billion-edge graph can be interrupted.
 func BuildStoreStreamingContext(ctx context.Context, storePath, edgeListPath string, pageSize int) (*Store, error) {
+	return BuildStoreStreamingCodecContext(ctx, storePath, edgeListPath, pageSize, CodecRaw)
+}
+
+// BuildStoreStreamingCodecContext is BuildStoreStreamingContext with an
+// explicit page codec (see Codecs).
+func BuildStoreStreamingCodecContext(ctx context.Context, storePath, edgeListPath string, pageSize int, codec string) (*Store, error) {
 	st, err := storage.BuildFileStreamingContext(ctx, storePath, storage.EdgeListFileScanner{Path: edgeListPath},
-		storage.StreamBuildOptions{PageSize: pageSize, DegreeOrder: true})
+		storage.StreamBuildOptions{PageSize: pageSize, DegreeOrder: true, Codec: codec})
 	if err != nil {
 		return nil, err
 	}
