@@ -1,37 +1,87 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 )
 
-// TestDriverCleanPackage runs the driver end to end on a package that must
-// stay clean, in both output modes.
-func TestDriverCleanPackage(t *testing.T) {
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// optlintBin compiles the driver once per test run; the tests exec the
+// binary directly because `go run` does not propagate exit status 2.
+func optlintBin(t *testing.T) string {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("spawns the go tool")
 	}
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "optlint-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "optlint")
+		cmd := exec.Command("go", "build", "-o", binPath, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building optlint: %v\n%s", buildErr, binPath)
+	}
+	return binPath
+}
+
+// runOptlint executes the driver from the repository root and returns
+// stdout, stderr, and the exit code.
+func runOptlint(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatal(err)
 	}
+	cmd := exec.Command(optlintBin(t), args...)
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	switch err := cmd.Run().(type) {
+	case nil:
+		return stdout.String(), stderr.String(), 0
+	case *exec.ExitError:
+		return stdout.String(), stderr.String(), err.ExitCode()
+	default:
+		t.Fatalf("running optlint %v: %v", args, err)
+		return "", "", -1
+	}
+}
+
+// TestDriverCleanPackage runs the driver end to end on a package that must
+// stay clean, in all three output modes.
+func TestDriverCleanPackage(t *testing.T) {
 	for _, args := range [][]string{
-		{"run", "./cmd/optlint", "./internal/events"},
-		{"run", "./cmd/optlint", "-json", "./internal/events"},
-		{"run", "./cmd/optlint", "-sarif", "./internal/events"},
+		{"./internal/events"},
+		{"-json", "./internal/events"},
+		{"-sarif", "./internal/events"},
 	} {
-		cmd := exec.Command("go", args...)
-		cmd.Dir = root
-		out, err := cmd.Output()
-		if err != nil {
-			t.Fatalf("go %v: %v\n%s", args, err, out)
+		out, stderr, code := runOptlint(t, args...)
+		if code != 0 {
+			t.Fatalf("optlint %v exited %d\nstdout: %s\nstderr: %s", args, code, out, stderr)
 		}
-		switch args[2] {
+		switch args[0] {
 		case "-json":
 			var findings []map[string]any
-			if err := json.Unmarshal(out, &findings); err != nil {
+			if err := json.Unmarshal([]byte(out), &findings); err != nil {
 				t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
 			}
 			if len(findings) != 0 {
@@ -44,7 +94,7 @@ func TestDriverCleanPackage(t *testing.T) {
 					Results []any `json:"results"`
 				} `json:"runs"`
 			}
-			if err := json.Unmarshal(out, &log); err != nil {
+			if err := json.Unmarshal([]byte(out), &log); err != nil {
 				t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, out)
 			}
 			if log.Version != "2.1.0" || len(log.Runs) != 1 {
@@ -58,5 +108,72 @@ func TestDriverCleanPackage(t *testing.T) {
 				t.Fatalf("clean package produced output:\n%s", out)
 			}
 		}
+	}
+}
+
+// TestDriverTypecheckFailure pins the exit-2 contract: a package that does
+// not typecheck is a load failure, not a finding, and the diagnostic
+// reaches stderr.
+func TestDriverTypecheckFailure(t *testing.T) {
+	out, stderr, code := runOptlint(t, "./internal/lint/testdata/broken")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if out != "" {
+		t.Errorf("load failure produced findings output:\n%s", out)
+	}
+	if !strings.Contains(stderr, "broken.go") {
+		t.Errorf("stderr does not name the failing file:\n%s", stderr)
+	}
+}
+
+// TestDriverParallelDeterminism runs the parallel driver repeatedly over a
+// finding-rich tree and demands byte-identical reports: the worker pool
+// must not reorder or drop findings.
+func TestDriverParallelDeterminism(t *testing.T) {
+	pattern := "./internal/lint/testdata/arenaescape/..."
+	base, _, code := runOptlint(t, "-parallel", "1", pattern)
+	if code != 1 {
+		t.Fatalf("baseline exit = %d, want 1 (fixture tree must have findings)", code)
+	}
+	if base == "" {
+		t.Fatal("determinism test needs a non-empty report")
+	}
+	for _, workers := range []string{"2", "8"} {
+		for round := 0; round < 3; round++ {
+			out, stderr, code := runOptlint(t, "-parallel", workers, pattern)
+			if code != 1 {
+				t.Fatalf("-parallel %s round %d exit = %d, want 1\nstderr: %s", workers, round, code, stderr)
+			}
+			if out != base {
+				t.Fatalf("-parallel %s round %d output diverges:\nbase:\n%s\ngot:\n%s", workers, round, base, out)
+			}
+		}
+	}
+}
+
+// TestDriverSummaryCache: a cold run reports itself as cold and writes the
+// cache file; a warm run reports warm and reaches the same verdict.
+func TestDriverSummaryCache(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "optlint.summaries")
+	out, stderr, code := runOptlint(t, "-summary-cache", cache, "./internal/events")
+	if code != 0 {
+		t.Fatalf("cold run exited %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "summary cache cold (no cache)") {
+		t.Errorf("cold run stderr missing the cold timing line:\n%s", stderr)
+	}
+	if fi, err := os.Stat(cache); err != nil || fi.Size() == 0 {
+		t.Fatalf("cold run did not write the cache file: %v", err)
+	}
+	out2, stderr2, code2 := runOptlint(t, "-summary-cache", cache, "./internal/events")
+	if code2 != 0 {
+		t.Fatalf("warm run exited %d\nstderr: %s", code2, stderr2)
+	}
+	if !strings.Contains(stderr2, "summary cache warm") {
+		t.Errorf("warm run stderr missing the warm timing line:\n%s", stderr2)
+	}
+	if out != out2 {
+		t.Errorf("warm run report differs from cold run:\ncold:\n%s\nwarm:\n%s", out, out2)
 	}
 }

@@ -210,17 +210,12 @@ func (io *ioSched) handleSeg(g *extGroup, seg int, data []byte, err error) {
 		return
 	}
 	work := func() {
-		c := buffer.GetChunk()
-		recs, arena, derr := r.st.DecodeAppend(c.Recs, c.Arena, data)
-		c.Recs, c.Arena = recs, arena
+		c, derr := r.decodeChunk(req.first, req.span, data)
 		if derr != nil {
-			buffer.PutChunk(c)
 			r.fail(derr)
 			io.retire(g)
 			return
 		}
-		c.FirstPage = req.first
-		c.NumPages = req.span
 		r.pool.Insert(c) // pinned once
 		r.processExternal(c, req)
 		r.pool.Unpin(c.FirstPage)

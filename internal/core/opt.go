@@ -266,6 +266,28 @@ func (r *runner) fail(err error) {
 	r.errOnce.Do(func() { r.err = err })
 }
 
+// decodeChunk decodes one completed read segment into a freshly pooled
+// chunk: records append into the chunk's recycled Recs/Arena backing, the
+// decode results are repointed into the chunk, and the page header is
+// stamped. On decode failure the chunk goes straight back to the pool and
+// the caller receives only the error — ownership of the chunk transfers to
+// the caller on success and never otherwise. Both the internal-area
+// callback and the external I/O scheduler funnel through here, so the
+// decode/repoint/recycle discipline optlint's arenaescape rule checks has
+// exactly one implementation.
+func (r *runner) decodeChunk(first uint32, span int, data []byte) (*buffer.Chunk, error) {
+	c := buffer.GetChunk()
+	recs, arena, err := r.st.DecodeAppend(c.Recs, c.Arena, data)
+	c.Recs, c.Arena = recs, arena
+	if err != nil {
+		buffer.PutChunk(c)
+		return nil, err
+	}
+	c.FirstPage = first
+	c.NumPages = span
+	return c, nil
+}
+
 // emit forwards one progress event to the configured sink, if any.
 func (r *runner) emit(e events.Event) {
 	if s := r.opts.Events; s != nil {
@@ -431,18 +453,13 @@ func (r *runner) iteration(index int, lo, hi uint32) (IterationStat, error) {
 				r.fail(fmt.Errorf("core: loading internal pages [%d,+%d): %w", pl.first, pl.span, err))
 				return
 			}
-			c := buffer.GetChunk()
-			recs, arena, derr := r.st.DecodeAppend(c.Recs, c.Arena, data)
-			c.Recs, c.Arena = recs, arena
+			c, derr := r.decodeChunk(pl.first, pl.span, data)
 			if derr != nil {
-				buffer.PutChunk(c)
 				r.fail(derr)
 				return
 			}
-			c.FirstPage = pl.first
-			c.NumPages = pl.span
 			r.internalChunks[pl.idx] = c
-			for _, rec := range recs {
+			for _, rec := range c.Recs {
 				r.ctx.addInternal(rec)
 				r.model.ExternalCandidates(r.ctx, rec, emit)
 			}

@@ -1,0 +1,1042 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// arenaescape: no value derived from a pooled chunk's arena
+// (Chunk.Recs, Chunk.Arena, or the storage.DecodeAppend family that fills
+// them) may be live after the chunk goes back to the pool. PutChunk hands
+// the arena to the next decode, so a retained Record.Adj slice is a silent
+// use-after-recycle no test reliably catches (DESIGN.md §13).
+//
+// The engine is a per-function may-alias taint analysis: every chunk-typed
+// variable is an arena origin; selecting a field of a chunk, decoding into
+// its arena, or flowing a tainted value through assignments, ranges,
+// slices, indexes, appends (when elements carry references) and
+// summary-described callees propagates the origin set; converting, copying
+// element-by-element, or passing through an unknown callee (slices.Clone —
+// the sanctioned remedy) drops it. Three patterns are findings:
+//
+//	A. a tainted value (or the chunk itself) is used after a PutChunk of
+//	   its origin, with no rebinding in between;
+//	B. a tainted value escapes the frame (field/global store, channel
+//	   send, goroutine capture, callee that retains an alias) and a
+//	   PutChunk of its origin is reachable afterwards;
+//	C. the PutChunk is deferred and a tainted value is returned or
+//	   escapes — the release runs at function exit, after both.
+//
+// The same engine, run with parameter slots, produces the AliasEscapes and
+// ResultAlias summary facts interprocedural callers consume.
+
+// maxSteps caps the recorded derivation path of one taint.
+const maxSteps = 8
+
+// taintPath records one origin and how the value derived from it, oldest
+// step first ("c.Recs (opt.go:12)" …).
+type taintPath struct {
+	origin types.Object
+	steps  []string
+}
+
+// taintSet maps each arena origin a value may alias to its derivation.
+// Per-origin paths are first-wins, so growing the set never rewrites an
+// existing path and the fixpoint stays deterministic.
+type taintSet map[types.Object]*taintPath
+
+// mergeTaint folds src into dst, appending step (when non-empty) to each
+// newly adopted path.
+func mergeTaint(dst, src taintSet, step string) bool {
+	changed := false
+	for o, pth := range src {
+		if dst[o] != nil {
+			continue
+		}
+		steps := pth.steps
+		if step != "" && (len(steps) == 0 || steps[len(steps)-1] != step) {
+			steps = append(append([]string{}, steps...), step)
+			if len(steps) > maxSteps {
+				steps = steps[:maxSteps]
+			}
+		}
+		dst[o] = &taintPath{origin: o, steps: steps}
+		changed = true
+	}
+	return changed
+}
+
+// addOrigin seeds dst with origin o at derivation step.
+func addOrigin(dst taintSet, o types.Object, step string) {
+	if dst[o] == nil {
+		dst[o] = &taintPath{origin: o, steps: []string{step}}
+	}
+}
+
+// carriesRef reports whether a value of type t can alias backing memory: a
+// scalar or string copy severs the arena, a slice/pointer/struct-with-
+// slice does not.
+func carriesRef(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Array:
+		return carriesRef(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesRef(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Tuple:
+		return false
+	}
+	return true // slice, pointer, map, chan, func, interface, or unknown
+}
+
+// isChunkType reports whether t is buffer.Chunk or *buffer.Chunk.
+func isChunkType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	pkg, name, ok := namedDef(t)
+	return ok && name == "Chunk" && pathSuffixWithin(pkg, "internal/buffer")
+}
+
+// arenaFlow is the taint state of one function body.
+type arenaFlow struct {
+	p     *Program
+	pkg   *Package
+	info  *types.Info
+	body  *ast.BlockStmt
+	slots map[types.Object]int      // param/receiver → summary slot; nil in analyzer mode
+	env   map[types.Object]taintSet // variable → arena origins its value may alias
+	local map[types.Object]bool     // objects defined inside this body
+}
+
+// newArenaFlow builds the taint environment for body by iterating the
+// flow-insensitive propagation to a fixpoint.
+func newArenaFlow(p *Program, pkg *Package, body *ast.BlockStmt, slots map[types.Object]int) *arenaFlow {
+	a := &arenaFlow{
+		p: p, pkg: pkg, info: pkg.Info, body: body, slots: slots,
+		env:   map[types.Object]taintSet{},
+		local: map[types.Object]bool{},
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := a.info.Defs[id]; obj != nil {
+				a.local[obj] = true
+			}
+		}
+		return true
+	})
+	for i := 0; i < 16; i++ {
+		if !a.propagate() {
+			break
+		}
+	}
+	return a
+}
+
+func (a *arenaFlow) objOf(id *ast.Ident) types.Object {
+	if obj := a.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return a.info.Defs[id]
+}
+
+// chunkIdent returns the chunk object e names (through parens, &, *), nil
+// otherwise.
+func (a *arenaFlow) chunkIdent(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.Ident:
+			if obj := a.objOf(x); obj != nil && isChunkType(obj.Type()) {
+				return obj
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func (a *arenaFlow) posStr(pos token.Pos) string {
+	p := a.pkg.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func (a *arenaFlow) step(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return fmt.Sprintf("%s (%s)", s, a.posStr(e.Pos()))
+}
+
+// propagate runs one round of taint propagation over the body's own
+// statements (nested literals are separate frames) and reports whether the
+// environment grew.
+func (a *arenaFlow) propagate() bool {
+	changed := false
+	topLevelStmts(a.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+				rts := a.tupleTaints(st.Rhs[0], len(st.Lhs))
+				for i, lhs := range st.Lhs {
+					changed = a.bindLHS(lhs, rts[i]) || changed
+				}
+				break
+			}
+			for i, lhs := range st.Lhs {
+				if i < len(st.Rhs) {
+					changed = a.bindLHS(lhs, a.taintOf(st.Rhs[i])) || changed
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok {
+				break
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Names) > 1 && len(vs.Values) == 1 {
+					rts := a.tupleTaints(vs.Values[0], len(vs.Names))
+					for i, name := range vs.Names {
+						changed = a.bind(name, rts[i]) || changed
+					}
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						changed = a.bind(name, a.taintOf(vs.Values[i])) || changed
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			t := a.taintOf(st.X)
+			if len(t) == 0 {
+				break
+			}
+			for _, ve := range []ast.Expr{st.Key, st.Value} {
+				if id, ok := ve.(*ast.Ident); ok {
+					changed = a.bind(id, t) || changed
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// bindLHS routes one assignment target: identifiers extend the
+// environment; a store into a field of a *local* struct taints that local
+// (the alias now lives inside it); anything else is an escape handled by
+// collectEscapes.
+func (a *arenaFlow) bindLHS(lhs ast.Expr, t taintSet) bool {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		return a.bind(id, t)
+	}
+	if root := rootIdent(lhs); root != nil {
+		if obj := a.objOf(root); obj != nil && a.local[obj] && !isChunkType(obj.Type()) {
+			return a.bindObj(obj, root, t)
+		}
+	}
+	return false
+}
+
+func (a *arenaFlow) bind(id *ast.Ident, t taintSet) bool {
+	if id.Name == "_" || len(t) == 0 {
+		return false
+	}
+	obj := a.objOf(id)
+	if obj == nil {
+		return false
+	}
+	return a.bindObj(obj, id, t)
+}
+
+func (a *arenaFlow) bindObj(obj types.Object, at *ast.Ident, t taintSet) bool {
+	if !carriesRef(obj.Type()) {
+		return false
+	}
+	if a.env[obj] == nil {
+		a.env[obj] = taintSet{}
+	}
+	return mergeTaint(a.env[obj], t, a.step(at))
+}
+
+// taintOf computes the arena origins the value of e may alias.
+func (a *arenaFlow) taintOf(e ast.Expr) taintSet {
+	if e == nil {
+		return nil
+	}
+	e = ast.Unparen(e)
+	if tv, ok := a.info.Types[e]; ok && tv.Type != nil && !carriesRef(tv.Type) {
+		return nil // a scalar (or string) copy severs the alias
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := a.objOf(x)
+		if obj == nil {
+			return nil
+		}
+		out := taintSet{}
+		mergeTaint(out, a.env[obj], "")
+		if a.slots != nil && !isChunkType(obj.Type()) {
+			if _, isParam := a.slots[obj]; isParam {
+				addOrigin(out, obj, a.step(x))
+			}
+		}
+		return out
+	case *ast.SelectorExpr:
+		if sel, ok := a.info.Selections[x]; ok && sel.Kind() != types.FieldVal {
+			return nil // method value: not arena memory
+		}
+		out := taintSet{}
+		mergeTaint(out, a.taintOf(x.X), "")
+		if o := a.chunkIdent(x.X); o != nil {
+			addOrigin(out, o, a.step(x))
+		}
+		return out
+	case *ast.IndexExpr:
+		return a.taintOf(x.X)
+	case *ast.SliceExpr:
+		return a.taintOf(x.X)
+	case *ast.StarExpr:
+		out := taintSet{}
+		mergeTaint(out, a.taintOf(x.X), "")
+		if o := a.chunkIdent(x.X); o != nil {
+			addOrigin(out, o, a.step(x))
+		}
+		return out
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return nil // receive, not, …
+		}
+		out := taintSet{}
+		mergeTaint(out, a.taintOf(x.X), "")
+		if o := a.chunkIdent(x.X); o != nil {
+			addOrigin(out, o, a.step(x))
+		}
+		return out
+	case *ast.TypeAssertExpr:
+		return a.taintOf(x.X)
+	case *ast.CallExpr:
+		if rts := a.callTaints(x); len(rts) > 0 {
+			return rts[0]
+		}
+		return nil
+	case *ast.CompositeLit:
+		out := taintSet{}
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			mergeTaint(out, a.taintOf(el), "")
+		}
+		return out
+	}
+	return nil
+}
+
+// tupleTaints is taintOf for a multi-value right-hand side, padded to n.
+func (a *arenaFlow) tupleTaints(rhs ast.Expr, n int) []taintSet {
+	out := make([]taintSet, n)
+	switch x := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		for i, t := range a.callTaints(x) {
+			if i < n {
+				out[i] = t
+			}
+		}
+	case *ast.TypeAssertExpr:
+		out[0] = a.taintOf(x.X) // v, ok := e.(T)
+	case *ast.IndexExpr:
+		out[0] = a.taintOf(x.X) // v, ok := m[k]
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			break // v, ok := <-ch: unknown provenance
+		}
+	default:
+		if n == 1 {
+			out[0] = a.taintOf(rhs)
+		}
+	}
+	return out
+}
+
+// callTaints computes per-result taint of a call: the DecodeAppend
+// intrinsics alias their first two arguments, append aliases its base (and
+// its element args when elements carry references), conversions pass
+// through, in-program callees contribute their ResultAlias summaries, and
+// unknown callees sever the taint — which is exactly why slices.Clone is
+// the remedy the findings suggest.
+func (a *arenaFlow) callTaints(call *ast.CallExpr) []taintSet {
+	info := a.info
+	if isDecodeAppendCall(info, call) && len(call.Args) >= 2 {
+		out := make([]taintSet, 3)
+		for i := 0; i < 2; i++ {
+			ts := taintSet{}
+			mergeTaint(ts, a.taintOf(call.Args[i]), a.step(call.Args[i]))
+			if o := a.chunkIdent(call.Args[i]); o != nil {
+				addOrigin(ts, o, a.step(call.Args[i]))
+			}
+			out[i] = ts
+		}
+		return out
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				out := taintSet{}
+				mergeTaint(out, a.taintOf(call.Args[0]), "")
+				if tv, ok := info.Types[call]; ok && sliceElemCarriesRef(tv.Type) {
+					for _, arg := range call.Args[1:] {
+						mergeTaint(out, a.taintOf(arg), a.step(arg))
+					}
+				}
+				return []taintSet{out}
+			}
+			return nil
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && carriesRef(tv.Type) {
+			return []taintSet{a.taintOf(call.Args[0])}
+		}
+		return nil
+	}
+	if key, ok := a.p.staticCallee(info, call); ok {
+		if cs := a.p.Summaries[key]; cs != nil && len(cs.ResultAlias) > 0 {
+			out := make([]taintSet, len(cs.ResultAlias))
+			for i, slotIdxs := range cs.ResultAlias {
+				if len(slotIdxs) == 0 {
+					continue
+				}
+				ts := taintSet{}
+				for _, slot := range slotIdxs {
+					arg := a.argForSlot(cs, call, slot)
+					if arg == nil {
+						continue
+					}
+					via := fmt.Sprintf("via %s (%s)", key, a.posStr(call.Pos()))
+					mergeTaint(ts, a.taintOf(arg), via)
+					if o := a.chunkIdent(arg); o != nil {
+						addOrigin(ts, o, via)
+					}
+				}
+				out[i] = ts
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// argForSlot maps a summary slot back to the call-site expression filling
+// it (the receiver for slot 0 of a method).
+func (a *arenaFlow) argForSlot(cs *FuncSummary, call *ast.CallExpr, slot int) ast.Expr {
+	base := 0
+	if cs.HasRecv {
+		base = 1
+		if slot == 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return sel.X
+			}
+			return nil
+		}
+	}
+	if i := slot - base; i >= 0 && i < len(call.Args) {
+		return call.Args[i]
+	}
+	return nil
+}
+
+func sliceElemCarriesRef(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && carriesRef(sl.Elem())
+}
+
+// --- events ----------------------------------------------------------------
+
+// putEvent is one release of a chunk: the CFG node holding the call, the
+// released chunk's object, and whether the release is deferred to function
+// exit.
+type putEvent struct {
+	node     ast.Node
+	call     *ast.CallExpr
+	origin   types.Object
+	deferred bool
+}
+
+// collectPuts finds every release of a named chunk among g's nodes —
+// PutChunk itself or an in-program callee whose summary releases that
+// argument. Releases inside plain nested literals belong to the literal's
+// own frame; releases inside a deferred literal run at this frame's exit.
+func (a *arenaFlow) collectPuts(g *cfg) []putEvent {
+	var puts []putEvent
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			_, isDefer := n.(*ast.DeferStmt)
+			ast.Inspect(n, func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok && !isDefer {
+					return false
+				}
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if o := a.releasedChunk(call); o != nil {
+					puts = append(puts, putEvent{node: n, call: call, origin: o, deferred: isDefer})
+				}
+				return true
+			})
+		}
+	}
+	return puts
+}
+
+// releasedChunk returns the chunk object call releases, nil if none.
+func (a *arenaFlow) releasedChunk(call *ast.CallExpr) types.Object {
+	if isPutChunkCall(a.info, call) && len(call.Args) == 1 {
+		return a.chunkIdent(call.Args[0])
+	}
+	if cs := a.p.callSummary(a.info, call); cs != nil {
+		for i, arg := range call.Args {
+			if cs.argFacts(i).Released {
+				if o := a.chunkIdent(arg); o != nil {
+					return o
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// escEvent is one point where a tainted value leaves the frame.
+type escEvent struct {
+	node  ast.Node
+	pos   token.Pos
+	desc  string
+	taint taintSet
+}
+
+// collectEscapes finds every frame-escape of tainted values among g's
+// nodes: stores outside the frame (with the repoint exemption — writing an
+// arena-derived slice back into its *own* chunk's fields is the sanctioned
+// decode pattern), channel sends, goroutine captures, and calls into
+// functions whose summaries retain an alias of the argument.
+func (a *arenaFlow) collectEscapes(g *cfg) []escEvent {
+	var out []escEvent
+	add := func(n ast.Node, pos token.Pos, desc string, t taintSet) {
+		if len(t) > 0 {
+			out = append(out, escEvent{node: n, pos: pos, desc: desc, taint: t})
+		}
+	}
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				taintFor := func(i int) taintSet {
+					if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+						return a.tupleTaints(st.Rhs[0], len(st.Lhs))[i]
+					}
+					if i < len(st.Rhs) {
+						return a.taintOf(st.Rhs[i])
+					}
+					return nil
+				}
+				for i, lhs := range st.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if obj := a.objOf(id); obj == nil || !isGlobalVar(obj) {
+							continue // environment binding, not a store
+						}
+						// A package-level variable outlives every frame:
+						// fall through to the escape report below.
+					}
+					t := taintFor(i)
+					if len(t) == 0 {
+						continue
+					}
+					root := rootIdent(lhs)
+					if root != nil {
+						obj := a.objOf(root)
+						if obj != nil && isChunkType(obj.Type()) && t[obj] != nil {
+							// Repointing a chunk's own fields at its arena:
+							// c.Recs, c.Arena = recs, arena.
+							t = cloneWithout(t, obj)
+							if len(t) == 0 {
+								continue
+							}
+						}
+						if obj != nil && a.local[obj] && !isChunkType(obj.Type()) {
+							continue // store into a local struct: tracked via env
+						}
+					}
+					add(n, lhs.Pos(), "stored to "+types.ExprString(lhs), t)
+				}
+			case *ast.SendStmt:
+				add(n, st.Pos(), "sent on channel "+types.ExprString(st.Chan), a.taintOf(st.Value))
+			case *ast.GoStmt:
+				t := taintSet{}
+				ast.Inspect(st, func(x ast.Node) bool {
+					id, ok := x.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := a.objOf(id)
+					if obj == nil {
+						return true
+					}
+					mergeTaint(t, a.env[obj], "")
+					if isChunkType(obj.Type()) {
+						addOrigin(t, obj, a.step(id))
+					}
+					if a.slots != nil {
+						if _, isParam := a.slots[obj]; isParam && carriesRef(obj.Type()) {
+							addOrigin(t, obj, a.step(id))
+						}
+					}
+					return true
+				})
+				add(n, st.Pos(), "captured by a spawned goroutine", t)
+			}
+			// Calls into callees that retain an alias of an argument.
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				continue // runs at exit; the deferred-put cases cover ordering
+			}
+			ast.Inspect(n, func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				cs := a.p.callSummary(a.info, call)
+				if cs == nil {
+					return true
+				}
+				if slot := cs.recvSlot(); slot >= 0 && cs.Params[slot].AliasEscapes {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						key, _ := a.p.staticCallee(a.info, call)
+						add(n, call.Pos(), "passed to "+key+", which retains an alias of it", a.taintOf(sel.X))
+					}
+				}
+				for i, arg := range call.Args {
+					slot := cs.argSlot(i)
+					if slot < 0 || !cs.Params[slot].AliasEscapes {
+						continue
+					}
+					key, _ := a.p.staticCallee(a.info, call)
+					add(n, arg.Pos(), "passed to "+key+", which retains an alias of it", a.taintOf(arg))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isGlobalVar reports whether obj is a package-level variable.
+func isGlobalVar(obj types.Object) bool {
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// cloneWithout copies t minus origin o.
+func cloneWithout(t taintSet, o types.Object) taintSet {
+	out := taintSet{}
+	for k, v := range t {
+		if k != o {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// rootIdent walks to the base identifier of a selector/index/star chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// --- findings --------------------------------------------------------------
+
+// check reports the arena-escape findings of one function body.
+func (a *arenaFlow) check(pass *Pass) {
+	g := buildCFG(a.body, a.info)
+	puts := a.collectPuts(g)
+	if len(puts) == 0 {
+		return
+	}
+	rangeBound := a.rangeBoundObjs()
+	reported := map[string]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		k := fmt.Sprintf("%d:%s", pos, msg)
+		if !reported[k] {
+			reported[k] = true
+			pass.Reportf(pos, "%s", msg)
+		}
+	}
+
+	// Case A: use after a non-deferred release.
+	for _, put := range puts {
+		if put.deferred {
+			continue
+		}
+		for _, v := range a.candidatesFor(put.origin) {
+			var hit *ast.Ident
+			g.scanAfter(put.node,
+				func(n ast.Node) bool { return a.rebinds(n, v) },
+				func(n ast.Node) bool {
+					hit = a.findUse(n, v, put, rangeBound)
+					return hit != nil
+				})
+			if hit == nil {
+				continue
+			}
+			if v == put.origin {
+				report(hit.Pos(), "chunk %s is used after buffer.PutChunk(%s) (%s): the chunk and its arena are back in the pool and may be recycled",
+					v.Name(), v.Name(), a.posStr(put.call.Pos()))
+				continue
+			}
+			report(hit.Pos(), "%s aliases the pooled arena of chunk %s and is used after buffer.PutChunk (%s): the arena may be recycled and overwritten; leak path: %s; copy with slices.Clone before releasing, or use it before PutChunk",
+				v.Name(), put.origin.Name(), a.posStr(put.call.Pos()), a.pathTo(v, put.origin))
+		}
+	}
+
+	// Cases B and C: escape (or tainted return) while a release of the
+	// origin still runs afterwards.
+	escapes := a.collectEscapes(g)
+	for _, ev := range escapes {
+		for _, o := range sortedOrigins(ev.taint) {
+			released, relPos, deferred := a.releaseAfter(g, puts, ev.node, o)
+			if !released {
+				continue
+			}
+			how := "buffer.PutChunk"
+			if deferred {
+				how = "the deferred buffer.PutChunk"
+			}
+			report(ev.pos, "alias of chunk %s's pooled arena is %s (leak path: %s) and then %s (%s) recycles the arena: the stored slice outlives its memory; copy with slices.Clone first",
+				o.Name(), ev.desc, pathOf(ev.taint[o]), how, a.posStr(relPos))
+		}
+	}
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			rs, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				continue
+			}
+			for _, res := range rs.Results {
+				t := taintSet{}
+				mergeTaint(t, a.taintOf(res), "")
+				if o := a.chunkIdent(res); o != nil {
+					addOrigin(t, o, a.step(res))
+				}
+				for _, o := range sortedOrigins(t) {
+					for _, put := range puts {
+						if !put.deferred || put.origin != o {
+							continue
+						}
+						if o == a.chunkIdent(res) {
+							report(res.Pos(), "chunk %s is returned while a deferred buffer.PutChunk (%s) releases it at function exit: the caller receives a recycled chunk",
+								o.Name(), a.posStr(put.call.Pos()))
+						} else {
+							report(res.Pos(), "returned value aliases the pooled arena of chunk %s (leak path: %s) but the deferred buffer.PutChunk (%s) recycles the arena before the caller can use it; copy with slices.Clone before returning",
+								o.Name(), pathOf(t[o]), a.posStr(put.call.Pos()))
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// releaseAfter reports whether a release of origin o runs after node n: a
+// non-deferred put reachable forward without o being rebound, or any
+// deferred put of o (which runs at exit, after everything).
+func (a *arenaFlow) releaseAfter(g *cfg, puts []putEvent, n ast.Node, o types.Object) (found bool, pos token.Pos, deferred bool) {
+	for _, put := range puts {
+		if put.origin != o {
+			continue
+		}
+		if put.deferred {
+			return true, put.call.Pos(), true
+		}
+		if put.node == n {
+			continue
+		}
+		hit := g.scanAfter(n,
+			func(x ast.Node) bool { return a.rebinds(x, o) },
+			func(x ast.Node) bool { return x == put.node })
+		if hit {
+			return true, put.call.Pos(), false
+		}
+	}
+	return false, token.NoPos, false
+}
+
+// candidatesFor lists the values endangered by releasing origin: the chunk
+// variable itself plus every variable whose taint includes it, in
+// declaration order.
+func (a *arenaFlow) candidatesFor(origin types.Object) []types.Object {
+	out := []types.Object{origin}
+	for obj, t := range a.env {
+		if t[origin] != nil {
+			out = append(out, obj)
+		}
+	}
+	sort.Slice(out[1:], func(i, j int) bool { return out[1+i].Pos() < out[1+j].Pos() })
+	return out
+}
+
+// rangeBoundObjs collects variables bound by range clauses: they are
+// rebound each iteration without any CFG node recording it, so use/put
+// ordering for them falls back to source positions.
+func (a *arenaFlow) rangeBoundObjs() map[types.Object]bool {
+	out := map[types.Object]bool{}
+	topLevelStmts(a.body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			for _, ve := range []ast.Expr{rs.Key, rs.Value} {
+				if id, ok := ve.(*ast.Ident); ok {
+					if obj := a.objOf(id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rebinds reports whether node n assigns a fresh value to v.
+func (a *arenaFlow) rebinds(n ast.Node, v types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && a.objOf(id) == v {
+					found = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range st.Names {
+				if a.objOf(id) == v {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// findUse returns the first identifier in node n that reads v — skipping
+// nested literal bodies, assignment targets, and v's own release calls.
+// For range-bound v, uses positioned at or before the put are prior-
+// iteration bindings of a fresh value and do not count.
+func (a *arenaFlow) findUse(n ast.Node, v types.Object, put putEvent, rangeBound map[types.Object]bool) *ast.Ident {
+	var hit *ast.Ident
+	var stack []ast.Node
+	ast.Inspect(n, func(x ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if x == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, x)
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok && a.releasedChunk(call) == v {
+			return false // a second release is poolpair's double-put domain
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok || a.info.Uses[id] != v {
+			return true
+		}
+		for i := len(stack) - 2; i >= 0; i-- {
+			if as, ok := stack[i].(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if ast.Unparen(lhs) == ast.Expr(id) {
+						return true // assignment target, not a read
+					}
+				}
+			}
+		}
+		if rangeBound[v] && id.Pos() <= put.call.Pos() {
+			return true
+		}
+		hit = id
+		return false
+	})
+	return hit
+}
+
+// pathTo renders the derivation of v's alias of origin.
+func (a *arenaFlow) pathTo(v, origin types.Object) string {
+	if t := a.env[v]; t != nil && t[origin] != nil {
+		return pathOf(t[origin])
+	}
+	return v.Name()
+}
+
+func pathOf(t *taintPath) string {
+	if t == nil {
+		return "?"
+	}
+	if len(t.steps) == 0 {
+		return t.origin.Name()
+	}
+	return strings.Join(t.steps, " -> ")
+}
+
+// sortedOrigins returns t's origins in source order, for deterministic
+// reporting.
+func sortedOrigins(t taintSet) []types.Object {
+	out := make([]types.Object, 0, len(t))
+	for o := range t {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// --- summary integration ---------------------------------------------------
+
+// scanAlias computes fi's AliasEscapes and ResultAlias facts with the same
+// engine, parameters acting as origins.
+func (p *Program) scanAlias(fi *FuncInfo, slotOf map[types.Object]int, s *FuncSummary) {
+	a := newArenaFlow(p, fi.Pkg, fi.Decl.Body, slotOf)
+	g := fi.cfg()
+	for _, ev := range a.collectEscapes(g) {
+		for o := range ev.taint {
+			if slot, ok := slotOf[o]; ok {
+				s.Params[slot].AliasEscapes = true
+			}
+		}
+	}
+	nres := len(s.ResultAlias)
+	if nres == 0 {
+		return
+	}
+	record := func(i int, t taintSet) {
+		if i >= nres {
+			return
+		}
+		for o := range t {
+			if slot, ok := slotOf[o]; ok {
+				s.ResultAlias[i] = appendSlot(s.ResultAlias[i], slot)
+			}
+		}
+	}
+	topLevelStmts(fi.Decl.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(rs.Results) == 1 && nres > 1 {
+			if call, ok := ast.Unparen(rs.Results[0]).(*ast.CallExpr); ok {
+				for i, t := range a.callTaints(call) {
+					record(i, t)
+				}
+			}
+			return true
+		}
+		for i, res := range rs.Results {
+			t := taintSet{}
+			mergeTaint(t, a.taintOf(res), "")
+			if o := a.chunkIdent(res); o != nil {
+				addOrigin(t, o, "")
+			}
+			record(i, t)
+		}
+		return true
+	})
+	for i := range s.ResultAlias {
+		sort.Ints(s.ResultAlias[i])
+	}
+}
+
+func appendSlot(slots []int, slot int) []int {
+	for _, s := range slots {
+		if s == slot {
+			return slots
+		}
+	}
+	return append(slots, slot)
+}
+
+// NewArenaescape builds the analyzer. skipPaths name the packages that
+// legitimately manipulate arenas (the pool and the codec layer); test
+// files are exempt like poolpair's.
+func NewArenaescape(skipPaths ...string) *Analyzer {
+	return &Analyzer{
+		Name: "arenaescape",
+		Doc:  "no Chunk.Recs/Chunk.Arena-derived slice may outlive its chunk's PutChunk",
+		Run: func(pass *Pass) {
+			if pass.Prog == nil || anyPathWithin(pass.Pkg.Path, skipPaths) {
+				return
+			}
+			for i, file := range pass.Pkg.Files {
+				if pass.Pkg.IsTest[i] {
+					continue
+				}
+				funcBodies(file, func(body *ast.BlockStmt) {
+					a := newArenaFlow(pass.Prog, pass.Pkg, body, nil)
+					a.check(pass)
+				})
+			}
+		},
+	}
+}

@@ -23,6 +23,12 @@ import (
 // other. Paths ending in panic or os.Exit are not leaks. The mechanical
 // fix — inserting `defer cancel()` right after the creation — ships as a
 // SuggestedFix applied by `optlint -fix`.
+//
+// v3 consults the Program's summaries (DESIGN.md §13) in both directions:
+// an in-module wrapper whose summary marks a result as a cancel obligation
+// (CancelResults) creates a site at its callers, and passing the cancel
+// func to a callee whose summary proves a pure borrow no longer counts as
+// a discharge — only a callee that calls, stores or returns it does.
 func NewCancelfree() *Analyzer {
 	return &Analyzer{
 		Name: "cancelfree",
@@ -31,14 +37,22 @@ func NewCancelfree() *Analyzer {
 	}
 }
 
+// cancelSite is one obligation: the assignment, which LHS holds the cancel
+// func, and the printable source ("context.WithCancel" or a summary key).
+type cancelSite struct {
+	as     *ast.AssignStmt
+	lhsIdx int
+	src    string
+}
+
 func runCancelfree(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, file := range pass.Pkg.Files {
 		funcBodies(file, func(body *ast.BlockStmt) {
-			var sites []*ast.AssignStmt
+			var sites []cancelSite
 			topLevelStmts(body, func(n ast.Node) bool {
-				if as, ok := n.(*ast.AssignStmt); ok && cancelAssign(info, as) != "" {
-					sites = append(sites, as)
+				if as, ok := n.(*ast.AssignStmt); ok {
+					sites = append(sites, cancelSitesOf(pass, as)...)
 				}
 				return true
 			})
@@ -46,8 +60,8 @@ func runCancelfree(pass *Pass) {
 				return
 			}
 			g := buildCFG(body, info)
-			for _, as := range sites {
-				checkCancelSite(pass, g, as)
+			for _, site := range sites {
+				checkCancelSite(pass, g, site)
 			}
 		})
 	}
@@ -76,15 +90,50 @@ func cancelAssign(info *types.Info, as *ast.AssignStmt) string {
 	return ""
 }
 
-// checkCancelSite analyzes one creation site inside graph g.
-func checkCancelSite(pass *Pass, g *cfg, as *ast.AssignStmt) {
+// cancelSitesOf extracts the cancel obligations one assignment creates:
+// the context-package intrinsics, plus results an in-module callee's
+// summary marks as cancel functions (a WithTimeout wrapper, say).
+func cancelSitesOf(pass *Pass, as *ast.AssignStmt) []cancelSite {
 	info := pass.Pkg.Info
-	ctor := cancelAssign(info, as)
-	target := as.Lhs[1]
+	if ctor := cancelAssign(info, as); ctor != "" {
+		return []cancelSite{{as: as, lhsIdx: 1, src: "context." + ctor}}
+	}
+	if pass.Prog == nil || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	key, ok := pass.Prog.staticCallee(info, call)
+	if !ok {
+		return nil
+	}
+	cs := pass.Prog.Summaries[key]
+	if cs == nil {
+		return nil
+	}
+	var sites []cancelSite
+	for i := range as.Lhs {
+		if i < len(cs.CancelResults) && cs.CancelResults[i] {
+			sites = append(sites, cancelSite{as: as, lhsIdx: i, src: key})
+		}
+	}
+	return sites
+}
+
+// checkCancelSite analyzes one creation site inside graph g.
+func checkCancelSite(pass *Pass, g *cfg, site cancelSite) {
+	info := pass.Pkg.Info
+	as := site.as
+	if site.lhsIdx >= len(as.Lhs) {
+		return
+	}
+	target := as.Lhs[site.lhsIdx]
 	id, isIdent := target.(*ast.Ident)
 	switch {
 	case isIdent && id.Name == "_":
-		pass.Reportf(as.Pos(), "cancel func of context.%s discarded with _; the context can never be released", ctor)
+		pass.Reportf(as.Pos(), "cancel func of %s discarded with _; the context can never be released", site.src)
 		return
 	case !isIdent:
 		// Stored straight into a field or element: ownership moved to the
@@ -98,12 +147,12 @@ func checkCancelSite(pass *Pass, g *cfg, as *ast.AssignStmt) {
 	if obj == nil {
 		return
 	}
-	discharged := func(n ast.Node) bool { return referencesObject(info, n, obj) }
+	discharged := func(n ast.Node) bool { return dischargesObligation(pass.Prog, info, n, obj) }
 	if g.mayReachExitWithout(as, discharged) {
 		f := Finding{
 			Pos:     pass.Pkg.Fset.Position(as.Pos()),
 			Rule:    "cancelfree",
-			Message: fmt.Sprintf("cancel func %q of context.%s is not called on every path to return (context leak)", id.Name, ctor),
+			Message: fmt.Sprintf("cancel func %q of %s is not called on every path to return (context leak)", id.Name, site.src),
 		}
 		if end := as.End(); end.IsValid() {
 			indent := indentFor(pass.Pkg.Fset.Position(as.Pos()).Column)

@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // NewCondguard builds the condguard analyzer, the PageBudget discipline
@@ -21,6 +23,16 @@ import (
 // condvar-arbitrated budget under exactly the heavy-traffic interleavings
 // the roadmap targets. Holding L for the notify closes the window; the
 // cost is nanoseconds on a path that just took the lock anyway.
+//
+// v3 makes the held requirement interprocedural through the Program's
+// summaries (DESIGN.md §13): a helper whose cond op runs without a local
+// lock is no longer reported at the op when the module calls it — the
+// obligation propagates to its callers (RequiresHeld), and the finding
+// lands at whichever call site up the chain neither holds a mutex nor has
+// callers of its own to pass the duty to. Functions nobody calls (module
+// roots, exported API) still report at the op itself, with the v2
+// message. The Wait-inside-a-for-loop rule stays local: looping is a
+// property of the waiting function, not of its callers.
 func NewCondguard() *Analyzer {
 	return &Analyzer{
 		Name: "condguard",
@@ -31,6 +43,17 @@ func NewCondguard() *Analyzer {
 
 func runCondguard(pass *Pass) {
 	info := pass.Pkg.Info
+	// Map function bodies of this package to their interprocedural
+	// summaries; literals and unkeyed declarations fall back to the local
+	// v2 analysis below.
+	byBody := map[*ast.BlockStmt]*FuncInfo{}
+	if pass.Prog != nil {
+		for _, fi := range pass.Prog.ByKey {
+			if fi.Pkg == pass.Pkg && fi.Decl.Body != nil {
+				byBody[fi.Decl.Body] = fi
+			}
+		}
+	}
 	for _, file := range pass.Pkg.Files {
 		funcBodies(file, func(body *ast.BlockStmt) {
 			// Gather the cond-method calls of this function (not of nested
@@ -48,20 +71,52 @@ func runCondguard(pass *Pass) {
 				}
 				return true
 			})
+			if len(calls) > 0 {
+				par := parents(body)
+				for _, cc := range calls {
+					if cc.name == "Wait" && !insideForLoop(body, par, cc.call) {
+						pass.Reportf(cc.call.Pos(), "sync.Cond.Wait outside a for loop; the predicate must be re-checked after every wakeup")
+					}
+				}
+			}
+			if fi, ok := byBody[body]; ok {
+				reportUncoveredHeld(pass, fi)
+				return
+			}
 			if len(calls) == 0 {
 				return
 			}
 			g := buildCFG(body, info)
 			held := heldLocks(g, info)
-			par := parents(body)
 			for _, cc := range calls {
-				if cc.name == "Wait" && !insideForLoop(body, par, cc.call) {
-					pass.Reportf(cc.call.Pos(), "sync.Cond.Wait outside a for loop; the predicate must be re-checked after every wakeup")
-				}
 				if !lockHeldAt(g, held, cc.call) {
 					pass.Reportf(cc.call.Pos(), "sync.Cond.%s without holding a mutex; notify under L or a waiter can miss the wakeup", cc.name)
 				}
 			}
+		})
+	}
+}
+
+// reportUncoveredHeld emits the summary's uncovered requires-held
+// operations of fi — cond ops and calls to requires-held callees with no
+// mutex definitely held — but only when nothing in the module calls fi:
+// for called functions the obligation has already propagated into each
+// caller's own summary, and reporting here too would double up (or blame
+// a helper whose callers all hold the lock correctly).
+func reportUncoveredHeld(pass *Pass, fi *FuncInfo) {
+	s := pass.Prog.Summaries[fi.Key]
+	if s == nil || !s.RequiresHeld || pass.Prog.Callers(fi.Key) > 0 {
+		return
+	}
+	for _, op := range s.Uncovered {
+		msg := op.Desc + "; acquire the mutex before the call"
+		if name, isCond := strings.CutPrefix(op.Desc, "sync.Cond."); isCond {
+			msg = "sync.Cond." + name + " without holding a mutex; notify under L or a waiter can miss the wakeup"
+		}
+		pass.report(Finding{
+			Pos:     token.Position{Filename: op.File, Line: op.Line, Column: op.Col},
+			Rule:    "condguard",
+			Message: msg,
 		})
 	}
 }

@@ -50,6 +50,75 @@ func (g *cfg) searchFrom(blk *cfgBlock, start int, discharged func(ast.Node) boo
 	return false
 }
 
+// reachesExitWithout reports whether the normal exit is reachable from the
+// function's entry without passing a node for which pred holds — the
+// whole-body variant of mayReachExitWithout, used by the Blocks summary
+// ("does every normal path block?" ⇔ !reachesExitWithout(isBlocking)).
+func (g *cfg) reachesExitWithout(pred func(ast.Node) bool) bool {
+	if g.entry == g.exit {
+		return true
+	}
+	return g.searchFrom(g.entry, 0, pred, map[*cfgBlock]bool{g.entry: true})
+}
+
+// fallsOffEnd reports whether some path reaches the exit block by falling
+// off the end of the body (an exit edge whose block does not end in a
+// return statement). Result-ownership summaries claim nothing for such
+// functions: a named-result fall-through hides what is returned.
+func fallsOffEnd(g *cfg) bool {
+	for _, blk := range g.blocks {
+		for _, succ := range blk.succs {
+			if succ != g.exit {
+				continue
+			}
+			if len(blk.nodes) == 0 {
+				return true
+			}
+			if _, ok := blk.nodes[len(blk.nodes)-1].(*ast.ReturnStmt); !ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanAfter walks forward from just after node `from`, reporting whether a
+// node for which hit holds is reachable without first passing a node for
+// which barrier holds. Used by arenaescape: from a PutChunk node, is a
+// tainted value used again before its variable is rebound?
+func (g *cfg) scanAfter(from ast.Node, barrier, hit func(ast.Node) bool) bool {
+	for _, blk := range g.blocks {
+		for i, n := range blk.nodes {
+			if n == from {
+				return g.scanNodes(blk, i+1, barrier, hit, map[*cfgBlock]bool{})
+			}
+		}
+	}
+	return false
+}
+
+// scanNodes is scanAfter's DFS: nodes of blk from start, then successors.
+func (g *cfg) scanNodes(blk *cfgBlock, start int, barrier, hit func(ast.Node) bool, seen map[*cfgBlock]bool) bool {
+	for i := start; i < len(blk.nodes); i++ {
+		if hit(blk.nodes[i]) {
+			return true
+		}
+		if barrier(blk.nodes[i]) {
+			return false
+		}
+	}
+	for _, succ := range blk.succs {
+		if seen[succ] {
+			continue
+		}
+		seen[succ] = true
+		if g.scanNodes(succ, 0, barrier, hit, seen) {
+			return true
+		}
+	}
+	return false
+}
+
 // lockset maps a lock's printed receiver expression to the position of
 // the acquiring call, as in lockheld's lockSet; a separate type keeps the
 // two analyses' invariants (may vs must) from being mixed up.

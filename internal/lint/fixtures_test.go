@@ -156,6 +156,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"atomicfield", lint.NewAtomicfield()},
 		{"condguard", lint.NewCondguard()},
 		{"gojoin", lint.NewGojoin()},
+		{"arenaescape", lint.NewArenaescape(
+			"github.com/optlab/opt/internal/buffer",
+			"github.com/optlab/opt/internal/storage",
+		)},
 	}
 	for _, tc := range cases {
 		for _, variant := range []string{"bad", "ok"} {
@@ -165,6 +169,31 @@ func TestAnalyzerFixtures(t *testing.T) {
 				diffWant(t, filepath.Join("testdata", tc.rule, variant), findings)
 			})
 		}
+	}
+}
+
+// TestInterprocFixtures exercises the summary layer across package
+// boundaries: the helper package's summaries (ownership transfer, pure
+// borrow, alias retention, transitive requires-held) drive findings — and
+// silence — in the packages that call it. The helper itself must stay
+// clean, which the shared diffWant enforces since its files carry no want
+// comments.
+func TestInterprocFixtures(t *testing.T) {
+	helper := loadFixture(t, "interproc", "helper")
+	analyzers := []*lint.Analyzer{
+		lint.NewPoolpair("github.com/optlab/opt/internal/buffer"),
+		lint.NewCondguard(),
+		lint.NewArenaescape(
+			"github.com/optlab/opt/internal/buffer",
+			"github.com/optlab/opt/internal/storage",
+		),
+	}
+	for _, variant := range []string{"bad", "ok"} {
+		t.Run(variant, func(t *testing.T) {
+			pkg := loadFixture(t, "interproc", variant)
+			findings := lint.Analyze([]*lint.Package{helper, pkg}, analyzers)
+			diffWant(t, filepath.Join("testdata", "interproc", variant), findings)
+		})
 	}
 }
 
@@ -208,6 +237,7 @@ func TestDefaultRegistry(t *testing.T) {
 	want := []string{
 		"ctxflow", "lockheld", "ioconfine", "closecheck", "eventkind",
 		"cancelfree", "poolpair", "atomicfield", "condguard", "gojoin",
+		"arenaescape",
 	}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("Default() = %v, want %v", names, want)

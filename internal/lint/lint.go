@@ -9,6 +9,7 @@ import (
 	"io"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Finding is one rule violation at a source position. Fix, when non-nil,
@@ -28,7 +29,10 @@ func (f Finding) String() string {
 
 // Pass carries one package through one analyzer.
 type Pass struct {
-	Pkg    *Package
+	Pkg *Package
+	// Prog is the whole-module view (call graph + per-function summaries)
+	// shared by every package's pass; analyzers read it, never write it.
+	Prog   *Program
 	rule   string
 	report func(Finding)
 }
@@ -53,16 +57,50 @@ type Analyzer struct {
 }
 
 // Analyze runs every analyzer over every package and returns the findings
-// sorted by position.
+// sorted by position. The whole-module Program (call graph + summaries) is
+// built first so every pass sees interprocedural facts.
 func Analyze(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
-	for _, pkg := range pkgs {
+	return AnalyzeParallel(pkgs, analyzers, 1)
+}
+
+// AnalyzeParallel is Analyze with the per-package analyzer runs fanned out
+// over a bounded worker pool. Findings are deterministic regardless of
+// workers: results are collected per package and sorted by position at the
+// end, and the shared Program is immutable once built.
+func AnalyzeParallel(pkgs []*Package, analyzers []*Analyzer, workers int) []Finding {
+	return AnalyzeProgram(BuildProgram(pkgs), pkgs, analyzers, workers)
+}
+
+// AnalyzeProgram runs the analyzers over pkgs against an already-built
+// Program — the entry point for drivers that warm-start summaries from a
+// cache.
+func AnalyzeProgram(prog *Program, pkgs []*Package, analyzers []*Analyzer, workers int) []Finding {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([][]Finding, len(pkgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
 		if pkg == nil {
 			continue
 		}
-		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, rule: a.Name, report: func(f Finding) { out = append(out, f) }})
-		}
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var found []Finding
+			for _, a := range analyzers {
+				a.Run(&Pass{Pkg: pkg, Prog: prog, rule: a.Name, report: func(f Finding) { found = append(found, f) }})
+			}
+			results[i] = found
+		}(i, pkg)
+	}
+	wg.Wait()
+	var out []Finding
+	for _, r := range results {
+		out = append(out, r...)
 	}
 	sortFindings(out)
 	return out

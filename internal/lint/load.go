@@ -205,10 +205,17 @@ func (l *Loader) Load() ([]*Package, error) {
 
 // LoadDir typechecks the package in dir (every .go file, sorted by name)
 // under the given import path. It serves the analyzer fixture tests, which
-// live in testdata directories the go tool does not enumerate.
+// live in testdata directories the go tool does not enumerate. The checked
+// package becomes importable by later LoadDir calls, so multi-package
+// fixtures (a helper package plus the package under test) can reference
+// each other when loaded dependency-first.
 func (l *Loader) LoadDir(dir, importPath string, fileNames []string) (*Package, error) {
 	sort.Strings(fileNames)
-	return l.check(importPath, dir, fileNames)
+	pkg, err := l.check(importPath, dir, fileNames)
+	if err == nil && pkg != nil {
+		l.imported[importPath] = pkg.Types
+	}
+	return pkg, err
 }
 
 // importable returns the exported type information for path: module

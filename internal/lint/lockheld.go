@@ -296,6 +296,19 @@ func (s *lockScan) call(call *ast.CallExpr, held lockSet) {
 		return
 	}
 	info := s.pass.Pkg.Info
+	// Interprocedural (v3): an in-module callee whose summary proves it
+	// blocks on every normal path is as bad as the send itself, whatever
+	// the callee is named. Wait/Drain names are left to the v2 rule below
+	// so those sites keep their one familiar message.
+	if s.pass.Prog != nil {
+		if fn, isFn := funcFor(info, call); isFn && fn.Name() != "Wait" && fn.Name() != "Drain" {
+			if key, ok := s.pass.Prog.staticCallee(info, call); ok {
+				if cs := s.pass.Prog.Summaries[key]; cs != nil && cs.Blocks {
+					s.pass.Reportf(call.Pos(), "call to %s while holding %s: the callee always blocks (%s)", key, held.names(), cs.BlocksWhy)
+				}
+			}
+		}
+	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return

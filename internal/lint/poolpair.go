@@ -10,7 +10,7 @@ import (
 // buffer.GetChunk or a sync.Pool's Get must, on every path to the
 // function's normal exit, either be returned to its pool (PutChunk /
 // Put) or visibly change owner — returned, stored into a field, slice,
-// map or channel, passed to another call, or captured by a closure. A
+// map or channel, passed to a consuming call, or captured by a closure. A
 // path that drops the value on the floor un-recycles it: the steady-state
 // 0 allocs/op of the PR-3 hot loops holds only while every Get has a
 // matching Put, and a leak here shows up as allocation growth no unit
@@ -21,6 +21,23 @@ import (
 // somewhere else discharges the obligation. Panic/Fatal paths are exempt,
 // and the analyzer skips test files entirely — fixtures churn pools in
 // ways production code must not.
+//
+// v3 makes the obligation interprocedural via the Program's summaries
+// (DESIGN.md §13):
+//
+//   - passing the value to an in-module callee whose summary proves a pure
+//     borrow (no release, no escape, no return) does NOT discharge — the
+//     obligation stays here, where the per-function v2 rule wrongly
+//     assumed any pass was a hand-off;
+//   - a call whose summary owns a result on every return path (a wrapper
+//     around GetChunk or Pool.Get, like core's getScratch) creates a new
+//     obligation at the caller, which per-function analysis could not see;
+//   - sync.Pool Gets hidden behind a type assertion
+//     (`p.Get().(*[]uint32)`) are recognized as obligation sites too.
+//
+// Unknown callees (stdlib, interface dispatch, function values) still
+// count as transfers — exactly v2's conservatism, so the tree gains no
+// false positives.
 func NewPoolpair(bufferPath string) *Analyzer {
 	pp := &poolpair{bufferPath: bufferPath}
 	return &Analyzer{
@@ -34,6 +51,15 @@ type poolpair struct {
 	bufferPath string
 }
 
+// poolSite is one obligation: the assignment creating it, the obligated
+// identifier, and the message pieces describing the source.
+type poolSite struct {
+	as   *ast.AssignStmt
+	id   *ast.Ident
+	what string
+	put  string
+}
+
 func (pp *poolpair) run(pass *Pass) {
 	if pathWithin(pass.Pkg.Path, pp.bufferPath) {
 		return // the pool's own package defines the lifecycle
@@ -44,10 +70,10 @@ func (pp *poolpair) run(pass *Pass) {
 			continue
 		}
 		funcBodies(file, func(body *ast.BlockStmt) {
-			var sites []*ast.AssignStmt
+			var sites []poolSite
 			topLevelStmts(body, func(n ast.Node) bool {
-				if as, ok := n.(*ast.AssignStmt); ok && pp.getKind(info, as) != "" {
-					sites = append(sites, as)
+				if as, ok := n.(*ast.AssignStmt); ok {
+					sites = append(sites, pp.sitesOf(pass, as)...)
 				}
 				return true
 			})
@@ -55,73 +81,98 @@ func (pp *poolpair) run(pass *Pass) {
 				return
 			}
 			g := buildCFG(body, info)
-			for _, as := range sites {
-				pp.checkSite(pass, g, as)
+			for _, site := range sites {
+				pp.checkSite(pass, g, site)
 			}
 		})
 	}
 }
 
-// getKind classifies as: "GetChunk" for buffer.GetChunk, "Get" for a
-// sync.Pool Get, "" otherwise. Only single-value assignments to a plain
-// identifier create an obligation this analyzer tracks.
-func (pp *poolpair) getKind(info *types.Info, as *ast.AssignStmt) string {
-	if len(as.Rhs) != 1 || len(as.Lhs) != 1 {
-		return ""
+// sitesOf extracts the pool obligations created by one assignment: the
+// Get intrinsics (with type assertions unwrapped) and callee results whose
+// summaries prove ownership on every return path.
+func (pp *poolpair) sitesOf(pass *Pass, as *ast.AssignStmt) []poolSite {
+	info := pass.Pkg.Info
+	if len(as.Rhs) != 1 {
+		return nil
 	}
-	call, ok := as.Rhs[0].(*ast.CallExpr)
+	call, ok := unwrapAssert(as.Rhs[0]).(*ast.CallExpr)
 	if !ok {
-		return ""
+		return nil
 	}
-	fn, ok := funcFor(info, call)
-	if !ok || fn.Pkg() == nil {
-		return ""
-	}
-	if fn.Name() == "GetChunk" && pathWithin(fn.Pkg().Path(), pp.bufferPath) {
-		return "GetChunk"
-	}
-	if fn.Name() == "Get" {
-		if pkg, typ, isMethod := methodOn(fn); isMethod && pkg == "sync" && typ == "Pool" {
-			return "Get"
+	if len(as.Lhs) == 1 {
+		if fn, ok := funcFor(info, call); ok && fn.Pkg() != nil {
+			if fn.Name() == "GetChunk" && pathWithin(fn.Pkg().Path(), pp.bufferPath) {
+				if id := obligatedIdent(as.Lhs[0]); id != nil {
+					return []poolSite{{as: as, id: id, what: "chunk from buffer.GetChunk", put: "buffer.PutChunk"}}
+				}
+				return nil
+			}
+			if isPoolGetCall(info, call) {
+				if id := obligatedIdent(as.Lhs[0]); id != nil {
+					return []poolSite{{as: as, id: id, what: "value from sync.Pool Get", put: "Put"}}
+				}
+				return nil
+			}
 		}
 	}
-	return ""
+	var cs *FuncSummary
+	var key string
+	if pass.Prog != nil {
+		if k, ok := pass.Prog.staticCallee(info, call); ok {
+			key, cs = k, pass.Prog.Summaries[k]
+		}
+	}
+	if cs == nil {
+		return nil
+	}
+	var sites []poolSite
+	for i, lhs := range as.Lhs {
+		if i >= len(cs.OwnedResults) || !cs.OwnedResults[i] {
+			continue
+		}
+		if id := obligatedIdent(lhs); id != nil {
+			sites = append(sites, poolSite{as: as, id: id,
+				what: "pooled value from " + key + " (whose summary owns the result)",
+				put:  "its pool"})
+		}
+	}
+	return sites
 }
 
-func (pp *poolpair) checkSite(pass *Pass, g *cfg, as *ast.AssignStmt) {
-	info := pass.Pkg.Info
-	kind := pp.getKind(info, as)
-	id, isIdent := as.Lhs[0].(*ast.Ident)
-	if !isIdent || id.Name == "_" {
-		return // dropped or stored elsewhere immediately: not trackable here
+// obligatedIdent returns the plain identifier lhs binds, nil when the
+// value is dropped or stored elsewhere immediately (not trackable here).
+func obligatedIdent(lhs ast.Expr) *ast.Ident {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
 	}
-	obj := info.Defs[id]
+	return id
+}
+
+func (pp *poolpair) checkSite(pass *Pass, g *cfg, site poolSite) {
+	info := pass.Pkg.Info
+	obj := info.Defs[site.id]
 	if obj == nil {
-		obj = info.Uses[id]
+		obj = info.Uses[site.id]
 	}
 	if obj == nil {
 		return
 	}
-	discharged := func(n ast.Node) bool { return transfersOwnership(info, n, obj) }
-	if g.mayReachExitWithout(as, discharged) {
-		what := "chunk from buffer.GetChunk"
-		putName := "buffer.PutChunk"
-		if kind == "Get" {
-			what = "value from sync.Pool Get"
-			putName = "Put"
-		}
-		pass.Reportf(as.Pos(), "%s is not handed back via %s (or otherwise released) on every path to return", what, putName)
+	discharged := func(n ast.Node) bool { return dischargesObligation(pass.Prog, info, n, obj) }
+	if g.mayReachExitWithout(site.as, discharged) {
+		pass.Reportf(site.as.Pos(), "%s is not handed back via %s (or otherwise released) on every path to return", site.what, site.put)
 	}
 }
 
-// transfersOwnership reports whether node n uses obj *as a value* — bare,
-// not through a field selector — in a position that moves ownership:
-// argument of a call (Put and any other callee alike), return result,
-// right-hand side of an assignment, composite literal element, channel
-// send, or any appearance inside a function literal (the closure now owns
-// it). `c.Recs` and `c.FirstPage = 0` are reads/writes through the value
-// and transfer nothing.
-func transfersOwnership(info *types.Info, n ast.Node, obj types.Object) bool {
+// dischargesObligation reports whether node n uses obj *as a value* — bare,
+// not through a field selector — in a position that moves or settles
+// ownership: returned, assigned away, sent, captured by a literal, invoked,
+// or passed to a call that releases or consumes it. `c.Recs` and
+// `c.FirstPage = 0` are reads/writes through the value and transfer
+// nothing; so — new in v3 — does passing it to an in-module callee whose
+// summary proves a pure borrow, or invoking a borrowing method on it.
+func dischargesObligation(prog *Program, info *types.Info, n ast.Node, obj types.Object) bool {
 	found := false
 	litDepth := 0
 	var stack []ast.Node
@@ -153,12 +204,43 @@ func transfersOwnership(info *types.Info, n ast.Node, obj types.Object) bool {
 			switch parent := stack[len(stack)-2].(type) {
 			case *ast.SelectorExpr:
 				if parent.X == id {
-					return true // field access through the value: plain use
+					// Field access or method call through the value. A method
+					// whose summary releases, stores or returns its receiver
+					// discharges; everything else is a plain use.
+					if prog != nil && len(stack) >= 3 {
+						if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == parent {
+							if cs := prog.callSummary(info, call); cs != nil {
+								if slot := cs.recvSlot(); slot >= 0 && !cs.Params[slot].borrows() {
+									found = true
+								}
+							}
+						}
+					}
+					return true
 				}
 			case *ast.StarExpr:
 				if parent.X == id {
 					return true // dereference: plain use
 				}
+			case *ast.CallExpr:
+				if parent.Fun == id {
+					found = true // invoked: discharges a callable obligation
+					return true
+				}
+				if prog != nil {
+					for i, a := range parent.Args {
+						if a != id {
+							continue
+						}
+						f := prog.argUseFacts(info, parent, i)
+						// A known pure borrow (len, a read-only helper) keeps
+						// the obligation here; anything else moves it.
+						found = !f.borrows()
+						return true
+					}
+				}
+				found = true
+				return true
 			}
 		}
 		found = true

@@ -1,0 +1,777 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+)
+
+// Per-function summaries (DESIGN.md §13). A summary is everything a caller
+// needs to know about a callee without looking at its body, in the
+// RacerD-compositional style: obligation transfer (does passing a value in
+// release it, consume it, or merely borrow it?), result ownership (does the
+// callee hand back a pool obligation or a cancel func?), lock effects (does
+// it block? does it require the caller to hold a mutex?), and arena alias
+// facts (which params/results may alias pooled Chunk.Recs/Chunk.Arena
+// memory — computed by the taint engine in arenaescape.go).
+//
+// Facts are may-facts unless stated otherwise, and every fact is monotone
+// from an all-false bottom, so the SCC fixpoint in computeSummaries
+// converges: recursion starts callees at the empty summary and iterates
+// until stable.
+
+// ParamFacts describes what a function may do with one incoming value.
+// Slot 0 is the receiver when HasRecv; explicit parameters follow, with
+// every variadic argument mapped onto the final slot.
+type ParamFacts struct {
+	// Released: the value is handed back to its pool (buffer.PutChunk,
+	// sync.Pool.Put, or transitively a callee that releases it).
+	Released bool `json:"released,omitempty"`
+	// Escapes: the bare value is stored, captured, appended, sent, or
+	// passed somewhere unknown — ownership visibly leaves the function.
+	Escapes bool `json:"escapes,omitempty"`
+	// Returned: the bare value is returned to the caller.
+	Returned bool `json:"returned,omitempty"`
+	// Called: the value is invoked as a function (discharges a cancel).
+	Called bool `json:"called,omitempty"`
+	// AliasEscapes: a slice aliasing the value's pooled arena is stored
+	// beyond the function's frame (field, global, channel, goroutine).
+	AliasEscapes bool `json:"aliasEscapes,omitempty"`
+}
+
+// borrows reports whether the facts amount to a pure borrow: the callee
+// looks at the value and hands it back untouched — nothing that could
+// discharge a pool or cancel obligation.
+func (f ParamFacts) borrows() bool {
+	return !f.Released && !f.Escapes && !f.Returned && !f.Called
+}
+
+// UncoveredOp is one lock-requiring operation (sync.Cond notify, or a call
+// to a requires-held function) at a site where no mutex is definitely
+// held; positions are retained so cached summaries can still report.
+type UncoveredOp struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Desc string `json:"desc"`
+}
+
+// FuncSummary is the compositional summary of one function.
+type FuncSummary struct {
+	Key     string       `json:"key"`
+	HasRecv bool         `json:"hasRecv,omitempty"`
+	Params  []ParamFacts `json:"params,omitempty"`
+	// ResultAlias[i] lists the param slots whose pooled arena result i may
+	// alias (storage.DecodeAppend: results 0 and 1 alias slots 0 and 1).
+	ResultAlias [][]int `json:"resultAlias,omitempty"`
+	// OwnedResults[i]: on every normal return path, result i carries a
+	// fresh pool obligation (buffer.GetChunk / sync.Pool Get) the caller
+	// must discharge. Mixed nil-or-owned results stay false.
+	OwnedResults []bool `json:"ownedResults,omitempty"`
+	// CancelResults[i]: on every normal return path, result i is a context
+	// cancel func the caller must call.
+	CancelResults []bool `json:"cancelResults,omitempty"`
+	// Blocks: every path from entry to the normal exit performs a
+	// potentially blocking operation (send, receive, select without
+	// default, Wait/Drain, or a callee that Blocks).
+	Blocks    bool   `json:"blocks,omitempty"`
+	BlocksWhy string `json:"blocksWhy,omitempty"`
+	// RequiresHeld: the function performs a sync.Cond notify/Wait or calls
+	// a requires-held function at a site with no mutex definitely held —
+	// the obligation to hold L moves to the callers.
+	RequiresHeld bool          `json:"requiresHeld,omitempty"`
+	HeldWhy      string        `json:"heldWhy,omitempty"`
+	Uncovered    []UncoveredOp `json:"uncovered,omitempty"`
+}
+
+// argSlot maps a call-site argument index onto a summary slot; -1 when the
+// summary has no explicit parameters.
+func (s *FuncSummary) argSlot(argIdx int) int {
+	base := 0
+	if s.HasRecv {
+		base = 1
+	}
+	if len(s.Params)-base <= 0 {
+		return -1
+	}
+	slot := base + argIdx
+	if slot >= len(s.Params) {
+		slot = len(s.Params) - 1 // variadic tail
+	}
+	return slot
+}
+
+// recvSlot returns the receiver's slot, -1 when the function has none.
+func (s *FuncSummary) recvSlot() int {
+	if s.HasRecv && len(s.Params) > 0 {
+		return 0
+	}
+	return -1
+}
+
+// argFacts returns the facts for a value passed as argument argIdx, the
+// all-false facts when the slot cannot be mapped.
+func (s *FuncSummary) argFacts(argIdx int) ParamFacts {
+	if slot := s.argSlot(argIdx); slot >= 0 {
+		return s.Params[slot]
+	}
+	return ParamFacts{}
+}
+
+// computeSummaries runs the bottom-up fixpoint: SCCs in callee-first
+// order, every function starting from the empty summary, iterating each
+// component until its summaries stop changing.
+func (p *Program) computeSummaries() {
+	for _, scc := range p.order {
+		for _, key := range scc {
+			p.Summaries[key] = emptySummary(p.ByKey[key])
+		}
+		for iter := 0; iter < 16; iter++ {
+			changed := false
+			for _, key := range scc {
+				ns := p.computeSummary(p.ByKey[key])
+				if !reflect.DeepEqual(p.Summaries[key], ns) {
+					p.Summaries[key] = ns
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// paramObjects returns the value objects of fi's summary slots: receiver
+// first (when present), then the declared parameters.
+func paramObjects(fi *FuncInfo) []types.Object {
+	sig, ok := fi.Fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []types.Object
+	if sig.Recv() != nil {
+		out = append(out, sig.Recv())
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// emptySummary is the all-false bottom element for fi, with slot and
+// result shapes in place.
+func emptySummary(fi *FuncInfo) *FuncSummary {
+	sig, _ := fi.Fn.Type().(*types.Signature)
+	s := &FuncSummary{Key: fi.Key, HasRecv: sig != nil && sig.Recv() != nil}
+	s.Params = make([]ParamFacts, len(paramObjects(fi)))
+	if sig != nil && sig.Results().Len() > 0 {
+		n := sig.Results().Len()
+		s.ResultAlias = make([][]int, n)
+		s.OwnedResults = make([]bool, n)
+		s.CancelResults = make([]bool, n)
+	}
+	return s
+}
+
+// computeSummary derives fi's summary from its body and the current
+// summaries of its callees.
+func (p *Program) computeSummary(fi *FuncInfo) *FuncSummary {
+	s := emptySummary(fi)
+	objs := paramObjects(fi)
+	slotOf := make(map[types.Object]int, len(objs))
+	for i, o := range objs {
+		slotOf[o] = i
+	}
+	p.scanValueFacts(fi, slotOf, s)
+	p.scanResultFacts(fi, s)
+	p.scanBlocks(fi, s)
+	p.scanHeld(fi, s)
+	p.scanAlias(fi, slotOf, s)
+	return s
+}
+
+// callSummary resolves call to the summary of its static in-program
+// target, nil otherwise.
+func (p *Program) callSummary(info *types.Info, call *ast.CallExpr) *FuncSummary {
+	key, ok := p.staticCallee(info, call)
+	if !ok {
+		return nil
+	}
+	return p.Summaries[key]
+}
+
+// --- value-level obligation facts -----------------------------------------
+
+// scanValueFacts classifies every use of a parameter (or receiver) in fi's
+// body. The classification mirrors poolpair's v2 transfersOwnership —
+// field access and dereference are plain uses, any other bare appearance
+// moves the value — refined with callee summaries: a pass to a known
+// borrowing callee is a plain use; a pass to a releasing callee is a
+// release.
+func (p *Program) scanValueFacts(fi *FuncInfo, slotOf map[types.Object]int, s *FuncSummary) {
+	info := fi.Pkg.Info
+	deferLit := map[*ast.FuncLit]bool{} // runs in this frame, at exit
+	var stack []ast.Node
+	litDepth := 0
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if lit, ok := top.(*ast.FuncLit); ok && !deferLit[lit] {
+				litDepth--
+			}
+			return true
+		}
+		stack = append(stack, n)
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				deferLit[lit] = true
+			}
+		case *ast.FuncLit:
+			if !deferLit[x] {
+				litDepth++
+			}
+		case *ast.Ident:
+			slot, isParam := slotOf[info.Uses[x]]
+			if !isParam {
+				return true
+			}
+			f := &s.Params[slot]
+			if litDepth > 0 {
+				f.Escapes = true // captured by a closure that may outlive the call
+				return true
+			}
+			p.classifyUse(info, stack, x, f)
+		}
+		return true
+	})
+}
+
+// classifyUse folds one bare appearance of a tracked value into facts,
+// judging by the immediately enclosing node.
+func (p *Program) classifyUse(info *types.Info, stack []ast.Node, id *ast.Ident, f *ParamFacts) {
+	if len(stack) < 2 {
+		return
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.SelectorExpr:
+		if parent.X != id {
+			return
+		}
+		// x.f / x.m(...): plain use, unless it invokes a known method whose
+		// receiver facts say otherwise.
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == parent {
+				if cs := p.callSummary(info, call); cs != nil {
+					if slot := cs.recvSlot(); slot >= 0 {
+						mergeFacts(f, cs.Params[slot])
+					}
+				}
+			}
+		}
+	case *ast.StarExpr:
+		if parent.X != id {
+			return
+		}
+		// *x: dereference, plain use.
+	case *ast.CallExpr:
+		if parent.Fun == id {
+			f.Called = true
+			return
+		}
+		argIdx := -1
+		for i, a := range parent.Args {
+			if a == id {
+				argIdx = i
+				break
+			}
+		}
+		if argIdx < 0 {
+			return // e.g. the Fun position of a conversion
+		}
+		mergeFacts(f, p.argUseFacts(info, parent, argIdx))
+	case *ast.ReturnStmt:
+		f.Returned = true
+	default:
+		// Assignment, composite literal, send, index base of a store, map
+		// key, binary expr… — the bare value moved somewhere.
+		f.Escapes = true
+	}
+}
+
+// mergeFacts folds src's obligation bits into dst (alias facts are merged
+// by the taint engine, not here).
+func mergeFacts(dst *ParamFacts, src ParamFacts) {
+	dst.Released = dst.Released || src.Released
+	dst.Escapes = dst.Escapes || src.Escapes
+	dst.Returned = dst.Returned || src.Returned
+	dst.Called = dst.Called || src.Called
+}
+
+// argUseFacts says what happens to a value passed as argument argIdx of
+// call: released by the pool intrinsics or a releasing callee, consumed by
+// append/panic/unknown callees (the v2 "any pass is a transfer"
+// conservatism), borrowed by callees whose summaries prove it.
+func (p *Program) argUseFacts(info *types.Info, call *ast.CallExpr, argIdx int) ParamFacts {
+	if isPutChunkCall(info, call) || isPoolPutCall(info, call) {
+		if argIdx == 0 {
+			return ParamFacts{Released: true}
+		}
+		return ParamFacts{}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "panic":
+				return ParamFacts{Escapes: true}
+			default:
+				return ParamFacts{} // len, cap, …: plain use
+			}
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return ParamFacts{} // conversion: the value itself, renamed
+	}
+	if cs := p.callSummary(info, call); cs != nil {
+		f := cs.argFacts(argIdx)
+		// A callee that returns the value hands it back to *this* frame's
+		// caller-visible result chain; v2 treated any pass as a transfer, so
+		// fold Returned into Escapes to stay no-new-false-positives.
+		return ParamFacts{
+			Released: f.Released,
+			Escapes:  f.Escapes || f.Returned,
+			Called:   f.Called,
+		}
+	}
+	return ParamFacts{Escapes: true} // unknown callee: assume it consumes
+}
+
+// --- result ownership facts ------------------------------------------------
+
+// scanResultFacts computes OwnedResults and CancelResults: must-facts over
+// every normal return path.
+func (p *Program) scanResultFacts(fi *FuncInfo, s *FuncSummary) {
+	sig, _ := fi.Fn.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() == 0 {
+		return
+	}
+	nres := sig.Results().Len()
+	info := fi.Pkg.Info
+	owned := map[types.Object]bool{}
+	cancel := map[types.Object]bool{}
+	topLevelStmts(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := unwrapAssert(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ownedRes := p.ownedResultsOf(info, call)
+		cancelRes := p.cancelResultsOf(info, call)
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if i < len(ownedRes) && ownedRes[i] {
+				owned[obj] = true
+			}
+			if i < len(cancelRes) && cancelRes[i] {
+				cancel[obj] = true
+			}
+		}
+		return true
+	})
+	ownedAcc := allTrue(nres)
+	cancelAcc := allTrue(nres)
+	sawReturn := false
+	topLevelStmts(fi.Decl.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		sawReturn = true
+		switch {
+		case len(rs.Results) == 0:
+			// Named results falling back: no ownership claim.
+			ownedAcc = andBools(ownedAcc, make([]bool, nres))
+			cancelAcc = andBools(cancelAcc, make([]bool, nres))
+		case len(rs.Results) == 1 && nres > 1:
+			// return f(): tuple pass-through.
+			var ro, rc []bool
+			if call, ok := unwrapAssert(rs.Results[0]).(*ast.CallExpr); ok {
+				ro = p.ownedResultsOf(info, call)
+				rc = p.cancelResultsOf(info, call)
+			}
+			ownedAcc = andBools(ownedAcc, padBools(ro, nres))
+			cancelAcc = andBools(cancelAcc, padBools(rc, nres))
+		default:
+			ro := make([]bool, nres)
+			rc := make([]bool, nres)
+			for i, e := range rs.Results {
+				if i >= nres {
+					break
+				}
+				e = unwrapAssert(e)
+				if id, ok := e.(*ast.Ident); ok {
+					obj := info.Uses[id]
+					ro[i] = owned[obj]
+					rc[i] = cancel[obj]
+					continue
+				}
+				if call, ok := e.(*ast.CallExpr); ok {
+					if o := p.ownedResultsOf(info, call); len(o) == 1 {
+						ro[i] = o[0]
+					}
+					if c := p.cancelResultsOf(info, call); len(c) == 1 {
+						rc[i] = c[0]
+					}
+				}
+			}
+			ownedAcc = andBools(ownedAcc, ro)
+			cancelAcc = andBools(cancelAcc, rc)
+		}
+		return true
+	})
+	if !sawReturn || fallsOffEnd(fi.cfg()) {
+		return // a no-return path reaches the exit: nothing is guaranteed
+	}
+	copy(s.OwnedResults, ownedAcc)
+	copy(s.CancelResults, cancelAcc)
+}
+
+// ownedResultsOf reports, per result of call, whether it is a fresh pool
+// obligation: the GetChunk/Pool.Get intrinsics or a callee whose summary
+// says so.
+func (p *Program) ownedResultsOf(info *types.Info, call *ast.CallExpr) []bool {
+	if isGetChunkCall(info, call) || isPoolGetCall(info, call) {
+		return []bool{true}
+	}
+	if cs := p.callSummary(info, call); cs != nil {
+		return cs.OwnedResults
+	}
+	return nil
+}
+
+// cancelResultsOf reports, per result of call, whether it is a context
+// cancel func: the context constructors or a callee whose summary says so.
+func (p *Program) cancelResultsOf(info *types.Info, call *ast.CallExpr) []bool {
+	if fn, ok := funcFor(info, call); ok && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+		switch fn.Name() {
+		case "WithCancel", "WithCancelCause", "WithTimeout", "WithTimeoutCause",
+			"WithDeadline", "WithDeadlineCause":
+			return []bool{false, true}
+		}
+	}
+	if cs := p.callSummary(info, call); cs != nil {
+		return cs.CancelResults
+	}
+	return nil
+}
+
+// unwrapAssert strips a type assertion (and parens): the Get().(*T) idiom.
+func unwrapAssert(e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		return ast.Unparen(ta.X)
+	}
+	return e
+}
+
+func allTrue(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+func andBools(a, b []bool) []bool {
+	for i := range a {
+		a[i] = a[i] && i < len(b) && b[i]
+	}
+	return a
+}
+
+func padBools(b []bool, n int) []bool {
+	if len(b) >= n {
+		return b[:n]
+	}
+	out := make([]bool, n)
+	copy(out, b)
+	return out
+}
+
+// --- blocking facts --------------------------------------------------------
+
+// scanBlocks computes Blocks: a definitely blocking op on every normal
+// path. The op vocabulary matches lockheld's intra-function rule (send,
+// receive, select without default — whose comm clauses the CFG already
+// places on every path — Wait/Drain calls except sync.Cond.Wait) plus
+// callees that Block.
+func (p *Program) scanBlocks(fi *FuncInfo, s *FuncSummary) {
+	info := fi.Pkg.Info
+	isBlocking := func(n ast.Node) bool { return p.blockingDesc(info, n) != "" }
+	any := false
+	why := ""
+	whyPos := token.NoPos
+	g := fi.cfg()
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if d := p.blockingDesc(info, n); d != "" {
+				any = true
+				if whyPos == token.NoPos || n.Pos() < whyPos {
+					whyPos = n.Pos()
+					why = d
+				}
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	if !g.reachesExitWithout(isBlocking) {
+		s.Blocks = true
+		s.BlocksWhy = why
+	}
+}
+
+// blockingDesc describes the potentially blocking operation n performs
+// directly (not inside a nested literal), "" if none.
+func (p *Program) blockingDesc(info *types.Info, n ast.Node) string {
+	desc := ""
+	ast.Inspect(n, func(x ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			desc = "channel send"
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				desc = "channel receive"
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+					name := fn.Name()
+					if name == "Wait" || name == "Drain" {
+						if pkg, typ, ok := methodOn(fn); !ok || pkg != "sync" || typ != "Cond" {
+							desc = "blocking " + types.ExprString(sel.X) + "." + name + "()"
+							return false
+						}
+					}
+				}
+			}
+			if key, ok := p.staticCallee(info, e); ok {
+				if cs := p.Summaries[key]; cs != nil && cs.Blocks {
+					desc = "call to " + key + ", which always blocks (" + cs.BlocksWhy + ")"
+				}
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+// --- requires-held facts ---------------------------------------------------
+
+// scanHeld computes RequiresHeld: sync.Cond operations and calls to
+// requires-held callees at sites with no mutex definitely held. The
+// positions are kept so condguard can report inside functions nobody
+// calls.
+func (p *Program) scanHeld(fi *FuncInfo, s *FuncSummary) {
+	info := fi.Pkg.Info
+	type op struct {
+		call *ast.CallExpr
+		desc string
+	}
+	var ops []op
+	topLevelStmts(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := condMethod(info, call); name != "" {
+			ops = append(ops, op{call, "sync.Cond." + name})
+			return true
+		}
+		if key, ok := p.staticCallee(info, call); ok {
+			if cs := p.Summaries[key]; cs != nil && cs.RequiresHeld {
+				ops = append(ops, op{call, "call to " + key + ", which needs the caller to hold a mutex (" + cs.HeldWhy + ")"})
+			}
+		}
+		return true
+	})
+	if len(ops) == 0 {
+		return
+	}
+	g := fi.cfg()
+	held := heldLocks(g, info)
+	for _, o := range ops {
+		if lockHeldAt(g, held, o.call) {
+			continue
+		}
+		pos := fi.Pkg.Fset.Position(o.call.Pos())
+		s.Uncovered = append(s.Uncovered, UncoveredOp{File: pos.Filename, Line: pos.Line, Col: pos.Column, Desc: o.desc})
+	}
+	if len(s.Uncovered) > 0 {
+		sort.Slice(s.Uncovered, func(i, j int) bool {
+			a, b := s.Uncovered[i], s.Uncovered[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Col < b.Col
+		})
+		s.RequiresHeld = true
+		s.HeldWhy = s.Uncovered[0].Desc
+	}
+}
+
+// --- intrinsics ------------------------------------------------------------
+
+// The pool/codec intrinsics are matched by import-path suffix rather than
+// configured path so they hold under any module prefix — including the
+// fixture loader, whose packages import the real module packages.
+
+func isPutChunkCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := funcFor(info, call)
+	return ok && fn.Pkg() != nil && fn.Name() == "PutChunk" && pathSuffixWithin(fn.Pkg().Path(), "internal/buffer")
+}
+
+func isGetChunkCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := funcFor(info, call)
+	return ok && fn.Pkg() != nil && fn.Name() == "GetChunk" && pathSuffixWithin(fn.Pkg().Path(), "internal/buffer")
+}
+
+func isPoolPutCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := funcFor(info, call)
+	if !ok || fn.Name() != "Put" {
+		return false
+	}
+	pkg, typ, isMethod := methodOn(fn)
+	return isMethod && pkg == "sync" && typ == "Pool"
+}
+
+func isPoolGetCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := funcFor(info, call)
+	if !ok || fn.Name() != "Get" {
+		return false
+	}
+	pkg, typ, isMethod := methodOn(fn)
+	return isMethod && pkg == "sync" && typ == "Pool"
+}
+
+// isDecodeAppendCall matches storage.DecodeAppend/DecodeRangeAppend — the
+// arena-filling decoders whose first two results alias their first two
+// arguments. The summary of the real storage package proves the same facts
+// when it is part of the program; the intrinsic keeps subset runs sound.
+func isDecodeAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := funcFor(info, call)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	name := fn.Name()
+	return (name == "DecodeAppend" || name == "DecodeRangeAppend") && pathSuffixWithin(fn.Pkg().Path(), "internal/storage")
+}
+
+// --- summary cache ---------------------------------------------------------
+
+// summaryCacheFile is the on-disk shape of -summary-cache.
+type summaryCacheFile struct {
+	Fingerprint string                  `json:"fingerprint"`
+	Summaries   map[string]*FuncSummary `json:"summaries"`
+}
+
+// Fingerprint digests the exact file set of pkgs (paths and contents, in
+// sorted order) via the injected reader; the summary cache is valid only
+// while the fingerprint matches.
+func Fingerprint(pkgs []*Package, read func(string) ([]byte, error)) (string, error) {
+	names := map[string]bool{}
+	for _, pkg := range pkgs {
+		if pkg == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if tf := pkg.Fset.File(f.Pos()); tf != nil {
+				names[tf.Name()] = true
+			}
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, name := range sorted {
+		content, err := read(name)
+		if err != nil {
+			return "", fmt.Errorf("lint: fingerprinting %s: %w", name, err)
+		}
+		io.WriteString(h, name)
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(content)))
+		h.Write(lenBuf[:])
+		h.Write(content)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// WriteSummaryCache serializes the program's summaries under fingerprint.
+func WriteSummaryCache(w io.Writer, fingerprint string, p *Program) error {
+	return json.NewEncoder(w).Encode(summaryCacheFile{Fingerprint: fingerprint, Summaries: p.Summaries})
+}
+
+// ReadSummaryCache decodes a summary cache written by WriteSummaryCache.
+func ReadSummaryCache(r io.Reader) (fingerprint string, summaries map[string]*FuncSummary, err error) {
+	var f summaryCacheFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return "", nil, fmt.Errorf("lint: decoding summary cache: %w", err)
+	}
+	return f.Fingerprint, f.Summaries, nil
+}
+
+// DebugSummaries writes every summary, one JSON object per line in key
+// order — the -debug-summary dump.
+func (p *Program) DebugSummaries(w io.Writer) error {
+	keys := make([]string, 0, len(p.Summaries))
+	for k := range p.Summaries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b, err := json.Marshal(p.Summaries[k])
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

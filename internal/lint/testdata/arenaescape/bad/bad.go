@@ -1,0 +1,72 @@
+// Package bad exercises arenaescape: every function retains an alias of a
+// pooled chunk's arena past its PutChunk.
+package bad
+
+import (
+	"github.com/optlab/opt/internal/buffer"
+	"github.com/optlab/opt/internal/storage"
+)
+
+var sink []uint32
+
+// returnAfterPut is the seeded use-after-recycle: a Record.Adj alias
+// returned after the chunk went back to the pool.
+func returnAfterPut(data []byte) []uint32 {
+	c := buffer.GetChunk()
+	recs, arena, err := storage.DecodeRangeAppend(c.Recs, c.Arena, nil, 4096, data)
+	c.Recs, c.Arena = recs, arena
+	if err != nil || len(c.Recs) == 0 {
+		buffer.PutChunk(c)
+		return nil
+	}
+	adj := c.Recs[0].Adj
+	buffer.PutChunk(c)
+	return adj // want "adj aliases the pooled arena of chunk c and is used after buffer\\.PutChunk .*leak path: c\\.Recs \\(bad\\.go:22\\) -> adj \\(bad\\.go:22\\); copy with slices\\.Clone"
+}
+
+// useChunkAfterPut touches the chunk header itself after release.
+func useChunkAfterPut() uint32 {
+	c := buffer.GetChunk()
+	buffer.PutChunk(c)
+	return c.FirstPage // want "chunk c is used after buffer\\.PutChunk\\(c\\) .*back in the pool and may be recycled"
+}
+
+// storeThenPut parks an arena alias in a package-level variable and then
+// recycles the arena underneath it.
+func storeThenPut() {
+	c := buffer.GetChunk()
+	adj := c.Arena[:0]
+	sink = adj // want "alias of chunk c's pooled arena is stored to sink \\(leak path: c\\.Arena .*-> adj .*\\) and then buffer\\.PutChunk .*copy with slices\\.Clone first"
+	buffer.PutChunk(c)
+}
+
+// goroutineCapture hands the arena to another goroutine that races the
+// recycle.
+func goroutineCapture() {
+	c := buffer.GetChunk()
+	go func() { // want "alias of chunk c's pooled arena is captured by a spawned goroutine .*and then buffer\\.PutChunk"
+		sink = c.Arena
+	}()
+	buffer.PutChunk(c)
+}
+
+// deferredPutReturn returns arena memory that the deferred release
+// recycles before the caller can look at it.
+func deferredPutReturn(data []byte) []uint32 {
+	c := buffer.GetChunk()
+	defer buffer.PutChunk(c)
+	recs, arena, err := storage.DecodeRangeAppend(c.Recs, c.Arena, nil, 4096, data)
+	c.Recs, c.Arena = recs, arena
+	if err != nil || len(recs) == 0 {
+		return nil
+	}
+	return c.Recs[0].Adj // want "returned value aliases the pooled arena of chunk c .*deferred buffer\\.PutChunk .*copy with slices\\.Clone before returning"
+}
+
+// returnChunkDeferredPut gives the caller a chunk that is already back in
+// the pool by the time the return completes.
+func returnChunkDeferredPut() *buffer.Chunk {
+	c := buffer.GetChunk()
+	defer buffer.PutChunk(c)
+	return c // want "chunk c is returned while a deferred buffer\\.PutChunk .*the caller receives a recycled chunk"
+}

@@ -1,0 +1,79 @@
+// Package ok holds the sanctioned arena-handling shapes: arenaescape must
+// stay silent on every function here.
+package ok
+
+import (
+	"slices"
+
+	"github.com/optlab/opt/internal/buffer"
+	"github.com/optlab/opt/internal/storage"
+)
+
+var sink []uint32
+
+// decodeRepointRecycle is the decode → repoint → consume → recycle cycle
+// of the real external-triangulation path: the DecodeRangeAppend results
+// are written back into the chunk's own fields (the repoint exemption) and
+// every arena read happens before PutChunk.
+func decodeRepointRecycle(data []byte) (int, error) {
+	c := buffer.GetChunk()
+	recs, arena, err := storage.DecodeRangeAppend(c.Recs, c.Arena, nil, 4096, data)
+	c.Recs, c.Arena = recs, arena
+	if err != nil {
+		buffer.PutChunk(c)
+		return 0, err
+	}
+	n := 0
+	for _, rec := range c.Recs {
+		n += len(rec.Adj)
+	}
+	buffer.PutChunk(c)
+	return n, nil
+}
+
+// cloneBeforePut is the sanctioned remedy: slices.Clone severs the arena
+// alias, so the copy may outlive the chunk.
+func cloneBeforePut(data []byte) []uint32 {
+	c := buffer.GetChunk()
+	recs, arena, err := storage.DecodeRangeAppend(c.Recs, c.Arena, nil, 4096, data)
+	c.Recs, c.Arena = recs, arena
+	if err != nil || len(c.Recs) == 0 {
+		buffer.PutChunk(c)
+		return nil
+	}
+	out := slices.Clone(c.Recs[0].Adj)
+	buffer.PutChunk(c)
+	return out
+}
+
+// cloneToGlobal stores only severed copies in package state.
+func cloneToGlobal() {
+	c := buffer.GetChunk()
+	sink = slices.Clone(c.Arena)
+	buffer.PutChunk(c)
+}
+
+// borrowViaHelper passes arena slices to an in-module helper whose summary
+// proves a pure borrow — no alias survives the call, so the recycle that
+// follows is safe.
+func borrowViaHelper(data []byte) int {
+	c := buffer.GetChunk()
+	recs, arena, err := storage.DecodeRangeAppend(c.Recs, c.Arena, nil, 4096, data)
+	c.Recs, c.Arena = recs, arena
+	total := 0
+	if err == nil {
+		for _, rec := range c.Recs {
+			total += sum(rec.Adj)
+		}
+	}
+	buffer.PutChunk(c)
+	return total
+}
+
+func sum(xs []uint32) int {
+	t := 0
+	for _, x := range xs {
+		t += int(x)
+	}
+	return t
+}

@@ -1,0 +1,8 @@
+// Package broken fails to type-check on purpose: the optlint driver must
+// exit 2 (load failure), not 0 or 1, when a target package does not build.
+package broken
+
+func Boom() int {
+	var s string = 42 // type error: untyped int to string
+	return s          // type error: string result for int
+}
