@@ -47,6 +47,7 @@ type jsonConfig struct {
 	PageSize int     `json:"page_size"`
 	LatRead  string  `json:"lat_read"`
 	LatPage  string  `json:"lat_page"`
+	Backend  string  `json:"backend,omitempty"`
 }
 
 type jsonExperiment struct {
@@ -71,7 +72,12 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "cancel the sweep after this duration (0 = no limit)")
 		jsonOut  = flag.String("json", "BENCH.json", "write machine-readable results to this file ('' disables)")
 		baseline = flag.String("baseline", "", "compare the pages experiment against this committed BENCH_pages.json")
-		regress  = flag.Float64("regress", 0.15, "fail if elapsed_ms regresses by more than this fraction vs -baseline")
+		devBase  = flag.String("device-baseline", "", "compare the device experiment against this committed BENCH_device.json")
+		regress  = flag.Float64("regress", 0.15, "fail if elapsed_ms regresses by more than this fraction vs a baseline")
+		// Real cold-cache I/O is noisier than CPU-bound decode, so the
+		// device ratio gate gets more slack than the pages gate.
+		devRegress = flag.Float64("device-regress", 0.25, "fail if the device experiment's native/portable elapsed ratio regresses by more than this fraction vs the -device-baseline")
+		backend  = flag.String("backend", "", "device backend every experiment opens stores through: portable, native, auto ('' = $OPT_BACKEND, then portable)")
 	)
 	flag.Parse()
 
@@ -88,6 +94,7 @@ func main() {
 	cfg.Threads = *threads
 	cfg.PageSize = *pageSize
 	cfg.Latency = ssd.Latency{PerRead: *latRead, PerPage: *latPage}
+	cfg.Backend = *backend
 	cfg.Context = ctx
 
 	h, err := bench.NewHarness(cfg)
@@ -104,6 +111,7 @@ func main() {
 			PageSize: cfg.PageSize,
 			LatRead:  cfg.Latency.PerRead.String(),
 			LatPage:  cfg.Latency.PerPage.String(),
+			Backend:  cfg.Backend,
 		},
 	}
 
@@ -175,12 +183,25 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "[page-codec results written to %s]\n", path)
 		}
+		// So does the device-backend experiment, the -device-baseline target.
+		if dr := experimentOnly(&report, "device"); dr != nil {
+			path := filepath.Join(filepath.Dir(*jsonOut), "BENCH_device.json")
+			if err := writeJSON(path, dr); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "[device-backend results written to %s]\n", path)
+		}
 	}
 	if *baseline != "" {
-		if err := comparePagesBaseline(&report, *baseline, *regress); err != nil {
+		if err := compareBaseline(&report, *baseline, *regress, "pages", []string{"dataset", "codec"}); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "[pages within %.0f%% of baseline %s]\n", *regress*100, *baseline)
+	}
+	if *devBase != "" {
+		if err := compareDeviceBaseline(&report, *devBase, *devRegress); err != nil {
+			fail(err)
+		}
 	}
 	if runErr != nil {
 		os.Exit(1)
@@ -207,40 +228,44 @@ func experimentOnly(r *jsonReport, id string) *jsonReport {
 	return nil
 }
 
-// pagesElapsed indexes a pages experiment's elapsed_ms column by its
-// (dataset, codec) key columns, using the header so column order is not
+// elapsedByKey indexes an experiment's elapsed_ms column by the given key
+// columns joined with "/", using the header so column order is not
 // load-bearing.
-func pagesElapsed(e *jsonExperiment) (map[string]float64, error) {
+func elapsedByKey(e *jsonExperiment, keyCols []string) (map[string]float64, error) {
 	col := map[string]int{}
 	for i, h := range e.Header {
 		col[h] = i
 	}
-	for _, want := range []string{"dataset", "codec", "elapsed_ms"} {
+	for _, want := range append([]string{"elapsed_ms"}, keyCols...) {
 		if _, ok := col[want]; !ok {
-			return nil, fmt.Errorf("pages experiment has no %q column (header %v)", want, e.Header)
+			return nil, fmt.Errorf("%s experiment has no %q column (header %v)", e.ID, want, e.Header)
 		}
 	}
 	out := make(map[string]float64, len(e.Rows))
 	for _, row := range e.Rows {
 		var ms float64
 		if _, err := fmt.Sscanf(row[col["elapsed_ms"]], "%g", &ms); err != nil {
-			return nil, fmt.Errorf("pages row %v: bad elapsed_ms: %v", row, err)
+			return nil, fmt.Errorf("%s row %v: bad elapsed_ms: %v", e.ID, row, err)
 		}
-		out[row[col["dataset"]]+"/"+row[col["codec"]]] = ms
+		parts := make([]string, len(keyCols))
+		for i, k := range keyCols {
+			parts[i] = row[col[k]]
+		}
+		out[strings.Join(parts, "/")] = ms
 	}
 	return out, nil
 }
 
-// comparePagesBaseline compares the sweep's pages experiment against a
-// committed BENCH_pages.json and errors when any (dataset, codec) row's
-// elapsed time regressed by more than tol, or when the configs are not
+// compareBaseline compares one of the sweep's experiments against its
+// committed baseline file and errors when any row's elapsed time (keyed by
+// keyCols) regressed by more than tol, or when the configs are not
 // comparable. Rows only present on one side are reported but not fatal, so
-// adding a dataset or codec does not require regenerating the baseline in
-// the same change.
-func comparePagesBaseline(r *jsonReport, path string, tol float64) error {
-	cur := experimentOnly(r, "pages")
+// adding a dataset, codec or backend does not require regenerating the
+// baseline in the same change.
+func compareBaseline(r *jsonReport, path string, tol float64, id string, keyCols []string) error {
+	cur := experimentOnly(r, id)
 	if cur == nil {
-		return fmt.Errorf("-baseline given but the sweep did not run the pages experiment (add -exp pages)")
+		return fmt.Errorf("baseline comparison requested but the sweep did not run the %s experiment (add -exp %s)", id, id)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -250,19 +275,19 @@ func comparePagesBaseline(r *jsonReport, path string, tol float64) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("%s: %v", path, err)
 	}
-	bexp := experimentOnly(&base, "pages")
+	bexp := experimentOnly(&base, id)
 	if bexp == nil {
-		return fmt.Errorf("%s has no pages experiment", path)
+		return fmt.Errorf("%s has no %s experiment", path, id)
 	}
 	if base.Config != r.Config {
-		return fmt.Errorf("baseline config %+v does not match run config %+v; rerun with matching -scale/-pagesize/-threads/-lat-* or regenerate %s",
+		return fmt.Errorf("baseline config %+v does not match run config %+v; rerun with matching -scale/-pagesize/-threads/-lat-*/-backend or regenerate %s",
 			base.Config, r.Config, path)
 	}
-	got, err := pagesElapsed(&cur.Experiments[0])
+	got, err := elapsedByKey(&cur.Experiments[0], keyCols)
 	if err != nil {
 		return err
 	}
-	want, err := pagesElapsed(&bexp.Experiments[0])
+	want, err := elapsedByKey(&bexp.Experiments[0], keyCols)
 	if err != nil {
 		return fmt.Errorf("%s: %v", path, err)
 	}
@@ -280,12 +305,105 @@ func comparePagesBaseline(r *jsonReport, path string, tol float64) error {
 	}
 	for key := range got {
 		if _, ok := want[key]; !ok {
-			fmt.Fprintf(os.Stderr, "optbench: row %s not in baseline (new dataset/codec?)\n", key)
+			fmt.Fprintf(os.Stderr, "optbench: row %s not in baseline (new %s?)\n", key, strings.Join(keyCols, "/"))
 		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("pages regressed beyond %.0f%%:\n  %s", tol*100, strings.Join(regressions, "\n  "))
+		return fmt.Errorf("%s regressed beyond %.0f%%:\n  %s", id, tol*100, strings.Join(regressions, "\n  "))
 	}
+	return nil
+}
+
+// backendTotals sums the device experiment's elapsed_ms per backend.
+func backendTotals(e *jsonExperiment) (map[string]float64, error) {
+	col := map[string]int{}
+	for i, h := range e.Header {
+		col[h] = i
+	}
+	for _, want := range []string{"backend", "elapsed_ms"} {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("device experiment has no %q column (header %v)", want, e.Header)
+		}
+	}
+	out := map[string]float64{}
+	for _, row := range e.Rows {
+		var ms float64
+		if _, err := fmt.Sscanf(row[col["elapsed_ms"]], "%g", &ms); err != nil {
+			return nil, fmt.Errorf("device row %v: bad elapsed_ms: %v", row, err)
+		}
+		out[row[col["backend"]]] += ms
+	}
+	return out, nil
+}
+
+// deviceRatio reduces a device experiment to the native/portable aggregate
+// wall-time ratio, the machine-portable figure of merit: absolute device
+// times differ wildly across disks, but how the two backends compare on the
+// SAME disk in the same run transfers. The ok result is false when the run
+// has no native rows (non-Linux), which disables the comparison rather
+// than failing it.
+func deviceRatio(e *jsonExperiment) (ratio float64, ok bool, err error) {
+	totals, err := backendTotals(e)
+	if err != nil {
+		return 0, false, err
+	}
+	native, haveNative := totals["native"]
+	portable, havePortable := totals["portable"]
+	if !haveNative {
+		return 0, false, nil
+	}
+	if !havePortable || portable <= 0 {
+		return 0, false, fmt.Errorf("device experiment has no portable rows to compare against")
+	}
+	return native / portable, true, nil
+}
+
+// compareDeviceBaseline gates the native backend's advantage over the
+// portable pool: the fresh run's native/portable aggregate elapsed ratio
+// must not exceed the committed baseline's ratio by more than tol. Unlike
+// the pages comparison this never compares absolute milliseconds — real
+// cold-cache device time does not transfer between machines, the
+// same-run backend ratio does.
+func compareDeviceBaseline(r *jsonReport, path string, tol float64) error {
+	cur := experimentOnly(r, "device")
+	if cur == nil {
+		return fmt.Errorf("baseline comparison requested but the sweep did not run the device experiment (add -exp device)")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base jsonReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	bexp := experimentOnly(&base, "device")
+	if bexp == nil {
+		return fmt.Errorf("%s has no device experiment", path)
+	}
+	if base.Config != r.Config {
+		return fmt.Errorf("baseline config %+v does not match run config %+v; rerun with matching -scale/-pagesize/-threads/-lat-*/-backend or regenerate %s",
+			base.Config, r.Config, path)
+	}
+	got, ok, err := deviceRatio(&cur.Experiments[0])
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "[device ratio check skipped: no native rows on this platform]")
+		return nil
+	}
+	want, ok, err := deviceRatio(&bexp.Experiments[0])
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if !ok {
+		return fmt.Errorf("%s has no native rows; regenerate the baseline on Linux", path)
+	}
+	if got > want*(1+tol) {
+		return fmt.Errorf("device: native/portable ratio %.3f regressed beyond %.0f%% of baseline %.3f", got, tol*100, want)
+	}
+	fmt.Fprintf(os.Stderr, "[device native/portable ratio %.3f within %.0f%% of baseline %.3f from %s]\n", got, tol*100, want, path)
 	return nil
 }
 

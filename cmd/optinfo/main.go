@@ -13,13 +13,15 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/optlab/opt/internal/ssd"
 	"github.com/optlab/opt/internal/storage"
 )
 
 func main() {
 	var (
-		store  = flag.String("store", "graph.optstore", "store path")
-		verify = flag.Bool("verify", false, "run the full integrity check")
+		store   = flag.String("store", "graph.optstore", "store path")
+		verify  = flag.Bool("verify", false, "run the full integrity check")
+		backend = flag.String("backend", "", "device backend to probe: portable, native, auto (\"\" = $OPT_BACKEND, then portable)")
 	)
 	flag.Parse()
 
@@ -66,14 +68,39 @@ func main() {
 	fmt.Printf("isolated     %d\n", isolated)
 	fmt.Printf("run records  %d (adjacency lists spanning multiple pages)\n", runVerts)
 
-	if !*verify {
-		return
+	// Probe the requested device backend: what the open negotiated (O_DIRECT,
+	// io_uring) on this store layout and kernel, with the refusal reasons.
+	b, err := ssd.ParseBackend(*backend)
+	if err != nil {
+		fail(err)
 	}
-	dev, err := st.Device()
+	dev, err := st.DeviceBackend(b)
 	if err != nil {
 		fail(err)
 	}
 	defer func() { _ = dev.Close() }() // read-only handle; process exits next
+	if ip, ok := dev.(ssd.InfoProvider); ok {
+		info := ip.BackendInfo()
+		fmt.Printf("backend      %s (native available: %v)\n", info.Backend, ssd.NativeAvailable())
+		direct := fmt.Sprintf("%v (alignment %d)", info.Direct, info.Align)
+		if !info.Direct && info.DirectReason != "" {
+			direct = fmt.Sprintf("false (%s)", info.DirectReason)
+		}
+		fmt.Printf("direct I/O   %s\n", direct)
+		ring := fmt.Sprint(info.Ring)
+		if info.Ring {
+			ring = fmt.Sprintf("true (%d entries)", info.RingDepth)
+		} else if info.RingReason != "" {
+			ring = fmt.Sprintf("false (%s)", info.RingReason)
+		}
+		fmt.Printf("io_uring     %s\n", ring)
+	} else {
+		fmt.Printf("backend      %s (native available: %v)\n", ssd.BackendPortable, ssd.NativeAvailable())
+	}
+
+	if !*verify {
+		return
+	}
 	rep, err := storage.Verify(st, dev)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optinfo: INTEGRITY FAILURE: %v\n", err)

@@ -37,6 +37,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 		progress = flag.Bool("progress", false, "print per-iteration progress to stderr")
 		codec    = flag.String("codec", "", "require the store's page codec to match (\"\" = any)")
+		backend  = flag.String("backend", "", "device backend: portable, native, auto (\"\" = $OPT_BACKEND, then portable)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 		MemoryPages:    *memPages,
 		Latency:        opt.DeviceLatency{PerRead: *perRead, PerPage: *perPage},
 		Codec:          *codec,
+		Backend:        *backend,
 	}
 	if *model == "vertex" {
 		opts.Model = opt.VertexIteratorModel

@@ -38,6 +38,11 @@ type Config struct {
 	PageSize int
 	// Latency is the simulated FlashSSD latency model.
 	Latency ssd.Latency
+	// Backend selects the device backend every experiment opens stores
+	// through ("portable", "native", "auto"; empty resolves via OPT_BACKEND
+	// then portable). The device experiment sweeps backends itself and
+	// ignores this knob.
+	Backend string
 	// WorkDir holds generated stores; a temp dir when empty.
 	WorkDir string
 	// Context, if non-nil, cancels experiments between and within
@@ -246,6 +251,15 @@ func (h *Harness) storeCodec(name string, g *graph.Graph, codec string) (*storag
 	return st, nil
 }
 
+// device opens a store's page device through the configured backend.
+func (h *Harness) device(st *storage.Store) (ssd.PageDevice, error) {
+	b, err := ssd.ParseBackend(h.cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	return st.DeviceBackend(b)
+}
+
 // proxyStore returns both the proxy graph and its store.
 func (h *Harness) proxyStore(name string) (*graph.Graph, *storage.Store, error) {
 	g, err := h.proxy(name)
@@ -295,6 +309,7 @@ var registry = map[string]func(*Harness) (*Table, error){
 	"table7":  Table7,
 	"kernels": Kernels,
 	"pages":   Pages,
+	"device":  Device,
 }
 
 // Run executes one experiment by id and renders it to w as aligned text.

@@ -83,14 +83,15 @@ func TestTableRender(t *testing.T) {
 
 func TestExperimentsListStable(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 16 {
-		t.Fatalf("got %d experiments, want 16 (one per table/figure plus kernels and pages)", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("got %d experiments, want 17 (one per table/figure plus kernels, pages and device)", len(ids))
 	}
 	want := map[string]bool{
 		"table2": true, "table3": true, "table4": true, "table5": true,
 		"table6": true, "table7": true, "fig3a": true, "fig3b": true,
 		"fig4": true, "fig5": true, "fig6": true, "fig7a": true,
 		"fig7b": true, "fig7c": true, "kernels": true, "pages": true,
+		"device": true,
 	}
 	for _, id := range ids {
 		if !want[id] {
@@ -176,6 +177,47 @@ func TestPagesExperiment(t *testing.T) {
 			if _, err := strconv.ParseFloat(row[6], 64); err != nil {
 				t.Errorf("%s/%s: unparsable elapsed_ms %q", row[0], row[1], row[6])
 			}
+		}
+	}
+}
+
+// TestDeviceExperiment checks the backend table's invariants at tiny scale:
+// one row per (dataset, codec, backend), identical content checksums across
+// backends, read submissions recorded, and parsable elapsed_ms. On Linux
+// the native rows must be present; ring/batch behaviour itself is pinned by
+// the ssd tests.
+func TestDeviceExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	h, err := NewHarness(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	tb, err := h.Table("device")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := 1
+	if ssd.NativeAvailable() {
+		backends = 2
+	}
+	if want := 2 * backends * len(deviceDatasets); len(tb.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), want)
+	}
+	counts := map[string]string{} // dataset/codec → checksum
+	for _, row := range tb.Rows {
+		key := row[0] + "/" + row[1]
+		if prev, ok := counts[key]; ok && prev != row[9] {
+			t.Errorf("%s: checksums diverge across backends: %s vs %s", key, prev, row[9])
+		}
+		counts[key] = row[9]
+		if reads, err := strconv.ParseInt(row[5], 10, 64); err != nil || reads == 0 {
+			t.Errorf("%s/%s: bad read-submission count %q", key, row[2], row[5])
+		}
+		if _, err := strconv.ParseFloat(row[10], 64); err != nil {
+			t.Errorf("%s/%s: unparsable elapsed_ms %q", key, row[2], row[10])
 		}
 	}
 }

@@ -79,7 +79,7 @@ func useVirtualCores(threads int) bool {
 
 // runOPT executes the framework and collects the uniform result.
 func (h *Harness) runOPT(st *storage.Store, memPages int, v optVariant) (*runResult, error) {
-	base, err := st.Device()
+	base, err := h.device(st)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +145,7 @@ func (h *Harness) runOPTParallel(st *storage.Store, memPages, threads int) (*run
 // every core count in set via the virtual scheduler. The returned map is
 // internally consistent (same task stream for every count).
 func (h *Harness) runOPTParallelSet(st *storage.Store, memPages int, set []int) (map[int]time.Duration, *runResult, error) {
-	base, err := st.Device()
+	base, err := h.device(st)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -178,7 +178,7 @@ func (h *Harness) runOPTParallelSet(st *storage.Store, memPages int, set []int) 
 // runGChiSet runs GraphChi-Tri once, modelling elapsed for every core
 // count in set.
 func (h *Harness) runGChiSet(st *storage.Store, memPages int, set []int) (map[int]time.Duration, *runResult, error) {
-	base, err := st.Device()
+	base, err := h.device(st)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -208,7 +208,7 @@ func (h *Harness) runGChiSet(st *storage.Store, memPages int, set []int) (map[in
 
 // runMGT executes the MGT baseline.
 func (h *Harness) runMGT(st *storage.Store, memPages int, output core.Output) (*runResult, error) {
-	base, err := st.Device()
+	base, err := h.device(st)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +235,7 @@ func (h *Harness) runMGT(st *storage.Store, memPages int, output core.Output) (*
 
 // runCC executes a Chu–Cheng variant.
 func (h *Harness) runCC(st *storage.Store, variant cc.Variant, memPages int, output core.Output) (*runResult, error) {
-	base, err := st.Device()
+	base, err := h.device(st)
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +264,7 @@ func (h *Harness) runCC(st *storage.Store, variant cc.Variant, memPages int, out
 
 // runGChi executes the GraphChi-Tri baseline.
 func (h *Harness) runGChi(st *storage.Store, memPages, threads int) (*runResult, error) {
-	base, err := st.Device()
+	base, err := h.device(st)
 	if err != nil {
 		return nil, err
 	}
@@ -303,7 +303,7 @@ func (h *Harness) runGChi(st *storage.Store, memPages, threads int) (*runResult,
 // runIdeal measures the Eq. 6 reference: one synchronous sequential read of
 // every page through the latency model plus the in-memory EdgeIterator≻.
 func (h *Harness) runIdeal(g *graph.Graph, st *storage.Store) (*runResult, error) {
-	base, err := st.Device()
+	base, err := h.device(st)
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +331,7 @@ func (h *Harness) runIdeal(g *graph.Graph, st *storage.Store) (*runResult, error
 // runInMemory measures an in-memory baseline including its load time
 // (§5.3: "in-memory methods include graph loading times").
 func (h *Harness) runInMemory(g *graph.Graph, st *storage.Store, method string) (*runResult, error) {
-	base, err := st.Device()
+	base, err := h.device(st)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,106 @@
+package arena
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func addr(b []byte) uintptr { return uintptr(unsafe.Pointer(&b[0])) }
+
+func TestAcquireAligned(t *testing.T) {
+	for _, align := range []int{512, 4096} {
+		a := New(align)
+		for _, n := range []int{1, 100, align - 1, align, align + 1, 3 * align} {
+			b := a.Acquire(n)
+			if len(b) != n {
+				t.Fatalf("align %d: Acquire(%d) len = %d", align, n, len(b))
+			}
+			if addr(b)%uintptr(align) != 0 {
+				t.Fatalf("align %d: Acquire(%d) address %#x not aligned", align, n, addr(b))
+			}
+			if cap(b) < n || cap(b)&(cap(b)-1) != 0 {
+				t.Fatalf("align %d: Acquire(%d) cap = %d, want power-of-two class", align, n, cap(b))
+			}
+		}
+	}
+}
+
+func TestReleaseRecycles(t *testing.T) {
+	a := New(4096)
+	b := a.Acquire(5000)
+	p := addr(b)
+	a.Release(b)
+	c := a.Acquire(6000) // same 8192-byte class
+	if addr(c) != p {
+		t.Fatalf("recycled buffer address %#x, want %#x", addr(c), p)
+	}
+	if allocs, recycles := a.Stats(); allocs != 1 || recycles != 1 {
+		t.Fatalf("stats = %d allocs, %d recycles; want 1, 1", allocs, recycles)
+	}
+}
+
+func TestReleaseForeignDropped(t *testing.T) {
+	a := New(4096)
+	a.Release(make([]byte, 100))  // wrong class
+	a.Release(make([]byte, 4096)) // right class, almost surely unaligned… either way:
+	a.Release(nil)
+	for size, l := range a.free {
+		for _, b := range l {
+			if addr(b)%4096 != 0 || cap(b) != size {
+				t.Fatalf("foreign buffer admitted to class %d", size)
+			}
+		}
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	a := New(512)
+	for _, tc := range []struct{ n, want int }{
+		{1, 512}, {512, 512}, {513, 1024}, {4096, 4096}, {4097, 8192},
+	} {
+		if got := a.classFor(tc.n); got != tc.want {
+			t.Fatalf("classFor(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the arena's purpose: once warm, the
+// acquire/release loop of the read path allocates nothing.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not stable under the race detector")
+	}
+	a := New(4096)
+	sizes := []int{4096, 5000, 16384}
+	for _, n := range sizes { // warm every class
+		a.Release(a.Acquire(n))
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for _, n := range sizes {
+			b := a.Acquire(n)
+			b[0] = 1
+			a.Release(b)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", avg)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	a := New(512)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				b := a.Acquire(1000 + i)
+				b[len(b)-1] = byte(i)
+				a.Release(b)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

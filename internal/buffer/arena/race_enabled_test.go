@@ -1,0 +1,7 @@
+//go:build race
+
+package arena
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count tests skip under it: instrumentation allocates.
+const raceEnabled = true

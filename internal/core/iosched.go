@@ -20,6 +20,7 @@ type extGroup struct {
 	reqs       []extReq // constituents, ascending page order (aliases L)
 	left       int      // constituents not yet retired
 	prefetched bool     // issued while another read was already in flight
+	data       []byte   // owned read buffer, recycled when left hits 0
 }
 
 // residentReq is a request whose chunk was already resident in the external
@@ -150,11 +151,13 @@ func (io *ioSched) issueGroup(g *extGroup) {
 		io.scatter(g, data, err)
 		return
 	}
-	r.dev.AsyncReadScatter(g.first, g.spans, func(seg int, data []byte, err error) {
-		if seg == 0 {
-			io.readDone(g, err)
-		}
-		io.handleSeg(g, seg, data, err)
+	// Owned read: segment decode runs on scheduler workers after the
+	// completion callback returns, so the buffer must outlive the callback.
+	// The group keeps it until its last constituent retires.
+	r.dev.AsyncReadOwned(g.first, g.pages, func(data []byte, err error) {
+		g.data = data
+		io.readDone(g, err)
+		io.scatter(g, data, err)
 	})
 }
 
@@ -253,16 +256,21 @@ func (io *ioSched) processResident(res residentReq) {
 func (io *ioSched) retire(g *extGroup) {
 	io.mu.Lock()
 	freed := false
+	var recycle []byte
 	if g != nil {
 		g.left--
 		if g.left == 0 {
 			io.inPages -= g.pages
 			freed = true
+			recycle, g.data = g.data, nil
 		}
 	}
 	io.remaining--
 	finished := io.remaining == 0
 	io.mu.Unlock()
+	if recycle != nil {
+		io.r.dev.Recycle(recycle)
+	}
 	if finished {
 		io.finish()
 		return

@@ -45,6 +45,23 @@ func buildStoreCodec(t testing.TB, g *graph.Graph, codec string) (*storage.Store
 	return st, dev
 }
 
+// buildStoreBackend opens the store through an explicit device backend —
+// the native-backend axis of the sweep.
+func buildStoreBackend(t testing.TB, g *graph.Graph, codec string, backend ssd.Backend) (*storage.Store, ssd.PageDevice) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.optstore")
+	st, err := storage.BuildFileCodec(path, g, pageSize, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := st.DeviceBackend(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = dev.Close() })
+	return st, dev
+}
+
 // disconnected stitches several components together: a K10 clique, a
 // triangle-free 10-cycle, a K5, one extra triangle, and trailing isolated
 // vertices — triangles must be found per component, never across them.
@@ -135,6 +152,39 @@ func TestAllAlgorithmsMatchReference(t *testing.T) {
 						}
 					})
 				}
+			}
+		}
+	}
+}
+
+// TestNativeBackendMatchesReference is the backend axis of the sweep: every
+// registered algorithm, over every workload and codec, must report the
+// reference count when the store is served by the native Linux backend
+// (io_uring or preadv, possibly O_DIRECT) instead of the portable file
+// device. A reduced budget set keeps the doubled matrix affordable; the
+// full budget sweep stays on the portable axis above.
+func TestNativeBackendMatchesReference(t *testing.T) {
+	if !ssd.NativeAvailable() {
+		t.Skip("native backend unavailable on this platform")
+	}
+	for _, w := range workloads(t) {
+		want := graph.CountTrianglesReference(w.g)
+		for _, codec := range codecs {
+			for _, name := range engine.Names() {
+				t.Run(fmt.Sprintf("%s/%s/%s", w.name, codec, name), func(t *testing.T) {
+					st, dev := buildStoreBackend(t, w.g, codec, ssd.BackendNative)
+					res, err := engine.Run(context.Background(), name, st, dev, engine.Options{
+						TempDir: t.TempDir(),
+						Codec:   codec,
+						Backend: string(ssd.BackendNative),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Triangles != want {
+						t.Fatalf("counted %d triangles, reference says %d", res.Triangles, want)
+					}
+				})
 			}
 		}
 	}

@@ -32,6 +32,71 @@ func waitGoroutines(t *testing.T, baseline int, label string) {
 		label, runtime.NumGoroutine(), baseline, buf[:n])
 }
 
+// TestFaultSweepNative repeats the fault contract around the native Linux
+// backend: FaultyDevice wrapping a native device (which demotes the async
+// layer from the io_uring engine to the worker pool, since the wrapper
+// hides the ring interface) must still surface exactly the injected error,
+// a bounded partial result, and no goroutine leak. A reduced fault-position
+// set keeps it cheap; the exhaustive sweep runs on the portable device.
+func TestFaultSweepNative(t *testing.T) {
+	if !ssd.NativeAvailable() {
+		t.Skip("native backend unavailable on this platform")
+	}
+	raw, err := gen.RMAT(gen.DefaultRMAT(256, 3_000, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := graph.DegreeOrder(raw)
+	want := graph.CountTrianglesReference(g)
+	opts := engine.Options{MemoryPages: 4}
+
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			st, dev := buildStoreBackend(t, g, codecs[0], ssd.BackendNative)
+			clean := &ssd.FaultyDevice{PageDevice: dev}
+			cleanOpts := opts
+			cleanOpts.TempDir = t.TempDir()
+			res, err := engine.Run(context.Background(), name, st, clean, cleanOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Triangles != want {
+				t.Fatalf("clean native run counted %d, want %d", res.Triangles, want)
+			}
+			reads := clean.Reads()
+			for _, k := range []int64{1, reads / 2} {
+				if k < 1 {
+					continue
+				}
+				t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+					baseline := runtime.NumGoroutine()
+					st, dev := buildStoreBackend(t, g, codecs[0], ssd.BackendNative)
+					faulty := &ssd.FaultyDevice{PageDevice: dev, FailAt: k}
+					failOpts := opts
+					failOpts.TempDir = t.TempDir()
+					res, err := engine.Run(context.Background(), name, st, faulty, failOpts)
+					if faulty.Reads() < k {
+						if err != nil {
+							t.Fatalf("fault at %d never fired (%d reads) yet the run failed: %v", k, faulty.Reads(), err)
+						}
+						return
+					}
+					if err == nil {
+						t.Fatalf("failing read %d surfaced no error (result %+v)", k, res)
+					}
+					if !errors.Is(err, ssd.ErrInjected) {
+						t.Fatalf("error %v does not wrap the injected fault", err)
+					}
+					if res == nil || res.Triangles < 0 || res.Triangles > want {
+						t.Fatalf("partial result %+v outside [0, %d]", res, want)
+					}
+					waitGoroutines(t, baseline, fmt.Sprintf("native %s k=%d", name, k))
+				})
+			}
+		})
+	}
+}
+
 // TestFaultSweep walks a single injected read failure across the read
 // schedule of every registered algorithm: for each failing position k the
 // run must surface exactly one error (the injected one), hand back a

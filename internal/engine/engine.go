@@ -74,6 +74,12 @@ type Options struct {
 	// dispatch. It documents a throughput assumption — e.g. a job tuned for
 	// deltavarint page counts — rather than converting the store.
 	Codec string
+	// Backend selects how the store device reaches the disk: "portable",
+	// "native", "auto", or empty for the ssd package's default resolution
+	// (the OPT_BACKEND environment variable, then portable). Validate
+	// rejects unknown names; callers that open the device themselves pass
+	// the same value to Store.DeviceBackend.
+	Backend string
 	// TempDir holds working files for runners that rewrite the graph.
 	TempDir string
 	// Events receives progress events (nil disables the event layer).
@@ -176,6 +182,11 @@ func (o Options) Validate(info Info) error {
 	if o.Codec != "" {
 		if _, err := storage.CodecByName(o.Codec); err != nil {
 			return fmt.Errorf("engine: Options.Codec: %w", err)
+		}
+	}
+	if o.Backend != "" {
+		if _, err := ssd.ParseBackend(o.Backend); err != nil {
+			return fmt.Errorf("engine: Options.Backend: %w", err)
 		}
 	}
 	return nil

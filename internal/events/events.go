@@ -49,6 +49,18 @@ const (
 	// — the run was cancelled or the read failed before its chunks could be
 	// processed (N = reads).
 	PrefetchWasted
+	// SubmittedBatch reports one io_uring submission batch: a single
+	// io_uring_enter call that pushed several staged reads to the kernel at
+	// once (N = SQEs in the batch).
+	SubmittedBatch
+	// RingDepth reports, once per device open, the depth of the native
+	// backend's completion ring (N = SQ entries). Absent when the run uses
+	// the portable worker-pool engine.
+	RingDepth
+	// DirectFallback reports that a native device wanted O_DIRECT but fell
+	// back to buffered reads — the store offset or page size is unaligned,
+	// or the filesystem rejected the open (N = 1 per open).
+	DirectFallback
 )
 
 // String implements fmt.Stringer.
@@ -76,6 +88,12 @@ func (k Kind) String() string {
 		return "prefetch-hit"
 	case PrefetchWasted:
 		return "prefetch-wasted"
+	case SubmittedBatch:
+		return "submitted-batch"
+	case RingDepth:
+		return "ring-depth"
+	case DirectFallback:
+		return "direct-fallback"
 	default:
 		return "unknown-event"
 	}

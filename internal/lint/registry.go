@@ -13,6 +13,10 @@ func Default(module string) []*Analyzer {
 			module + "/internal/engine",
 		}),
 		NewIoconfine([]string{
+			// internal/ssd covers the native Linux backend too: the raw
+			// io_uring/preadv/O_DIRECT syscalls in native_linux.go stay
+			// confined behind the PageDevice contract, so the allowlist
+			// needs no new entry for them.
 			module + "/internal/ssd",
 			module + "/internal/diskio",
 			module + "/internal/storage",

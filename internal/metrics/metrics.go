@@ -33,6 +33,12 @@ type Collector struct {
 	coalescedPages atomic.Int64 // pages covered by those reads
 	prefetchHits   atomic.Int64 // read-ahead completions whose data was consumed
 	prefetchWasted atomic.Int64 // read-ahead completions whose data was dropped
+
+	// Native-backend counters (DESIGN.md §14).
+	submittedBatches atomic.Int64 // io_uring_enter calls that pushed ≥1 SQE
+	batchedReads     atomic.Int64 // SQEs covered by those batches
+	ringDepth        atomic.Int64 // SQ entries of the active ring (0 = no ring)
+	directFallbacks  atomic.Int64 // O_DIRECT opens that fell back to buffered
 }
 
 // NewCollector returns an empty Collector.
@@ -78,6 +84,26 @@ func (c *Collector) AddPrefetchHits(n int64) { c.prefetchHits.Add(n) }
 // (cancellation or read failure before processing).
 func (c *Collector) AddPrefetchWasted(n int64) { c.prefetchWasted.Add(n) }
 
+// AddSubmittedBatch records one io_uring submission batch covering n SQEs.
+func (c *Collector) AddSubmittedBatch(n int64) {
+	c.submittedBatches.Add(1)
+	c.batchedReads.Add(n)
+}
+
+// SetRingDepth records the SQ-entry depth of the active completion ring.
+// The maximum sticks, so a run over several devices reports the deepest.
+func (c *Collector) SetRingDepth(n int64) {
+	for {
+		cur := c.ringDepth.Load()
+		if n <= cur || c.ringDepth.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// AddDirectFallbacks records n O_DIRECT opens that fell back to buffered I/O.
+func (c *Collector) AddDirectFallbacks(n int64) { c.directFallbacks.Add(n) }
+
 // AddIOWait records d spent blocked waiting for I/O.
 func (c *Collector) AddIOWait(d time.Duration) { c.ioWait.Add(int64(d)) }
 
@@ -110,6 +136,12 @@ func (c *Collector) Event(e events.Event) {
 		c.AddPrefetchHits(e.N)
 	case events.PrefetchWasted:
 		c.AddPrefetchWasted(e.N)
+	case events.SubmittedBatch:
+		c.AddSubmittedBatch(e.N)
+	case events.RingDepth:
+		c.SetRingDepth(e.N)
+	case events.DirectFallback:
+		c.AddDirectFallbacks(e.N)
 	}
 }
 
@@ -156,6 +188,18 @@ func (c *Collector) PrefetchHits() int64 { return c.prefetchHits.Load() }
 // PrefetchWasted returns the read-ahead completions whose data was dropped.
 func (c *Collector) PrefetchWasted() int64 { return c.prefetchWasted.Load() }
 
+// SubmittedBatches returns the number of io_uring submission batches.
+func (c *Collector) SubmittedBatches() int64 { return c.submittedBatches.Load() }
+
+// BatchedReads returns the SQEs covered by submission batches.
+func (c *Collector) BatchedReads() int64 { return c.batchedReads.Load() }
+
+// RingDepth returns the deepest completion ring observed (0 = no ring).
+func (c *Collector) RingDepth() int64 { return c.ringDepth.Load() }
+
+// DirectFallbacks returns the O_DIRECT opens that fell back to buffered I/O.
+func (c *Collector) DirectFallbacks() int64 { return c.directFallbacks.Load() }
+
 // IOWait returns the total time spent blocked on I/O.
 func (c *Collector) IOWait() time.Duration { return time.Duration(c.ioWait.Load()) }
 
@@ -190,6 +234,10 @@ func (c *Collector) Reset() {
 	c.coalescedPages.Store(0)
 	c.prefetchHits.Store(0)
 	c.prefetchWasted.Store(0)
+	c.submittedBatches.Store(0)
+	c.batchedReads.Store(0)
+	c.ringDepth.Store(0)
+	c.directFallbacks.Store(0)
 }
 
 // Snapshot is an immutable copy of a Collector's counters. The JSON tags
@@ -210,6 +258,12 @@ type Snapshot struct {
 	CoalescedPages int64         `json:"coalesced_pages"`
 	PrefetchHits   int64         `json:"prefetch_hits"`
 	PrefetchWasted int64         `json:"prefetch_wasted"`
+
+	SubmittedBatches int64 `json:"submitted_batches"`
+	BatchedReads     int64 `json:"batched_reads"`
+	RingDepth        int64 `json:"ring_depth"`
+	DirectFallbacks  int64 `json:"direct_fallbacks"`
+
 	IOWait         time.Duration `json:"io_wait_ns"`
 	ParallelWork   time.Duration `json:"parallel_work_ns"`
 	SerialWork     time.Duration `json:"serial_work_ns"`
@@ -232,6 +286,12 @@ func (c *Collector) Snapshot() Snapshot {
 		CoalescedPages: c.coalescedPages.Load(),
 		PrefetchHits:   c.prefetchHits.Load(),
 		PrefetchWasted: c.prefetchWasted.Load(),
+
+		SubmittedBatches: c.submittedBatches.Load(),
+		BatchedReads:     c.batchedReads.Load(),
+		RingDepth:        c.ringDepth.Load(),
+		DirectFallbacks:  c.directFallbacks.Load(),
+
 		IOWait:         time.Duration(c.ioWait.Load()),
 		ParallelWork:   time.Duration(c.parallelWork.Load()),
 		SerialWork:     time.Duration(c.serialWork.Load()),
@@ -240,9 +300,14 @@ func (c *Collector) Snapshot() Snapshot {
 
 // String formats the snapshot for logs and experiment output.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("reads=%d writes=%d async=%d sync=%d ops=%d tri=%d reused=%d coalesced=%d(%dp) prefetch=%d/%dw iowait=%v",
+	out := fmt.Sprintf("reads=%d writes=%d async=%d sync=%d ops=%d tri=%d reused=%d coalesced=%d(%dp) prefetch=%d/%dw iowait=%v",
 		s.PagesRead, s.PagesWritten, s.AsyncReads, s.SyncReads, s.IntersectOps, s.Triangles, s.ReusedPages,
 		s.CoalescedReads, s.CoalescedPages, s.PrefetchHits, s.PrefetchWasted, s.IOWait)
+	if s.RingDepth > 0 || s.SubmittedBatches > 0 || s.DirectFallbacks > 0 {
+		out += fmt.Sprintf(" ring=%d batches=%d(%dr) directfb=%d",
+			s.RingDepth, s.SubmittedBatches, s.BatchedReads, s.DirectFallbacks)
+	}
+	return out
 }
 
 // AmdahlBound returns the theoretical speed-up upper bound 1/((1-p)+p/c) for

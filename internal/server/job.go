@@ -79,6 +79,10 @@ type Spec struct {
 	// named page codec; unknown names are rejected at admission and a
 	// mismatch fails the run.
 	Codec string `json:"codec,omitempty"`
+	// Backend selects the device backend the job's store is opened through
+	// ("portable", "native", "auto"; empty resolves via OPT_BACKEND then
+	// portable). Unknown names are rejected at admission.
+	Backend string `json:"backend,omitempty"`
 }
 
 // engineOptions translates the spec into engine.Options (without an event
@@ -93,6 +97,7 @@ func (s Spec) engineOptions() (engine.Options, error) {
 		PrefetchDepth:    s.PrefetchDepth,
 		CollectIterStats: s.CollectIterStats,
 		Codec:            s.Codec,
+		Backend:          s.Backend,
 	}
 	switch s.Model {
 	case "", "edge":
@@ -125,9 +130,9 @@ func (s Spec) timeout() (time.Duration, error) {
 // path (not the client's spelling) anchors the key.
 func (s Spec) digest(storePath string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00%d\x00%v\x00%d\x00%d\x00%d\x00%v\x00%s",
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00%d\x00%v\x00%d\x00%d\x00%d\x00%v\x00%s\x00%s",
 		storePath, s.Algorithm, s.Model, s.Threads, s.MemoryPages, s.MemoryFraction,
-		s.QueueDepth, s.MaxCoalescePages, s.PrefetchDepth, s.CollectIterStats, s.Codec)
+		s.QueueDepth, s.MaxCoalescePages, s.PrefetchDepth, s.CollectIterStats, s.Codec, s.Backend)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -20,6 +20,7 @@ import (
 	"github.com/optlab/opt/internal/engine"
 	"github.com/optlab/opt/internal/events"
 	"github.com/optlab/opt/internal/metrics"
+	"github.com/optlab/opt/internal/ssd"
 	"github.com/optlab/opt/internal/storage"
 )
 
@@ -391,7 +392,13 @@ func (m *Manager) run(job *Job) {
 		job.finish(StateFailed, nil, err)
 		return
 	}
-	dev, err := st.Device()
+	b, err := ssd.ParseBackend(job.Spec.Backend)
+	if err != nil {
+		// Unreachable after admission validation; belt and braces.
+		job.finish(StateFailed, nil, fmt.Errorf("server: job %s: %w", job.ID, err))
+		return
+	}
+	dev, err := st.DeviceBackend(b)
 	if err != nil {
 		job.finish(StateFailed, nil, fmt.Errorf("server: job %s opening device: %w", job.ID, err))
 		return

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/optlab/opt/internal/buffer/arena"
 	"github.com/optlab/opt/internal/events"
 	"github.com/optlab/opt/internal/metrics"
 )
@@ -29,6 +30,9 @@ type AsyncOptions struct {
 	// requests), modelling FlashSSD internal parallelism. Default 8.
 	QueueDepth int
 	// Latency is the simulated latency model. Zero disables simulation.
+	// A non-zero model forces the worker-pool engine even over a ring
+	// device: simulated per-channel latency and kernel completion order
+	// cannot coexist.
 	Latency Latency
 	// Metrics, if non-nil, receives page-read/write and async counters.
 	Metrics *metrics.Collector
@@ -38,7 +42,8 @@ type AsyncOptions struct {
 	// the synchronous paths fail fast. Defaults to context.Background().
 	Context context.Context
 	// Events, if non-nil, receives PagesRead/PagesWritten progress events
-	// per completed request.
+	// per completed request, plus the native-backend kinds
+	// (SubmittedBatch/RingDepth/DirectFallback) where they apply.
 	Events events.Sink
 }
 
@@ -47,17 +52,49 @@ type request struct {
 	first uint32
 	count int
 	write []byte // nil for reads
+	owned bool   // caller recycles the buffer (AsyncReadOwned)
 	cb    func(data []byte, err error)
 }
 
+// ringDevice is the kernel-completion-ring contract the native Linux
+// device offers (native_linux.go). The submitter goroutine owns
+// PrepareRead/Submit/SubmitNop; the reaper goroutine owns WaitCQE.
+type ringDevice interface {
+	RingEnabled() bool
+	RingSlots() int
+	PrepareRead(tag uint64, buf []byte, first uint32, count int) error
+	Submit() (int, error)
+	SubmitNop(tag uint64) error
+	WaitCQE() (tag uint64, n int, err error, ok bool)
+}
+
+// nopTag is the reserved user_data value of the shutdown no-op; request
+// tags are slot indices, far below it.
+const nopTag = ^uint64(0)
+
 // AsyncDevice adds AsyncRead/AsyncWrite semantics on top of a PageDevice.
 //
-// Requests enter an unbounded submission queue drained by QueueDepth worker
-// goroutines (the device channels). Each completion is handed, in completion
-// order, to a single dispatcher goroutine that runs the registered callback —
-// the role the paper assigns to the callback thread. Callbacks may submit
-// further asynchronous requests (Algorithm 9 lines 9–13) without deadlock
-// because the submission queue is unbounded.
+// Requests enter an unbounded submission queue. Two engines can drain it:
+//
+//   - The portable worker pool: QueueDepth worker goroutines (the device
+//     channels) perform the reads, each through its own latency throttle.
+//   - The ring engine, when the backing device is a native Linux device
+//     with a live io_uring and no simulated latency: one submitter
+//     goroutine stages batched SQEs and one reaper goroutine collects
+//     CQEs, so a whole burst of coalesced reads costs one syscall.
+//
+// Either way each completion is handed, in completion order, to a single
+// dispatcher goroutine that runs the registered callback — the role the
+// paper assigns to the callback thread. Callbacks may submit further
+// asynchronous requests (Algorithm 9 lines 9–13) without deadlock because
+// the submission queue is unbounded.
+//
+// Buffer lifetime: when the backing device supports allocation-free reads
+// (IntoReader), read buffers come from an aligned arena and are recycled
+// as soon as the callback returns. The data slice passed to a callback is
+// therefore valid only for the duration of the callback; callers that need
+// the bytes longer either copy or submit through AsyncReadOwned, whose
+// buffer survives the callback until handed back via Recycle.
 type AsyncDevice struct {
 	dev     PageDevice
 	opts    AsyncOptions
@@ -65,8 +102,19 @@ type AsyncDevice struct {
 	done    chan struct{}
 	compl   chan completion
 	pending sync.WaitGroup
-	workers sync.WaitGroup // worker + dispatcher goroutines, joined by Close
+	workers sync.WaitGroup // worker/ring + dispatcher goroutines, joined by Close
 	once    sync.Once
+
+	// Allocation-free read path: set when dev implements IntoReader.
+	into IntoReader
+	pool *arena.Arena
+
+	// Ring engine: set when dev is a ringDevice with a live ring and the
+	// latency model is zero.
+	ring         ringDevice
+	slots        *ringSlots
+	slotFree     chan uint64
+	ringShutdown atomic.Bool
 
 	// Request accounting: submissions and retirements of asynchronous
 	// requests, exposed so schedulers and tests can observe the in-flight
@@ -79,9 +127,10 @@ type AsyncDevice struct {
 }
 
 type completion struct {
-	data []byte
-	err  error
-	cb   func(data []byte, err error)
+	data    []byte
+	err     error
+	cb      func(data []byte, err error)
+	recycle []byte // arena buffer to release once cb has returned
 }
 
 // NewAsyncDevice starts the device channels and the callback dispatcher.
@@ -100,9 +149,38 @@ func NewAsyncDevice(dev PageDevice, opts AsyncOptions) *AsyncDevice {
 		done:  make(chan struct{}),
 		compl: make(chan completion, opts.QueueDepth*2),
 	}
-	for i := 0; i < opts.QueueDepth; i++ {
-		d.workers.Add(1)
-		go d.worker()
+	d.into, _ = dev.(IntoReader)
+	if d.into != nil {
+		d.pool = arena.New(DirectAlign)
+	}
+	if ip, ok := dev.(InfoProvider); ok {
+		if info := ip.BackendInfo(); info.Backend == BackendNative && !info.Direct {
+			d.emit(events.DirectFallback, 1)
+			if m := opts.Metrics; m != nil {
+				m.AddDirectFallbacks(1)
+			}
+		}
+	}
+	if rd, ok := dev.(ringDevice); ok && rd.RingEnabled() && d.into != nil && opts.Latency == (Latency{}) {
+		d.ring = rd
+		n := rd.RingSlots()
+		d.slots = &ringSlots{entries: make([]slotEntry, n)}
+		d.slotFree = make(chan uint64, n)
+		for i := 0; i < n; i++ {
+			d.slotFree <- uint64(i)
+		}
+		d.emit(events.RingDepth, int64(n))
+		if m := opts.Metrics; m != nil {
+			m.SetRingDepth(int64(n))
+		}
+		d.workers.Add(2)
+		go d.ringSubmitter()
+		go d.ringReaper()
+	} else {
+		for i := 0; i < opts.QueueDepth; i++ {
+			d.workers.Add(1)
+			go d.worker()
+		}
 	}
 	d.workers.Add(1)
 	go d.dispatcher()
@@ -118,9 +196,14 @@ func (d *AsyncDevice) NumPages() uint32 { return d.dev.NumPages() }
 // Metrics returns the collector, which may be nil.
 func (d *AsyncDevice) Metrics() *metrics.Collector { return d.opts.Metrics }
 
+// RingActive reports whether the io_uring engine is driving this device.
+func (d *AsyncDevice) RingActive() bool { return d.ring != nil }
+
 // AsyncRead submits an asynchronous read of count pages starting at first.
 // cb runs on the callback dispatcher goroutine when the read completes; it
-// corresponds to AsyncRead(pid, Callback, Args) in the paper.
+// corresponds to AsyncRead(pid, Callback, Args) in the paper. The data
+// slice is valid only until cb returns (see the buffer-lifetime note on
+// AsyncDevice).
 func (d *AsyncDevice) AsyncRead(first uint32, count int, cb func(data []byte, err error)) {
 	if m := d.opts.Metrics; m != nil {
 		m.AddAsyncReads(1)
@@ -130,15 +213,38 @@ func (d *AsyncDevice) AsyncRead(first uint32, count int, cb func(data []byte, er
 	d.queue.push(request{first: first, count: count, cb: cb})
 }
 
+// AsyncReadOwned is AsyncRead with caller-managed buffer lifetime: the
+// data slice stays valid after the callback returns, and the caller must
+// hand it back through Recycle once every consumer is done with it. The
+// I/O scheduler uses it for coalesced reads whose segments are decoded on
+// worker goroutines after the completion callback has moved on.
+func (d *AsyncDevice) AsyncReadOwned(first uint32, count int, cb func(data []byte, err error)) {
+	if m := d.opts.Metrics; m != nil {
+		m.AddAsyncReads(1)
+	}
+	d.submitted.Add(1)
+	d.pending.Add(1)
+	d.queue.push(request{first: first, count: count, owned: true, cb: cb})
+}
+
+// Recycle returns a buffer delivered by an AsyncReadOwned callback to the
+// device's arena. nil and foreign buffers are ignored, so error-path and
+// portable-path callers need no guards.
+func (d *AsyncDevice) Recycle(data []byte) {
+	if d.pool != nil && data != nil {
+		d.pool.Release(data)
+	}
+}
+
 // AsyncReadScatter submits one asynchronous vectored read covering
 // len(spans) consecutive page runs: segment i spans spans[i] pages and
 // begins where segment i-1 ends, with segment 0 starting at page first.
 // The device performs a single read of the whole range (one submission,
-// one latency charge); on completion cb runs once per segment, in segment
-// order, on the callback dispatcher, each receiving a sub-slice of the one
-// read buffer — no copy. A failed read invokes cb for every segment with a
-// nil data slice and the read's error, so each constituent fails exactly
-// once.
+// one latency charge; one SQE on the ring engine); on completion cb runs
+// once per segment, in segment order, on the callback dispatcher, each
+// receiving a sub-slice of the one read buffer — no copy. A failed read
+// invokes cb for every segment with a nil data slice and the read's error,
+// so each constituent fails exactly once.
 func (d *AsyncDevice) AsyncReadScatter(first uint32, spans []int, cb func(seg int, data []byte, err error)) {
 	total := 0
 	for _, s := range spans {
@@ -256,6 +362,7 @@ func (d *AsyncDevice) worker() {
 	// Each worker is one device channel with its own latency throttle, so
 	// aggregate throughput scales with QueueDepth as real NCQ channels do.
 	var th Throttle
+	pageSize := d.dev.PageSize()
 	for {
 		req, ok := d.queue.pop()
 		if !ok {
@@ -273,13 +380,13 @@ func (d *AsyncDevice) worker() {
 			continue
 		}
 		if req.write != nil {
-			th.Charge(d.opts.Latency.Cost(len(req.write) / d.dev.PageSize()))
+			th.Charge(d.opts.Latency.Cost(len(req.write) / pageSize))
 			err := d.dev.WritePages(req.first, req.write)
 			if err == nil {
 				if m := d.opts.Metrics; m != nil {
-					m.AddPagesWritten(int64(len(req.write) / d.dev.PageSize()))
+					m.AddPagesWritten(int64(len(req.write) / pageSize))
 				}
-				d.emit(events.PagesWritten, int64(len(req.write)/d.dev.PageSize()))
+				d.emit(events.PagesWritten, int64(len(req.write)/pageSize))
 			}
 			if req.cb != nil {
 				d.compl <- completion{data: nil, err: err, cb: req.cb}
@@ -289,33 +396,260 @@ func (d *AsyncDevice) worker() {
 			continue
 		}
 		th.Charge(d.opts.Latency.Cost(req.count))
-		data, err := d.dev.ReadPages(req.first, req.count)
+		var data, recycle []byte
+		var err error
+		if d.into != nil && req.count > 0 {
+			// Allocation-free path: read into a recycled arena buffer,
+			// returned to the arena once the callback has consumed it.
+			buf := d.pool.Acquire(req.count * pageSize)
+			if err = d.into.ReadPagesInto(buf, req.first, req.count); err != nil {
+				d.pool.Release(buf)
+			} else {
+				data = buf
+				if !req.owned {
+					recycle = buf
+				}
+			}
+		} else {
+			data, err = d.dev.ReadPages(req.first, req.count)
+		}
 		if err == nil {
 			if m := d.opts.Metrics; m != nil {
 				m.AddPagesRead(int64(req.count))
 			}
 			d.emit(events.PagesRead, int64(req.count))
 		}
-		d.compl <- completion{data: data, err: err, cb: req.cb}
+		d.compl <- completion{data: data, err: err, cb: req.cb, recycle: recycle}
+	}
+}
+
+// ringSlots correlates in-flight ring submissions (tag = slot index) with
+// their request and arena buffer. The submitter fills entries, the reaper
+// takes them; the mutex publishes the entry across that goroutine pair.
+type ringSlots struct {
+	mu      sync.Mutex
+	entries []slotEntry
+}
+
+type slotEntry struct {
+	req  request
+	buf  []byte
+	used bool
+}
+
+func (s *ringSlots) set(tag uint64, req request, buf []byte) {
+	s.mu.Lock()
+	s.entries[tag] = slotEntry{req: req, buf: buf, used: true}
+	s.mu.Unlock()
+}
+
+func (s *ringSlots) take(tag uint64) (slotEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tag >= uint64(len(s.entries)) || !s.entries[tag].used {
+		return slotEntry{}, false
+	}
+	e := s.entries[tag]
+	s.entries[tag] = slotEntry{}
+	return e, true
+}
+
+func (s *ringSlots) takeAll() []slotEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []slotEntry
+	for i := range s.entries {
+		if s.entries[i].used {
+			out = append(out, s.entries[i])
+			s.entries[i] = slotEntry{}
+		}
+	}
+	return out
+}
+
+// ringSubmitter is the ring engine's single SQ writer: it drains the
+// submission queue, stages one SQE per read, and batches everything
+// available into one io_uring_enter call — a burst of coalesced reads from
+// the I/O scheduler costs one syscall instead of one goroutine hop each.
+func (d *AsyncDevice) ringSubmitter() {
+	defer d.workers.Done()
+	for {
+		req, ok := d.queue.pop()
+		if !ok {
+			d.flushBatch()
+			d.ringShutdown.Store(true)
+			// Wake the reaper; outstanding CQEs were all collected because
+			// Close drains pending requests before closing the queue.
+			_ = d.ring.SubmitNop(nopTag)
+			return
+		}
+		for {
+			d.stageOne(req)
+			next, ok := d.queue.tryPop()
+			if !ok {
+				break
+			}
+			req = next
+		}
+		d.flushBatch()
+	}
+}
+
+// stageOne serves one request on the ring engine: reads become staged
+// SQEs; writes and cancellations complete synchronously, as on the worker
+// pool.
+func (d *AsyncDevice) stageOne(req request) {
+	if err := d.opts.Context.Err(); err != nil {
+		d.finish(completion{err: err, cb: req.cb})
+		return
+	}
+	pageSize := d.dev.PageSize()
+	if req.write != nil {
+		err := d.dev.WritePages(req.first, req.write)
+		if err == nil {
+			if m := d.opts.Metrics; m != nil {
+				m.AddPagesWritten(int64(len(req.write) / pageSize))
+			}
+			d.emit(events.PagesWritten, int64(len(req.write)/pageSize))
+		}
+		d.finish(completion{err: err, cb: req.cb})
+		return
+	}
+	if req.count <= 0 {
+		_, err := d.dev.ReadPages(req.first, req.count) // canonical range error
+		d.finish(completion{err: err, cb: req.cb})
+		return
+	}
+	slot := d.acquireSlot()
+	buf := d.pool.Acquire(req.count * pageSize)
+	if err := d.ring.PrepareRead(slot, buf, req.first, req.count); err != nil {
+		d.pool.Release(buf)
+		d.slotFree <- slot
+		d.finish(completion{err: err, cb: req.cb})
+		return
+	}
+	d.slots.set(slot, req, buf)
+}
+
+// acquireSlot returns a free submission slot, flushing the staged batch
+// first when it must block: staged reads have to reach the kernel before
+// the submitter waits on their completions for a slot.
+func (d *AsyncDevice) acquireSlot() uint64 {
+	select {
+	case s := <-d.slotFree:
+		return s
+	default:
+		d.flushBatch()
+		return <-d.slotFree
+	}
+}
+
+// flushBatch pushes every staged SQE to the kernel in one enter call. A
+// submit failure is only reachable once the ring fd is gone; the
+// outstanding slots are failed so nothing hangs.
+func (d *AsyncDevice) flushBatch() {
+	n, err := d.ring.Submit()
+	if n > 0 {
+		if m := d.opts.Metrics; m != nil {
+			m.AddSubmittedBatch(int64(n))
+		}
+		d.emit(events.SubmittedBatch, int64(n))
+	}
+	if err != nil {
+		for _, e := range d.slots.takeAll() {
+			d.pool.Release(e.buf)
+			d.finish(completion{err: err, cb: e.req.cb})
+		}
+	}
+}
+
+// finish hands one ring-engine completion to the dispatcher, honouring
+// callback-less requests the way the worker pool does.
+func (d *AsyncDevice) finish(c completion) {
+	if c.cb == nil {
+		if c.recycle != nil {
+			d.pool.Release(c.recycle)
+		}
+		d.retire()
+		return
+	}
+	d.compl <- c
+}
+
+// ringReaper is the ring engine's single CQ reader: it blocks in
+// io_uring_enter(GETEVENTS), correlates each CQE back to its request via
+// the slot table, and forwards the completion to the dispatcher.
+func (d *AsyncDevice) ringReaper() {
+	defer d.workers.Done()
+	pageSize := d.dev.PageSize()
+	for {
+		tag, n, err, ok := d.ring.WaitCQE()
+		if !ok {
+			// The ring died under us (fd closed mid-run). Fail whatever is
+			// outstanding so Drain and Close still unblock.
+			for _, e := range d.slots.takeAll() {
+				d.pool.Release(e.buf)
+				d.finish(completion{err: err, cb: e.req.cb})
+			}
+			return
+		}
+		if tag == nopTag {
+			if d.ringShutdown.Load() {
+				return
+			}
+			continue
+		}
+		e, valid := d.slots.take(tag)
+		if !valid {
+			continue
+		}
+		want := e.req.count * pageSize
+		if err == nil && n < want {
+			// Short ring read (racing truncation, signal). Re-read the
+			// whole range through preadv rather than patching the tail.
+			err = d.into.ReadPagesInto(e.buf[:want], e.req.first, e.req.count)
+		}
+		var data []byte
+		if err == nil {
+			data = e.buf[:want]
+			if m := d.opts.Metrics; m != nil {
+				m.AddPagesRead(int64(e.req.count))
+			}
+			d.emit(events.PagesRead, int64(e.req.count))
+		} else {
+			d.pool.Release(e.buf)
+			e.buf = nil
+		}
+		d.slotFree <- tag
+		recycle := e.buf
+		if e.req.owned {
+			recycle = nil
+		}
+		d.finish(completion{data: data, err: err, cb: e.req.cb, recycle: recycle})
 	}
 }
 
 // dispatcher is the callback thread: it executes completion callbacks
-// serially in completion order.
+// serially in completion order and recycles the read buffer afterwards.
 func (d *AsyncDevice) dispatcher() {
 	defer d.workers.Done()
+	run := func(c completion) {
+		c.cb(c.data, c.err)
+		if c.recycle != nil {
+			d.pool.Release(c.recycle)
+		}
+		d.retire()
+	}
 	for {
 		select {
 		case c := <-d.compl:
-			c.cb(c.data, c.err)
-			d.retire()
+			run(c)
 		case <-d.done:
 			// Drain anything that raced with shutdown.
 			for {
 				select {
 				case c := <-d.compl:
-					c.cb(c.data, c.err)
-					d.retire()
+					run(c)
 				default:
 					return
 				}
@@ -324,11 +658,14 @@ func (d *AsyncDevice) dispatcher() {
 	}
 }
 
-// reqQueue is an unbounded MPMC queue of requests.
+// reqQueue is an unbounded MPMC queue of requests. Consumed entries leave
+// the head index behind rather than re-slicing, so the backing array keeps
+// its capacity and a steady-state submit/complete loop stops allocating.
 type reqQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []request
+	head   int
 	closed bool
 }
 
@@ -348,18 +685,40 @@ func (q *reqQueue) push(r request) {
 	q.mu.Unlock()
 }
 
+// popLocked removes the head entry; callers hold q.mu and have checked
+// non-emptiness.
+func (q *reqQueue) popLocked() request {
+	r := q.items[q.head]
+	q.items[q.head] = request{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return r
+}
+
 func (q *reqQueue) pop() (request, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.head == len(q.items) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return request{}, false
 	}
-	r := q.items[0]
-	q.items = q.items[1:]
-	return r, true
+	return q.popLocked(), true
+}
+
+// tryPop pops without blocking; ok is false when the queue is momentarily
+// empty or closed. The ring submitter uses it to gather a batch.
+func (q *reqQueue) tryPop() (request, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		return request{}, false
+	}
+	return q.popLocked(), true
 }
 
 func (q *reqQueue) close() {

@@ -1,0 +1,103 @@
+package ssd
+
+import (
+	"fmt"
+	"os"
+)
+
+// Backend selects how file-backed devices reach the disk.
+type Backend string
+
+const (
+	// BackendPortable is the os.File positional-read device served by the
+	// AsyncDevice worker pool — the default, and the only backend whose
+	// behaviour is identical on every platform.
+	BackendPortable Backend = "portable"
+	// BackendNative is the Linux-native device: io_uring submission/
+	// completion rings when the kernel offers them, preadv otherwise, and
+	// O_DIRECT when the store layout permits. On non-Linux builds it opens
+	// the portable device (the build-tag stub).
+	BackendNative Backend = "native"
+	// BackendAuto picks BackendNative where the build supports it and
+	// BackendPortable elsewhere.
+	BackendAuto Backend = "auto"
+)
+
+// backendEnv is the environment variable consulted when no backend is set
+// explicitly, so CI can run the whole suite against the native backend
+// (OPT_BACKEND=native go test ./...) without threading a flag everywhere.
+const backendEnv = "OPT_BACKEND"
+
+// Backends lists the accepted backend names.
+func Backends() []string {
+	return []string{string(BackendPortable), string(BackendNative), string(BackendAuto)}
+}
+
+// ParseBackend validates a backend name. The empty string resolves through
+// the OPT_BACKEND environment variable and then defaults to portable.
+func ParseBackend(s string) (Backend, error) {
+	if s == "" {
+		s = os.Getenv(backendEnv)
+	}
+	switch Backend(s) {
+	case "":
+		return BackendPortable, nil
+	case BackendPortable, BackendNative, BackendAuto:
+		return Backend(s), nil
+	}
+	return "", fmt.Errorf("ssd: unknown backend %q (want portable, native or auto)", s)
+}
+
+// NativeAvailable reports whether this build carries the native Linux
+// backend. Off Linux the native and auto backends open portable devices.
+func NativeAvailable() bool { return nativeAvailable }
+
+// DirectAlign is the buffer, offset and length alignment the native backend
+// requires before it opens a file with O_DIRECT. 4096 covers every common
+// filesystem/device combination; 512-sector devices simply get stricter
+// alignment than they need.
+const DirectAlign = 4096
+
+// BackendInfo describes how an open device reaches the disk, for optinfo
+// and for the event layer's DirectFallback/RingDepth reporting.
+type BackendInfo struct {
+	// Backend is the engaged backend: portable or native. Auto resolves at
+	// open time and is never reported.
+	Backend Backend
+	// Direct reports whether the file is open with O_DIRECT.
+	// DirectReason says why not when it is not.
+	Direct       bool
+	DirectReason string
+	// Ring reports whether an io_uring completion ring is set up, with
+	// RingDepth SQ entries. RingReason says why not when it is not.
+	Ring       bool
+	RingDepth  int
+	RingReason string
+	// Align is the alignment direct I/O would require, in bytes.
+	Align int
+}
+
+// InfoProvider is implemented by devices that can describe their backend.
+type InfoProvider interface {
+	BackendInfo() BackendInfo
+}
+
+// OpenDeviceBackend opens path's page region — pages of pageSize bytes
+// starting at byte offset — through the selected backend. The empty backend
+// resolves like ParseBackend("").
+func OpenDeviceBackend(path string, offset int64, pageSize int, backend Backend) (PageDevice, error) {
+	b := backend
+	if b == "" {
+		var err error
+		if b, err = ParseBackend(""); err != nil {
+			return nil, err
+		}
+	}
+	switch b {
+	case BackendNative, BackendAuto:
+		return openNative(path, offset, pageSize)
+	case BackendPortable:
+		return OpenFileDevice(path, offset, pageSize)
+	}
+	return nil, fmt.Errorf("ssd: unknown backend %q (want portable, native or auto)", backend)
+}

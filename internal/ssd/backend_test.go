@@ -1,0 +1,87 @@
+package ssd
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBackend(t *testing.T) {
+	// The CI native-backend run exports OPT_BACKEND=native; this test is
+	// about the names themselves, so pin the env fallback to empty.
+	t.Setenv(backendEnv, "")
+	for _, tc := range []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"", BackendPortable, true},
+		{"portable", BackendPortable, true},
+		{"native", BackendNative, true},
+		{"auto", BackendAuto, true},
+		{"io_uring", "", false},
+		{"Portable", "", false},
+	} {
+		got, err := ParseBackend(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseBackend(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestParseBackendEnv(t *testing.T) {
+	t.Setenv(backendEnv, "native")
+	if got, err := ParseBackend(""); err != nil || got != BackendNative {
+		t.Fatalf("env native: got %q, %v", got, err)
+	}
+	// An explicit name beats the environment.
+	if got, err := ParseBackend("portable"); err != nil || got != BackendPortable {
+		t.Fatalf("explicit beats env: got %q, %v", got, err)
+	}
+	t.Setenv(backendEnv, "bogus")
+	if _, err := ParseBackend(""); err == nil {
+		t.Fatal("bogus env value: want error")
+	}
+}
+
+// TestOpenDeviceBackend exercises every backend name on every platform:
+// off Linux the native/auto opens are served by the portable stub, which
+// is exactly the contract `go test ./...` relies on there.
+func TestOpenDeviceBackend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.bin")
+	content := bytes.Repeat([]byte{7}, 100+4*128)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Backend{"", BackendPortable, BackendNative, BackendAuto} {
+		d, err := OpenDeviceBackend(path, 100, 128, b)
+		if err != nil {
+			t.Fatalf("backend %q: %v", b, err)
+		}
+		if d.NumPages() != 4 || d.PageSize() != 128 {
+			t.Fatalf("backend %q: %d pages of %d", b, d.NumPages(), d.PageSize())
+		}
+		got, err := d.ReadPages(1, 2)
+		if err != nil {
+			t.Fatalf("backend %q read: %v", b, err)
+		}
+		if !bytes.Equal(got, content[100+128:100+3*128]) {
+			t.Fatalf("backend %q content wrong", b)
+		}
+		ip, ok := d.(InfoProvider)
+		if !ok {
+			t.Fatalf("backend %q: %T is not an InfoProvider", b, d)
+		}
+		info := ip.BackendInfo()
+		if info.Backend != BackendPortable && info.Backend != BackendNative {
+			t.Fatalf("backend %q: info reports %q", b, info.Backend)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatalf("backend %q close: %v", b, err)
+		}
+	}
+	if _, err := OpenDeviceBackend(path, 100, 128, "bogus"); err == nil {
+		t.Fatal("bogus backend: want error")
+	}
+}

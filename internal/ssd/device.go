@@ -22,6 +22,7 @@ package ssd
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // PageDevice is synchronous page-granular storage.
@@ -40,16 +41,31 @@ type PageDevice interface {
 	Close() error
 }
 
+// IntoReader is the allocation-free read contract. Devices that implement
+// it read into a caller-supplied buffer instead of allocating one per call,
+// letting AsyncDevice recycle aligned buffers through an arena. buf must
+// hold at least count*PageSize() bytes; only the first count*PageSize()
+// bytes are written.
+type IntoReader interface {
+	ReadPagesInto(buf []byte, first uint32, count int) error
+}
+
 // Common device errors.
 var (
 	ErrOutOfRange = errors.New("ssd: page out of range")
 	ErrClosed     = errors.New("ssd: device closed")
+	// ErrTooManyPages reports a backing file whose page count does not fit
+	// the uint32 page-address space; opening such a file must fail instead
+	// of silently truncating the count.
+	ErrTooManyPages = errors.New("ssd: page count exceeds uint32 address space")
 )
 
 // MemDevice is an in-memory PageDevice used by tests and by experiments
-// whose I/O is fully simulated.
+// whose I/O is fully simulated. It is safe for concurrent use: the async
+// layer's device channels read while a writer extends the store.
 type MemDevice struct {
 	pageSize int
+	mu       sync.RWMutex
 	data     []byte
 	closed   bool
 }
@@ -66,10 +82,16 @@ func NewMemDevice(pageSize int) *MemDevice {
 func (d *MemDevice) PageSize() int { return d.pageSize }
 
 // NumPages implements PageDevice.
-func (d *MemDevice) NumPages() uint32 { return uint32(len(d.data) / d.pageSize) }
+func (d *MemDevice) NumPages() uint32 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return uint32(len(d.data) / d.pageSize)
+}
 
 // ReadPages implements PageDevice.
 func (d *MemDevice) ReadPages(first uint32, count int) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return nil, ErrClosed
 	}
@@ -79,15 +101,39 @@ func (d *MemDevice) ReadPages(first uint32, count int) ([]byte, error) {
 	start := int64(first) * int64(d.pageSize)
 	end := start + int64(count)*int64(d.pageSize)
 	if end > int64(len(d.data)) {
-		return nil, fmt.Errorf("%w: pages [%d, %d) of %d", ErrOutOfRange, first, int64(first)+int64(count), d.NumPages())
+		return nil, fmt.Errorf("%w: pages [%d, %d) of %d", ErrOutOfRange, first, int64(first)+int64(count), uint32(len(d.data)/d.pageSize))
 	}
 	out := make([]byte, end-start)
 	copy(out, d.data[start:end])
 	return out, nil
 }
 
+// ReadPagesInto implements IntoReader.
+func (d *MemDevice) ReadPagesInto(buf []byte, first uint32, count int) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if count <= 0 {
+		return fmt.Errorf("%w: count %d", ErrOutOfRange, count)
+	}
+	start := int64(first) * int64(d.pageSize)
+	end := start + int64(count)*int64(d.pageSize)
+	if end > int64(len(d.data)) {
+		return fmt.Errorf("%w: pages [%d, %d) of %d", ErrOutOfRange, first, int64(first)+int64(count), uint32(len(d.data)/d.pageSize))
+	}
+	if want := int(end - start); len(buf) < want {
+		return fmt.Errorf("ssd: read buffer of %d bytes, want %d", len(buf), want)
+	}
+	copy(buf, d.data[start:end])
+	return nil
+}
+
 // WritePages implements PageDevice, extending the device as needed.
 func (d *MemDevice) WritePages(first uint32, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
@@ -107,6 +153,8 @@ func (d *MemDevice) WritePages(first uint32, data []byte) error {
 
 // Close implements PageDevice.
 func (d *MemDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.closed = true
 	return nil
 }

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package ssd
+
+import "errors"
+
+// EvictCache is the non-Linux stub: there is no portable way to drop a
+// file's page-cache contents, so callers fall back to warm-cache numbers
+// and should say so.
+func EvictCache(path string) error {
+	return errors.New("ssd: page-cache eviction unsupported on this platform")
+}

@@ -26,19 +26,52 @@ type FaultyDevice struct {
 	reads atomic.Int64
 }
 
-// ReadPages implements PageDevice with fault injection.
-func (d *FaultyDevice) ReadPages(first uint32, count int) ([]byte, error) {
+// inject counts one read and reports whether the schedule fails it.
+func (d *FaultyDevice) inject(first uint32, count int) bool {
 	n := d.reads.Add(1)
 	if d.FailEveryN > 0 && n%d.FailEveryN == 0 {
-		return nil, ErrInjected
+		return true
 	}
 	if d.FailAt > 0 && n == d.FailAt {
-		return nil, ErrInjected
+		return true
 	}
-	if d.FailPageSet && first <= d.FailPage && d.FailPage < first+uint32(count) {
+	return d.FailPageSet && first <= d.FailPage && d.FailPage < first+uint32(count)
+}
+
+// ReadPages implements PageDevice with fault injection.
+func (d *FaultyDevice) ReadPages(first uint32, count int) ([]byte, error) {
+	if d.inject(first, count) {
 		return nil, ErrInjected
 	}
 	return d.PageDevice.ReadPages(first, count)
+}
+
+// ReadPagesInto forwards to the wrapped device's IntoReader under the same
+// fault schedule, so the allocation-free read path stays fault-testable.
+// When the wrapped device does not implement IntoReader the call falls back
+// to ReadPages plus a copy.
+func (d *FaultyDevice) ReadPagesInto(buf []byte, first uint32, count int) error {
+	if d.inject(first, count) {
+		return ErrInjected
+	}
+	if ir, ok := d.PageDevice.(IntoReader); ok {
+		return ir.ReadPagesInto(buf, first, count)
+	}
+	data, err := d.PageDevice.ReadPages(first, count)
+	if err != nil {
+		return err
+	}
+	copy(buf, data)
+	return nil
+}
+
+// BackendInfo forwards the wrapped device's backend description, defaulting
+// to the portable backend when the device does not describe itself.
+func (d *FaultyDevice) BackendInfo() BackendInfo {
+	if ip, ok := d.PageDevice.(InfoProvider); ok {
+		return ip.BackendInfo()
+	}
+	return BackendInfo{Backend: BackendPortable}
 }
 
 // Reads returns the number of read calls observed.

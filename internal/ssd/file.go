@@ -2,6 +2,7 @@ package ssd
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"sync"
 )
@@ -47,6 +48,12 @@ func OpenFileDevice(path string, offset int64, pageSize int) (*FileDevice, error
 	if n < 0 {
 		n = 0
 	}
+	// Page addresses are uint32; a count that does not fit would silently
+	// wrap under a bare conversion, making the device lie about its size.
+	if n > math.MaxUint32 {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s holds %d pages of %d bytes", ErrTooManyPages, path, n, pageSize)
+	}
 	return NewFileDevice(f, offset, pageSize, uint32(n), true), nil
 }
 
@@ -77,6 +84,35 @@ func (d *FileDevice) ReadPages(first uint32, count int) ([]byte, error) {
 		return nil, fmt.Errorf("ssd: read pages [%d,+%d): %w", first, count, err)
 	}
 	return buf, nil
+}
+
+// ReadPagesInto implements IntoReader: the same positional read as
+// ReadPages, but into a caller-supplied buffer so the async layer can
+// recycle buffers instead of allocating one per coalesced read.
+func (d *FileDevice) ReadPagesInto(buf []byte, first uint32, count int) error {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return ErrClosed
+	}
+	n := d.numPages
+	d.mu.RUnlock()
+	if count <= 0 || int64(first)+int64(count) > int64(n) {
+		return fmt.Errorf("%w: pages [%d, %d) of %d", ErrOutOfRange, first, int64(first)+int64(count), n)
+	}
+	want := count * d.pageSize
+	if len(buf) < want {
+		return fmt.Errorf("ssd: read buffer of %d bytes, want %d", len(buf), want)
+	}
+	if _, err := d.f.ReadAt(buf[:want], d.offset+int64(first)*int64(d.pageSize)); err != nil {
+		return fmt.Errorf("ssd: read pages [%d,+%d): %w", first, count, err)
+	}
+	return nil
+}
+
+// BackendInfo implements InfoProvider for the portable backend.
+func (d *FileDevice) BackendInfo() BackendInfo {
+	return BackendInfo{Backend: BackendPortable}
 }
 
 // WritePages implements PageDevice.

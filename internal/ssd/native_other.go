@@ -1,0 +1,12 @@
+//go:build !linux
+
+package ssd
+
+const nativeAvailable = false
+
+// openNative stubs the native backend off Linux: the native and auto
+// backends open the portable FileDevice, so callers never need their own
+// platform switch and `go test ./...` stays green on every OS.
+func openNative(path string, offset int64, pageSize int) (PageDevice, error) {
+	return OpenFileDevice(path, offset, pageSize)
+}

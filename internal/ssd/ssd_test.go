@@ -367,3 +367,163 @@ func TestAsyncCloseIdempotent(t *testing.T) {
 	d.Close()
 	d.Close()
 }
+
+// sparseFile creates a file of the given size without materialising its
+// blocks, so the 2^32-page boundary is reachable with page size 1.
+func sparseFile(t *testing.T, size int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sparse.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		t.Skipf("cannot create %d-byte sparse file: %v", size, err)
+	}
+	return path
+}
+
+// TestOpenFileDevicePageCountBoundary pins the fix for the uint32
+// truncation bug: a file holding exactly MaxUint32 pages opens with the
+// true count, and one page more is rejected with ErrTooManyPages instead
+// of silently wrapping to a tiny device.
+func TestOpenFileDevicePageCountBoundary(t *testing.T) {
+	const maxPages = int64(1) << 32
+
+	path := sparseFile(t, maxPages-1) // 2^32-1 one-byte pages: last valid size
+	d, err := OpenFileDevice(path, 0, 1)
+	if err != nil {
+		t.Fatalf("open at boundary: %v", err)
+	}
+	if got := d.NumPages(); got != 1<<32-1 {
+		t.Fatalf("NumPages = %d, want %d", got, int64(1)<<32-1)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path = sparseFile(t, maxPages) // 2^32 pages: one past the address space
+	if _, err := OpenFileDevice(path, 0, 1); !errors.Is(err, ErrTooManyPages) {
+		t.Fatalf("open past boundary: err = %v, want ErrTooManyPages", err)
+	}
+}
+
+func TestReadPagesInto(t *testing.T) {
+	devices := map[string]PageDevice{}
+	mem := NewMemDevice(64)
+	fillPages(t, mem, 8)
+	devices["mem"] = mem
+	path := filepath.Join(t.TempDir(), "pages.bin")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := NewFileDevice(f, 0, 64, 0, true)
+	defer func() { _ = fd.Close() }()
+	fillPages(t, fd, 8)
+	devices["file"] = fd
+
+	for name, d := range devices {
+		t.Run(name, func(t *testing.T) {
+			ir, ok := d.(IntoReader)
+			if !ok {
+				t.Fatalf("%T does not implement IntoReader", d)
+			}
+			buf := make([]byte, 3*64)
+			if err := ir.ReadPagesInto(buf, 2, 3); err != nil {
+				t.Fatal(err)
+			}
+			want, err := d.ReadPages(2, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatal("ReadPagesInto content differs from ReadPages")
+			}
+			// Oversized buffers are allowed; only the prefix is written.
+			big := make([]byte, 4*64)
+			big[3*64] = 0xEE
+			if err := ir.ReadPagesInto(big, 2, 3); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(big[:3*64], want) || big[3*64] != 0xEE {
+				t.Fatal("oversized buffer mishandled")
+			}
+			if err := ir.ReadPagesInto(make([]byte, 64), 2, 3); err == nil {
+				t.Fatal("short buffer: want error")
+			}
+			if err := ir.ReadPagesInto(buf, 7, 3); !errors.Is(err, ErrOutOfRange) {
+				t.Fatalf("out of range: err = %v, want ErrOutOfRange", err)
+			}
+			if err := ir.ReadPagesInto(buf, 0, 0); !errors.Is(err, ErrOutOfRange) {
+				t.Fatalf("count=0: err = %v, want ErrOutOfRange", err)
+			}
+		})
+	}
+}
+
+func TestFaultyDeviceReadPagesInto(t *testing.T) {
+	mem := NewMemDevice(64)
+	fillPages(t, mem, 8)
+	fd := &FaultyDevice{PageDevice: mem, FailAt: 2}
+	buf := make([]byte, 64)
+	if err := fd.ReadPagesInto(buf, 0, 1); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if err := fd.ReadPagesInto(buf, 1, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2: err = %v, want ErrInjected", err)
+	}
+	if err := fd.ReadPagesInto(buf, 2, 1); err != nil {
+		t.Fatalf("read 3: %v", err)
+	}
+	if buf[0] != 2 {
+		t.Fatalf("content after faults = %d, want 2", buf[0])
+	}
+	if fd.Reads() != 3 {
+		t.Fatalf("Reads = %d, want 3", fd.Reads())
+	}
+}
+
+// TestAsyncReadSteadyStateAllocs pins the satellite win: with an
+// IntoReader underneath, the async read loop recycles arena buffers and
+// the submit→read→callback cycle stops allocating once warm.
+func TestAsyncReadSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not stable under the race detector")
+	}
+	path := filepath.Join(t.TempDir(), "pages.bin")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := NewFileDevice(f, 0, 512, 0, true)
+	defer func() { _ = fd.Close() }()
+	fillPages(t, fd, 64)
+	d := NewAsyncDevice(fd, AsyncOptions{QueueDepth: 2})
+	defer d.Close()
+
+	var bad atomic.Int64
+	cb := func(data []byte, err error) {
+		if err != nil || len(data) != 4*512 {
+			bad.Add(1)
+		}
+	}
+	warm := func() {
+		for p := uint32(0); p+4 <= 64; p += 4 {
+			d.AsyncRead(p, 4, cb)
+		}
+		d.Drain()
+	}
+	warm()
+	avg := testing.AllocsPerRun(50, warm)
+	if bad.Load() != 0 {
+		t.Fatalf("%d callbacks saw errors or short data", bad.Load())
+	}
+	// 16 reads per run; allow a fraction of an alloc/run for incidental
+	// runtime noise (goroutine stack growth, timer churn), but the per-read
+	// make([]byte) of the old path (≥16/run) must be gone.
+	if avg > 2 {
+		t.Fatalf("steady-state allocs per 16-read run = %v, want ≤ 2", avg)
+	}
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"os"
@@ -10,6 +11,7 @@ import (
 
 	"github.com/optlab/opt/internal/gen"
 	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/ssd"
 )
 
 // codecNames is the codec axis shared by the parameterized tests.
@@ -366,5 +368,107 @@ func TestAlignedRangeClampsToStore(t *testing.T) {
 	last := s.NumPages - 1
 	if got := s.AlignedRange(last, 16); got < 1 || got > int(s.NumPages-last) {
 		t.Fatalf("AlignedRange at tail = %d", got)
+	}
+}
+
+// TestStoreDataAligned pins the v2 layout's O_DIRECT eligibility: both
+// writers must land the data region on an ssd.DirectAlign boundary with
+// zero padding after the page directory.
+func TestStoreDataAligned(t *testing.T) {
+	g := graph.PaperExample()
+	for _, build := range []struct {
+		name string
+		fn   func(path string) (*Store, error)
+	}{
+		{"BuildFileCodec", func(path string) (*Store, error) {
+			return BuildFileCodec(path, g, 128, CodecRaw)
+		}},
+		{"BuildFileStreaming", func(path string) (*Store, error) {
+			return BuildFileStreaming(path, GraphScanner{G: g},
+				StreamBuildOptions{PageSize: 128, TempDir: t.TempDir()})
+		}},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "g.optstore")
+			built, err := build.fn(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if built.dataOffset%ssd.DirectAlign != 0 {
+				t.Fatalf("data offset %d not %d-aligned", built.dataOffset, ssd.DirectAlign)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dirEnd := headerSize + int64(8*built.NumVertices) + int64(4)*int64(built.NumPages)
+			for i := dirEnd; i < built.dataOffset; i++ {
+				if raw[i] != 0 {
+					t.Fatalf("padding byte %d is %#x, want zero", i, raw[i])
+				}
+			}
+			opened, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opened.dataOffset != built.dataOffset {
+				t.Fatalf("reopened data offset %d, want %d", opened.dataOffset, built.dataOffset)
+			}
+		})
+	}
+}
+
+// TestOpenUnpaddedStore pins backward compatibility: files written before
+// the alignment padding (data pages immediately after the page directory,
+// dataOffset equal to the directory end) must still open and decode. The
+// fixture is synthesized by splicing the padding out of a fresh store and
+// patching the header's dataOffset field.
+func TestOpenUnpaddedStore(t *testing.T) {
+	g := graph.PaperExample()
+	dir := t.TempDir()
+	padded := filepath.Join(dir, "padded.optstore")
+	if _, err := BuildFileCodec(padded, g, 128, CodecRaw); err != nil {
+		t.Fatal(err)
+	}
+	want := readAll(t, buildAndOpen(t, g, 128))
+
+	raw, err := os.ReadFile(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataOffset := int64(binary.LittleEndian.Uint64(raw[40:]))
+	s, err := Open(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirEnd := headerSize + int64(8*s.NumVertices) + int64(4)*int64(s.NumPages)
+	if dataOffset == dirEnd {
+		t.Skip("store landed on the alignment boundary with no padding")
+	}
+	unpadded := append([]byte{}, raw[:dirEnd]...)
+	unpadded = append(unpadded, raw[dataOffset:]...)
+	binary.LittleEndian.PutUint64(unpadded[40:], uint64(dirEnd))
+	legacy := filepath.Join(dir, "legacy.optstore")
+	if err := os.WriteFile(legacy, unpadded, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ls, err := Open(legacy)
+	if err != nil {
+		t.Fatalf("unpadded layout rejected: %v", err)
+	}
+	got := readAll(t, ls)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("unpadded store decodes differently from the padded one")
+	}
+
+	// A data offset past one alignment round is corruption, not padding.
+	binary.LittleEndian.PutUint64(unpadded[40:], uint64(dirEnd+ssd.DirectAlign))
+	bad := filepath.Join(dir, "bad.optstore")
+	if err := os.WriteFile(bad, unpadded, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Fatal("oversized data offset accepted")
 	}
 }

@@ -18,9 +18,13 @@ import (
 //	vertex directory:  numVertices × (firstPage uint32, degree uint32)
 //	page directory:    numPages × (firstRecord uint32; NoRecord for
 //	                   continuation pages)
+//	padding:           zero bytes up to the next ssd.DirectAlign boundary,
+//	                   so the data region is O_DIRECT-eligible
 //	data pages:        numPages × pageSize
 //
-// v1 files ("OPTSTOR1", no codec field) remain readable: their pages are
+// dataOffset in the header is authoritative; readers accept both padded
+// files and the unpadded layout older writers produced. v1 files
+// ("OPTSTOR1", no codec field) remain readable: their pages are
 // bit-identical to v2 pages under the raw codec.
 const (
 	storeMagicV1   = "OPTSTOR1"
@@ -117,7 +121,11 @@ func BuildFileCodec(path string, g *graph.Graph, pageSize int, codecName string)
 		degree:      degree,
 		pageFirst:   pageFirst,
 	}
-	s.dataOffset = headerSize + int64(8*n) + int64(4*len(pages))
+	// Round the data region up to the O_DIRECT alignment: with an aligned
+	// page size this is what lets the native backend open the store
+	// O_DIRECT instead of demoting to buffered reads (DESIGN.md §14).
+	dirEnd := headerSize + int64(8*n) + int64(4*len(pages))
+	s.dataOffset = (dirEnd + ssd.DirectAlign - 1) &^ int64(ssd.DirectAlign-1)
 
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -130,6 +138,11 @@ func BuildFileCodec(path string, g *graph.Graph, pageSize int, codecName string)
 	}
 	if err := s.writeDirectories(bw); err != nil {
 		return nil, err
+	}
+	if pad := s.dataOffset - dirEnd; pad > 0 {
+		if _, err := bw.Write(make([]byte, pad)); err != nil {
+			return nil, err
+		}
 	}
 	for _, p := range pages {
 		if _, err := bw.Write(p); err != nil {
@@ -230,13 +243,15 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	wantSize := headerSize + int64(8)*int64(s.NumVertices) + int64(4)*int64(s.NumPages) +
-		int64(s.NumPages)*int64(s.PageSize)
+	// dataOffset must cover the directories and may include up to one
+	// DirectAlign round of padding (older writers wrote none).
+	dirEnd := headerSize + int64(8)*int64(s.NumVertices) + int64(4)*int64(s.NumPages)
+	if s.dataOffset < dirEnd || s.dataOffset >= dirEnd+ssd.DirectAlign {
+		return nil, fmt.Errorf("storage: %s: data offset %d outside [%d, %d)", path, s.dataOffset, dirEnd, dirEnd+ssd.DirectAlign)
+	}
+	wantSize := s.dataOffset + int64(s.NumPages)*int64(s.PageSize)
 	if fi.Size() < wantSize {
 		return nil, fmt.Errorf("storage: %s: file is %d bytes, header implies %d", path, fi.Size(), wantSize)
-	}
-	if want := headerSize + int64(8)*int64(s.NumVertices) + int64(4)*int64(s.NumPages); s.dataOffset != want {
-		return nil, fmt.Errorf("storage: %s: data offset %d, want %d", path, s.dataOffset, want)
 	}
 	br := bufio.NewReaderSize(f, 1<<20)
 	buf := make([]byte, 8*s.NumVertices)
@@ -260,9 +275,16 @@ func Open(path string) (*Store, error) {
 	return s, nil
 }
 
-// Device opens the store's data-page region as a read-only file device.
+// Device opens the store's data-page region as a read-only file device
+// through the portable backend.
 func (s *Store) Device() (*ssd.FileDevice, error) {
 	return ssd.OpenFileDevice(s.Path, s.dataOffset, s.PageSize)
+}
+
+// DeviceBackend opens the store's data-page region through the selected
+// ssd backend; the empty backend resolves like ssd.ParseBackend("").
+func (s *Store) DeviceBackend(backend ssd.Backend) (ssd.PageDevice, error) {
+	return ssd.OpenDeviceBackend(s.Path, s.dataOffset, s.PageSize, backend)
 }
 
 // FirstPageOf returns the data page where v's record starts.

@@ -11,6 +11,7 @@ import (
 
 	"github.com/optlab/opt/internal/extsort"
 	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/ssd"
 )
 
 // EdgeScanner is a re-iterable source of undirected edges. Scan must call
@@ -244,9 +245,13 @@ func BuildFileStreamingContext(ctx context.Context, path string, src EdgeScanner
 		degree:      exactDeg,
 		pageFirst:   pageFirst,
 	}
-	s.dataOffset = headerSize + int64(8*n) + int64(4)*int64(w.emitted)
+	// Same O_DIRECT alignment padding as BuildFileCodec: both writers must
+	// produce the layout Open documents.
+	dirEnd := headerSize + int64(8*n) + int64(4)*int64(w.emitted)
+	s.dataOffset = (dirEnd + ssd.DirectAlign - 1) &^ int64(ssd.DirectAlign-1)
 
-	// Assemble the final file: header, directories, then the staged pages.
+	// Assemble the final file: header, directories, padding, then the
+	// staged pages.
 	out, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
@@ -258,6 +263,11 @@ func BuildFileStreamingContext(ctx context.Context, path string, src EdgeScanner
 	}
 	if err := s.writeDirectories(bw); err != nil {
 		return nil, err
+	}
+	if pad := s.dataOffset - dirEnd; pad > 0 {
+		if _, err := bw.Write(make([]byte, pad)); err != nil {
+			return nil, err
+		}
 	}
 	if _, err := stage.Seek(0, io.SeekStart); err != nil {
 		return nil, err

@@ -85,6 +85,24 @@ const (
 // Codecs returns the names of every available page codec.
 func Codecs() []string { return storage.Codecs() }
 
+// Device backend names for Options.Backend.
+const (
+	// BackendPortable is the worker-pool os.File device (default).
+	BackendPortable = string(ssd.BackendPortable)
+	// BackendNative is the Linux io_uring/preadv device with O_DIRECT where
+	// the store layout permits; the portable device off Linux.
+	BackendNative = string(ssd.BackendNative)
+	// BackendAuto selects native where the build supports it.
+	BackendAuto = string(ssd.BackendAuto)
+)
+
+// Backends returns the accepted Options.Backend names.
+func Backends() []string { return ssd.Backends() }
+
+// NativeBackendAvailable reports whether this build carries the native
+// Linux I/O backend.
+func NativeBackendAvailable() bool { return ssd.NativeAvailable() }
+
 // Algorithm selects a triangulation method.
 type Algorithm int
 
@@ -222,6 +240,13 @@ type Options struct {
 	// Codec, when non-empty, requires the store to have been built with the
 	// named page codec (see Codecs); the run is rejected on a mismatch.
 	Codec string
+	// Backend selects how the store device reaches the disk: BackendPortable
+	// (the worker-pool os.File device), BackendNative (Linux io_uring/preadv
+	// with O_DIRECT where the layout permits), or BackendAuto (native where
+	// the build supports it). Empty resolves through the OPT_BACKEND
+	// environment variable and then defaults to portable. Off Linux the
+	// native and auto backends open the portable device.
+	Backend string
 }
 
 // IterationStat mirrors engine.IterationStat for the public API.
@@ -281,7 +306,11 @@ func TriangulateContext(ctx context.Context, s *Store, opts Options) (res *Resul
 		ctx = context.Background()
 	}
 	st := s.st
-	base, err := st.Device()
+	backend, err := ssd.ParseBackend(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
+	base, err := st.DeviceBackend(backend)
 	if err != nil {
 		return nil, err
 	}
@@ -311,6 +340,7 @@ func TriangulateContext(ctx context.Context, s *Store, opts Options) (res *Resul
 		CollectIterStats: opts.CollectIterStats,
 		TempDir:          opts.TempDir,
 		Codec:            opts.Codec,
+		Backend:          opts.Backend,
 		Events:           sink,
 	})
 	if eres == nil {
