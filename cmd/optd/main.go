@@ -49,10 +49,22 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job timeout when the spec carries none (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on SIGTERM before they are cancelled")
 		tempDir      = flag.String("tempdir", "", "scratch directory for jobs (default: system temp)")
+		coordinator  = flag.Bool("coordinator", false, "announce the coordinator role (requires -agents); any optd accepts /dist/jobs, this flag just validates the wiring at startup")
+		agents       = flag.String("agents", "", "comma-separated agent optd base URLs used by distributed jobs whose spec names none")
 	)
 	var stores storeFlags
 	flag.Var(&stores, "store", "register a store as name=path (repeatable)")
 	flag.Parse()
+
+	var agentURLs []string
+	for _, a := range strings.Split(*agents, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			agentURLs = append(agentURLs, a)
+		}
+	}
+	if *coordinator && len(agentURLs) == 0 {
+		fail(errors.New("-coordinator requires -agents"))
+	}
 
 	mgr := server.New(server.Config{
 		Workers:        *workers,
@@ -60,6 +72,7 @@ func main() {
 		TotalPages:     *pages,
 		DefaultTimeout: *jobTimeout,
 		TempDir:        *tempDir,
+		DefaultAgents:  agentURLs,
 	})
 	for _, s := range stores {
 		if err := mgr.RegisterStore(s.name, s.path); err != nil {
@@ -75,6 +88,9 @@ func main() {
 	srv := &http.Server{Handler: server.NewHandler(mgr)}
 	fmt.Fprintf(os.Stderr, "optd: listening on %s (workers=%d queue=%d pages=%d)\n",
 		ln.Addr(), *workers, *queue, *pages)
+	if len(agentURLs) > 0 {
+		fmt.Fprintf(os.Stderr, "optd: coordinator for agents %s\n", strings.Join(agentURLs, ", "))
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -1,6 +1,9 @@
 package opt
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestSimulateDistributedExact(t *testing.T) {
 	g, err := GenerateRMAT(RMATConfig{Vertices: 1 << 9, Edges: 6000, Seed: 77})
@@ -39,5 +42,88 @@ func TestDistributedMethodString(t *testing.T) {
 	}
 	if DistributedMethod(9).String() == "" {
 		t.Fatal("unknown String empty")
+	}
+}
+
+// TestSimulateDistributedCostMapping pins the Table 7 cost surface through
+// the public API: the internal simulation's cost decomposition must survive
+// the DistributedResult mapping, and the per-method fixed costs must show
+// up exactly where the models put them.
+func TestSimulateDistributedCostMapping(t *testing.T) {
+	g, err := GenerateRMAT(RMATConfig{Vertices: 1 << 9, Edges: 6000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.DegreeOrdered()
+
+	cases := []struct {
+		method DistributedMethod
+		cfg    ClusterConfig
+		// latencyRounds is the minimum comm time in 20ms latency rounds
+		// (SV: 1, AKM: 2, PowerGraph: 3 — one per communication round).
+		latencyRounds int
+		// elapsedFloor adds the method's fixed overhead beyond comm+compute
+		// (SV: the 5s Hadoop job overhead; AKM/PowerGraph: Nodes×2ms MPI
+		// startup).
+		elapsedFloor func(nodes int) time.Duration
+	}{
+		{SV, ClusterConfig{Nodes: 8, CoresPerNode: 4}, 1,
+			func(int) time.Duration { return 5 * time.Second }},
+		{AKM, ClusterConfig{Nodes: 8, CoresPerNode: 4}, 2,
+			func(nodes int) time.Duration { return time.Duration(nodes) * 2 * time.Millisecond }},
+		{PowerGraph, ClusterConfig{Nodes: 8, CoresPerNode: 4}, 3,
+			func(nodes int) time.Duration { return time.Duration(nodes) * 2 * time.Millisecond }},
+	}
+	const latency = 20 * time.Millisecond // DefaultNet().LatencyPerRound
+	for _, tc := range cases {
+		res, err := SimulateDistributed(g, tc.method, tc.cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.method, err)
+		}
+		if floor := time.Duration(tc.latencyRounds) * latency; res.CommTime < floor {
+			t.Errorf("%v: comm %v below the %d-round latency floor %v", tc.method, res.CommTime, tc.latencyRounds, floor)
+		}
+		if want := res.CommTime + res.ComputeMax + tc.elapsedFloor(tc.cfg.Nodes); res.Elapsed != want {
+			t.Errorf("%v: elapsed = %v, want comm+compute+overhead = %v", tc.method, res.Elapsed, want)
+		}
+		if res.BytesShuffled < 0 {
+			t.Errorf("%v: negative shuffle %d", tc.method, res.BytesShuffled)
+		}
+	}
+}
+
+// TestSimulateDistributedSingleNode: with one node nothing crosses the
+// network — AKM and PowerGraph must report zero shuffled bytes and a comm
+// time of exactly their round latencies, while SV still pays for its
+// materialised shuffle (the disk round trip exists even on one machine).
+func TestSimulateDistributedSingleNode(t *testing.T) {
+	g, err := GenerateRMAT(RMATConfig{Vertices: 1 << 9, Edges: 6000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.DegreeOrdered()
+	const latency = 20 * time.Millisecond
+	one := ClusterConfig{Nodes: 1, CoresPerNode: 4}
+
+	akm, err := SimulateDistributed(g, AKM, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if akm.BytesShuffled != 0 || akm.CommTime != 2*latency {
+		t.Errorf("AKM single node: shuffled %d, comm %v, want 0 and %v", akm.BytesShuffled, akm.CommTime, 2*latency)
+	}
+	pg, err := SimulateDistributed(g, PowerGraph, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.BytesShuffled != 0 || pg.CommTime != 3*latency {
+		t.Errorf("PowerGraph single node: shuffled %d, comm %v, want 0 and %v", pg.BytesShuffled, pg.CommTime, 3*latency)
+	}
+	sv, err := SimulateDistributed(g, SV, ClusterConfig{Nodes: 1, CoresPerNode: 4, SVColors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(12 * g.NumEdges()); sv.BytesShuffled != want {
+		t.Errorf("SV rho=1: shuffled %d bytes, want 12·|E| = %d", sv.BytesShuffled, want)
 	}
 }

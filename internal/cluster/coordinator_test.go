@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/optlab/opt/internal/events"
+	"github.com/optlab/opt/internal/graph"
+)
+
+// refDispatch answers every task from the in-memory oracle — a perfect
+// agent fleet without sockets, so coordinator tests isolate the scheduling
+// logic. wrap (may be nil) intercepts each attempt first and may return a
+// replacement outcome.
+func refDispatch(g *graph.Graph, wrap func(agent string, t TaskMessage) (TaskResultMessage, error, bool)) DispatchFunc {
+	return func(ctx context.Context, agent string, t TaskMessage) (TaskResultMessage, error) {
+		if wrap != nil {
+			if res, err, done := wrap(agent, t); done {
+				return res, err
+			}
+		}
+		if err := t.Validate(); err != nil {
+			return TaskResultMessage{}, err
+		}
+		grid, err := NewGrid(t.Grid, g.NumVertices())
+		if err != nil {
+			return TaskResultMessage{}, err
+		}
+		return TaskResultMessage{
+			ID:        t.ID,
+			Attempt:   t.Attempt,
+			Triangles: grid.CountShardRef(g, t.I, t.J),
+			Report:    TaskReport{Agent: agent},
+		}, nil
+	}
+}
+
+func coordCfg(agents int, grid int) CoordinatorConfig {
+	names := make([]string, agents)
+	for i := range names {
+		names[i] = fmt.Sprintf("a%d", i)
+	}
+	return CoordinatorConfig{
+		Agents:       names,
+		Grid:         grid,
+		Job:          "t",
+		Store:        "mem",
+		RetryBackoff: time.Millisecond,
+	}
+}
+
+func TestCoordinatorExact(t *testing.T) {
+	for name, g := range workloads(t) {
+		want := graph.CountTrianglesReference(g)
+		for _, agents := range []int{1, 2, 4} {
+			for _, dim := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("%s/agents=%d/grid=%d", name, agents, dim), func(t *testing.T) {
+					coord, err := NewCoordinator(coordCfg(agents, dim), refDispatch(g, nil))
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := coord.Run(context.Background())
+					if err != nil {
+						t.Fatal(err)
+					}
+					tasks := dim * (dim + 1) / 2
+					if rep.Triangles != want {
+						t.Fatalf("merged %d, want %d", rep.Triangles, want)
+					}
+					if rep.Tasks != tasks || rep.Dispatched != tasks || len(rep.PerTask) != tasks {
+						t.Fatalf("accounting off: %+v (want %d tasks, one dispatch each)", rep, tasks)
+					}
+					if rep.Retries != 0 || rep.Stragglers != 0 || rep.Duplicates != 0 || len(rep.Failed) != 0 {
+						t.Fatalf("clean run reported failures: %+v", rep)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCoordinatorRetryLandsElsewhere kills agent a0 for every attempt: each
+// task assigned to it first must be retried onto the healthy agent, the
+// merged total must stay exact, and the retry must surface as a
+// shard-retried event.
+func TestCoordinatorRetryLandsElsewhere(t *testing.T) {
+	g := workloads(t)["k20"]
+	want := graph.CountTrianglesReference(g)
+
+	var served sync.Map
+	wrap := func(agent string, task TaskMessage) (TaskResultMessage, error, bool) {
+		if agent == "a0" {
+			return TaskResultMessage{}, errors.New("connection refused"), true
+		}
+		served.Store(task.ID, agent)
+		return TaskResultMessage{}, nil, false
+	}
+	var mu sync.Mutex
+	kinds := map[events.Kind]int{}
+	cfg := coordCfg(2, 3)
+	cfg.Events = events.Func(func(e events.Event) {
+		mu.Lock()
+		kinds[e.Kind]++
+		mu.Unlock()
+	})
+	coord, err := NewCoordinator(cfg, refDispatch(g, wrap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triangles != want {
+		t.Fatalf("merged %d, want %d", rep.Triangles, want)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("no retries despite a dead agent")
+	}
+	if rep.Duplicates != 0 || len(rep.Failed) != 0 {
+		t.Fatalf("unexpected duplicates/failures: %+v", rep)
+	}
+	served.Range(func(_, agent any) bool {
+		if agent != "a1" {
+			t.Errorf("task served by %v, want the healthy agent", agent)
+		}
+		return true
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if kinds[events.ShardRetried] == 0 {
+		t.Fatalf("no shard-retried event surfaced: %v", kinds)
+	}
+	if kinds[events.ShardMerged] != rep.Tasks {
+		t.Fatalf("shard-merged events = %d, want one per task (%d)", kinds[events.ShardMerged], rep.Tasks)
+	}
+}
+
+// TestCoordinatorStragglerFirstResultWins delays agent a0's first attempts
+// past the straggler deadline: the speculative duplicate on a1 wins, the
+// slow original still reports in later, and the ledger drops it as a
+// duplicate instead of double-counting.
+func TestCoordinatorStragglerFirstResultWins(t *testing.T) {
+	g := workloads(t)["k20"]
+	want := graph.CountTrianglesReference(g)
+
+	wrap := func(agent string, task TaskMessage) (TaskResultMessage, error, bool) {
+		if agent == "a0" {
+			time.Sleep(150 * time.Millisecond) // past StragglerAfter, still finishes
+		}
+		return TaskResultMessage{}, nil, false
+	}
+	cfg := coordCfg(2, 1) // one task, primary on a0
+	cfg.StragglerAfter = 20 * time.Millisecond
+	coord, err := NewCoordinator(cfg, refDispatch(g, wrap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triangles != want {
+		t.Fatalf("merged %d, want %d — straggler double-counted?", rep.Triangles, want)
+	}
+	if rep.Stragglers == 0 {
+		t.Fatalf("no speculative attempt launched: %+v", rep)
+	}
+	if rep.Duplicates == 0 {
+		t.Fatalf("late straggler result did not reach the ledger: %+v", rep)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("unexpected failures: %+v", rep)
+	}
+}
+
+// TestCoordinatorAgentError covers the frame-level failure path: the agent
+// responds, but with Err set — the coordinator must treat it like a
+// transport failure and retry elsewhere.
+func TestCoordinatorAgentError(t *testing.T) {
+	g := workloads(t)["paper"]
+	want := graph.CountTrianglesReference(g)
+	wrap := func(agent string, task TaskMessage) (TaskResultMessage, error, bool) {
+		if agent == "a0" {
+			return TaskResultMessage{ID: task.ID, Err: "store digest mismatch"}, nil, true
+		}
+		return TaskResultMessage{}, nil, false
+	}
+	coord, err := NewCoordinator(coordCfg(2, 2), refDispatch(g, wrap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triangles != want || rep.Retries == 0 {
+		t.Fatalf("frame errors not retried: %+v (want %d)", rep, want)
+	}
+}
+
+// TestCoordinatorMismatchedResult pins the protocol check: a frame for the
+// wrong task id is a failure, not a merge.
+func TestCoordinatorMismatchedResult(t *testing.T) {
+	g := workloads(t)["paper"]
+	wrap := func(agent string, task TaskMessage) (TaskResultMessage, error, bool) {
+		if agent == "a0" {
+			return TaskResultMessage{ID: "t/9-9", Triangles: 1 << 40}, nil, true
+		}
+		return TaskResultMessage{}, nil, false
+	}
+	coord, err := NewCoordinator(coordCfg(2, 1), refDispatch(g, wrap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := graph.CountTrianglesReference(g); rep.Triangles != want {
+		t.Fatalf("merged %d, want %d", rep.Triangles, want)
+	}
+	if rep.Duplicates != 0 || rep.Retries == 0 {
+		t.Fatalf("mismatched frame not rejected: %+v", rep)
+	}
+}
+
+// TestCoordinatorExhaustsBudget: with every agent down, each task burns its
+// attempt budget and the run fails with the partial (empty) merge and the
+// failed ids on the report.
+func TestCoordinatorExhaustsBudget(t *testing.T) {
+	g := workloads(t)["paper"]
+	var attempts atomic32
+	wrap := func(agent string, task TaskMessage) (TaskResultMessage, error, bool) {
+		attempts.add(1)
+		return TaskResultMessage{}, errors.New("down"), true
+	}
+	cfg := coordCfg(2, 1)
+	cfg.MaxAttempts = 3
+	coord, err := NewCoordinator(cfg, refDispatch(g, wrap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Run(context.Background())
+	if err == nil {
+		t.Fatal("run succeeded with every agent down")
+	}
+	if !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("err = %v, want incomplete-job error", err)
+	}
+	if len(rep.Failed) != 1 || rep.Triangles != 0 {
+		t.Fatalf("report = %+v, want one failed task, empty merge", rep)
+	}
+	if got := attempts.load(); got != 3 {
+		t.Fatalf("attempts = %d, want exactly MaxAttempts", got)
+	}
+}
+
+func TestCoordinatorCancellation(t *testing.T) {
+	g := workloads(t)["paper"]
+	ctx, cancel := context.WithCancel(context.Background())
+	wrap := func(agent string, task TaskMessage) (TaskResultMessage, error, bool) {
+		<-ctx.Done()
+		return TaskResultMessage{}, ctx.Err(), true
+	}
+	coord, err := NewCoordinator(coordCfg(2, 2), refDispatch(g, wrap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	rep, err := coord.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("cancellation misreported as task failure: %+v", rep)
+	}
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	g := workloads(t)["paper"]
+	d := refDispatch(g, nil)
+	good := coordCfg(1, 1)
+	cases := []struct {
+		name string
+		mut  func(*CoordinatorConfig)
+		disp Dispatcher
+	}{
+		{"no agents", func(c *CoordinatorConfig) { c.Agents = nil }, d},
+		{"nil dispatcher", func(c *CoordinatorConfig) {}, nil},
+		{"negative grid", func(c *CoordinatorConfig) { c.Grid = -1 }, d},
+		{"negative attempts", func(c *CoordinatorConfig) { c.MaxAttempts = -1 }, d},
+		{"negative slots", func(c *CoordinatorConfig) { c.SlotsPerAgent = -1 }, d},
+		{"no store", func(c *CoordinatorConfig) { c.Store = "" }, d},
+	}
+	for _, tc := range cases {
+		cfg := good
+		tc.mut(&cfg)
+		if _, err := NewCoordinator(cfg, tc.disp); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := NewCoordinator(good, d); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// atomic32 is a tiny test counter.
+type atomic32 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic32) add(d int) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic32) load() int { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

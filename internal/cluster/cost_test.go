@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the Table 7 cost model of the simulated distributed
+// baselines: the composition of each method's SimElapsed, the bytes it
+// ships, and its round count are contracts of the comparison, not
+// incidental implementation detail. Each identity is checked from the
+// Result fields so a formula drift in any Run* breaks loudly.
+
+func TestPriceBytesZeroVolume(t *testing.T) {
+	if got := priceBytes(0, 4<<30); got != 0 {
+		t.Fatalf("priceBytes(0) = %v", got)
+	}
+	if got := priceBytes(8<<30, 4<<30); got != 2*time.Second {
+		t.Fatalf("priceBytes(8 GiB @ 4 GiB/s) = %v, want 2s", got)
+	}
+}
+
+// TestSVCostModel: one materialised MapReduce shuffle — network transfer
+// plus a disk write and read-back of the shuffle volume, one round of
+// latency, and the Hadoop job overhead on top.
+func TestSVCostModel(t *testing.T) {
+	for name, g := range workloads(t) {
+		for _, rho := range []int{1, 3} {
+			cfg := defaultCfg(8)
+			res, err := RunSV(g, rho, cfg)
+			if err != nil {
+				t.Fatalf("%s rho=%d: %v", name, rho, err)
+			}
+			if res.Rounds != 1 {
+				t.Errorf("%s rho=%d: rounds = %d, want 1", name, rho, res.Rounds)
+			}
+			wantComm := priceBytes(res.BytesShuffled, cfg.Net.BytesPerSec) +
+				2*priceBytes(res.BytesShuffled, cfg.Net.DiskBytesPerSec) +
+				cfg.Net.LatencyPerRound
+			if res.CommTime != wantComm {
+				t.Errorf("%s rho=%d: comm = %v, formula says %v", name, rho, res.CommTime, wantComm)
+			}
+			if want := cfg.Net.JobOverhead + res.CommTime + res.ComputeMax; res.SimElapsed != want {
+				t.Errorf("%s rho=%d: elapsed = %v, want overhead+comm+compute = %v", name, rho, res.SimElapsed, want)
+			}
+		}
+	}
+}
+
+// TestSVShuffleIdentityRhoOne: with a single color there is exactly one
+// reducer triple, so every edge ships exactly once at 12 bytes per copy.
+func TestSVShuffleIdentityRhoOne(t *testing.T) {
+	for name, g := range workloads(t) {
+		res, err := RunSV(g, 1, defaultCfg(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 12 * g.NumEdges(); res.BytesShuffled != int64(want) {
+			t.Errorf("%s: shuffle = %d bytes, want 12·|E| = %d", name, res.BytesShuffled, want)
+		}
+	}
+}
+
+// TestAKMCostModel: the bottleneck owner's replica volume through one
+// node's share of the fabric, two rounds of MPI latency (distribute +
+// reduce), and the linear MPI startup.
+func TestAKMCostModel(t *testing.T) {
+	for name, g := range workloads(t) {
+		for _, nodes := range []int{1, 4, 31} {
+			cfg := defaultCfg(nodes)
+			res, err := RunAKM(g, cfg)
+			if err != nil {
+				t.Fatalf("%s nodes=%d: %v", name, nodes, err)
+			}
+			if res.Rounds != 2 {
+				t.Errorf("%s nodes=%d: rounds = %d, want 2", name, nodes, res.Rounds)
+			}
+			if want := res.CommTime + res.ComputeMax + mpiStartup(cfg); res.SimElapsed != want {
+				t.Errorf("%s nodes=%d: elapsed = %v, want comm+compute+startup = %v", name, nodes, res.SimElapsed, want)
+			}
+			if want := time.Duration(nodes) * 2 * time.Millisecond; mpiStartup(cfg) != want {
+				t.Errorf("nodes=%d: startup = %v, want %v", nodes, mpiStartup(cfg), want)
+			}
+			if res.CommTime < 2*cfg.Net.LatencyPerRound {
+				t.Errorf("%s nodes=%d: comm %v below the 2-round latency floor", name, nodes, res.CommTime)
+			}
+		}
+	}
+}
+
+// TestAKMSingleNodeShipsNothing: one node owns every range, so no replica
+// crosses the network and comm collapses to exactly the two latency rounds.
+func TestAKMSingleNodeShipsNothing(t *testing.T) {
+	for name, g := range workloads(t) {
+		cfg := defaultCfg(1)
+		res, err := RunAKM(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BytesShuffled != 0 {
+			t.Errorf("%s: single node shuffled %d bytes", name, res.BytesShuffled)
+		}
+		if want := 2 * cfg.Net.LatencyPerRound; res.CommTime != want {
+			t.Errorf("%s: comm = %v, want exactly %v", name, res.CommTime, want)
+		}
+	}
+}
+
+// TestPowerGraphCostModel: replica synchronisation priced at the aggregate
+// bandwidth plus three GAS rounds of latency, with the MPI-style startup.
+func TestPowerGraphCostModel(t *testing.T) {
+	for name, g := range workloads(t) {
+		for _, nodes := range []int{1, 4, 31} {
+			cfg := defaultCfg(nodes)
+			res, err := RunPowerGraph(g, cfg)
+			if err != nil {
+				t.Fatalf("%s nodes=%d: %v", name, nodes, err)
+			}
+			if res.Rounds != 3 {
+				t.Errorf("%s nodes=%d: rounds = %d, want 3", name, nodes, res.Rounds)
+			}
+			wantComm := priceBytes(res.BytesShuffled, cfg.Net.BytesPerSec) + 3*cfg.Net.LatencyPerRound
+			if res.CommTime != wantComm {
+				t.Errorf("%s nodes=%d: comm = %v, formula says %v", name, nodes, res.CommTime, wantComm)
+			}
+			if want := res.CommTime + res.ComputeMax + mpiStartup(cfg); res.SimElapsed != want {
+				t.Errorf("%s nodes=%d: elapsed = %v, want comm+compute+startup = %v", name, nodes, res.SimElapsed, want)
+			}
+		}
+	}
+}
+
+// TestPowerGraphSingleNodeSyncsNothing: a 1×1 grid keeps every replica a
+// master, so the gather round moves zero bytes.
+func TestPowerGraphSingleNodeSyncsNothing(t *testing.T) {
+	for name, g := range workloads(t) {
+		cfg := defaultCfg(1)
+		res, err := RunPowerGraph(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BytesShuffled != 0 {
+			t.Errorf("%s: single node synced %d bytes", name, res.BytesShuffled)
+		}
+		if want := 3 * cfg.Net.LatencyPerRound; res.CommTime != want {
+			t.Errorf("%s: comm = %v, want exactly %v", name, res.CommTime, want)
+		}
+	}
+}

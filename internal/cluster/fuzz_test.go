@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/optlab/opt/internal/graph"
+)
+
+// FuzzShardPartition drives arbitrary edge sets and grid dimensions
+// through the 2D partitioner and checks its two load-bearing invariants:
+// every edge is assigned to exactly one shard of the task set (and the
+// assignment ignores orientation), and the per-shard triangle counts sum
+// to the whole-graph reference — i.e. every triangle is owned by exactly
+// one shard-pair task, none double-counted, none dropped.
+func FuzzShardPartition(f *testing.F) {
+	f.Add(uint8(1), uint8(8), []byte{})
+	f.Add(uint8(2), uint8(16), []byte{0, 1, 1, 2, 0, 2})
+	f.Add(uint8(4), uint8(32), []byte{0, 1, 1, 2, 0, 2, 2, 3, 3, 4, 2, 4})
+	f.Add(uint8(7), uint8(64), []byte{9, 3, 3, 5, 9, 5, 1, 1})
+
+	f.Fuzz(func(t *testing.T, dimSel, nSel uint8, raw []byte) {
+		dim := int(dimSel)%8 + 1
+		n := int(nSel)%100 + 1
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			u := uint32(raw[i]) % uint32(n)
+			v := uint32(raw[i+1]) % uint32(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatalf("FromEdges(%d, %v): %v", n, edges, err)
+		}
+		grid, err := NewGrid(dim, n)
+		if err != nil {
+			t.Fatalf("NewGrid(%d, %d): %v", dim, n, err)
+		}
+
+		valid := map[Shard]bool{}
+		for _, s := range grid.Shards() {
+			valid[s] = true
+		}
+		for _, e := range edges {
+			s := grid.AssignEdge(e.U, e.V)
+			if !valid[s] {
+				t.Fatalf("edge (%d, %d) assigned to %+v, outside the task set of dim %d", e.U, e.V, s, dim)
+			}
+			if r := grid.AssignEdge(e.V, e.U); r != s {
+				t.Fatalf("edge (%d, %d): assignment depends on orientation (%+v vs %+v)", e.U, e.V, s, r)
+			}
+		}
+
+		want := graph.CountTrianglesReference(g)
+		var sum int64
+		for _, s := range grid.Shards() {
+			c := grid.CountShardRef(g, s.I, s.J)
+			if c < 0 {
+				t.Fatalf("shard %+v: negative count %d", s, c)
+			}
+			sum += c
+		}
+		if sum != want {
+			t.Fatalf("dim=%d n=%d: shard counts sum to %d, reference %d", dim, n, sum, want)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPDispatcher dispatches tasks to agent optds over the wire protocol:
+// POST <agent>/tasks with a JSON TaskMessage body, answered by a JSON
+// TaskResultMessage. A refused connection, a dropped connection mid-task
+// (the chaos tests kill agents exactly there), or a non-200 status all
+// surface as errors, which the coordinator turns into a retry on another
+// agent.
+type HTTPDispatcher struct {
+	// Client is the HTTP client to use (nil selects a client without
+	// timeout — per-attempt deadlines come from the dispatch context).
+	Client *http.Client
+}
+
+func (d *HTTPDispatcher) client() *http.Client {
+	if d.Client != nil {
+		return d.Client
+	}
+	return &http.Client{Timeout: 0}
+}
+
+// Dispatch implements Dispatcher. agent is the base URL of the agent optd
+// (e.g. "http://127.0.0.1:9621").
+func (d *HTTPDispatcher) Dispatch(ctx context.Context, agent string, task TaskMessage) (TaskResultMessage, error) {
+	var zero TaskResultMessage
+	body, err := json.Marshal(task)
+	if err != nil {
+		return zero, fmt.Errorf("cluster: encoding task %s: %w", task.ID, err)
+	}
+	url := strings.TrimSuffix(agent, "/") + "/tasks"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return zero, fmt.Errorf("cluster: building request for %s: %w", agent, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client().Do(req)
+	if err != nil {
+		return zero, fmt.Errorf("cluster: agent %s unreachable: %w", agent, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return zero, fmt.Errorf("cluster: reading response from %s: %w", agent, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return zero, fmt.Errorf("cluster: agent %s: %s: %s", agent, resp.Status, strings.TrimSpace(string(data)))
+	}
+	var res TaskResultMessage
+	if err := json.Unmarshal(data, &res); err != nil {
+		return zero, fmt.Errorf("cluster: decoding response from %s: %w", agent, err)
+	}
+	return res, nil
+}
+
+// NewDefaultHTTPClient returns the client optd's coordinator mode uses:
+// no global timeout (task runtimes vary with graph size), but a bounded
+// dial/header phase so a dead agent is detected quickly.
+func NewDefaultHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			ResponseHeaderTimeout: 0,
+			IdleConnTimeout:       30 * time.Second,
+		},
+	}
+}

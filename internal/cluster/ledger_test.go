@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func ledgerIDs(n int) []TaskID {
+	ids := make([]TaskID, n)
+	for i := range ids {
+		ids[i] = MakeTaskID("j", Shard{I: 0, J: i})
+	}
+	return ids
+}
+
+func TestLedgerMerge(t *testing.T) {
+	ids := ledgerIDs(3)
+	l := NewLedger(ids)
+	if l.Complete() {
+		t.Fatal("empty ledger reports complete")
+	}
+	if got := l.Pending(); len(got) != 3 {
+		t.Fatalf("pending = %v, want all three", got)
+	}
+
+	if !l.Merge(TaskResultMessage{ID: ids[0], Triangles: 5}) {
+		t.Fatal("first merge rejected")
+	}
+	// Second result for the same task — a late straggler — must not be
+	// folded into the total, only counted.
+	if l.Merge(TaskResultMessage{ID: ids[0], Triangles: 500}) {
+		t.Fatal("duplicate merge accepted")
+	}
+	if l.Merge(TaskResultMessage{ID: "j/9-9", Triangles: 7}) {
+		t.Fatal("unknown id accepted")
+	}
+	l.Merge(TaskResultMessage{ID: ids[1], Triangles: 10})
+	l.Merge(TaskResultMessage{ID: ids[2], Triangles: 0})
+
+	if !l.Complete() {
+		t.Fatal("ledger not complete after all ids merged")
+	}
+	if got := l.Total(); got != 15 {
+		t.Fatalf("total = %d, want 15 (duplicate must not double-count)", got)
+	}
+	if got := l.Duplicates(); got != 1 {
+		t.Fatalf("duplicates = %d, want 1", got)
+	}
+	if got := l.Unknown(); got != 1 {
+		t.Fatalf("unknown = %d, want 1", got)
+	}
+	if got := l.Pending(); len(got) != 0 {
+		t.Fatalf("pending = %v, want none", got)
+	}
+	res := l.Results()
+	if len(res) != 3 {
+		t.Fatalf("results = %d entries, want 3", len(res))
+	}
+	if res[0].ID != ids[0] || res[0].Triangles != 5 {
+		t.Fatalf("results[0] = %+v, want first accepted result for %s", res[0], ids[0])
+	}
+}
+
+// TestLedgerConcurrent hammers the ledger from racing goroutines the way
+// straggler twins do: exactly one result per id may win.
+func TestLedgerConcurrent(t *testing.T) {
+	const tasks, attempts = 32, 8
+	ids := ledgerIDs(tasks)
+	l := NewLedger(ids)
+	var wg sync.WaitGroup
+	for a := 0; a < attempts; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, id := range ids {
+				l.Merge(TaskResultMessage{ID: id, Triangles: 3})
+			}
+		}()
+	}
+	wg.Wait()
+	if !l.Complete() {
+		t.Fatal("incomplete after concurrent merge storm")
+	}
+	if got := l.Total(); got != 3*tasks {
+		t.Fatalf("total = %d, want %d", got, 3*tasks)
+	}
+	if got := l.Duplicates(); got != (attempts-1)*tasks {
+		t.Fatalf("duplicates = %d, want %d", got, (attempts-1)*tasks)
+	}
+}

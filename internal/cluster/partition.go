@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/intersect"
+)
+
+// Grid is the 2D vertex-block decomposition of the distributed layer
+// (Tom & Karypis, "A 2D Parallel Triangle Counting Algorithm for
+// Distributed-Memory Architectures"): the vertex id space [0, N) splits
+// into Dim contiguous, balanced blocks, and every oriented base edge
+// (u, v) with u < v lands in exactly one block pair (block(u), block(v)).
+// A triangle u < v < w is found by the edge iterator at its base edge
+// (u, v), so the shard-pair task set {(i, j) : 0 ≤ i ≤ j < Dim} covers
+// every triangle exactly once — the property FuzzShardPartition pins.
+type Grid struct {
+	// Dim is the grid dimension g; the task set has g(g+1)/2 entries.
+	Dim int
+	// N is the number of vertices being decomposed.
+	N int
+}
+
+// NewGrid validates and returns a Grid. dim must be ≥ 1; n ≥ 0. A dim
+// larger than n is legal — trailing blocks are empty.
+func NewGrid(dim, n int) (Grid, error) {
+	if dim < 1 {
+		return Grid{}, fmt.Errorf("cluster: grid dimension %d, want >= 1", dim)
+	}
+	if n < 0 {
+		return Grid{}, fmt.Errorf("cluster: vertex count %d, want >= 0", n)
+	}
+	return Grid{Dim: dim, N: n}, nil
+}
+
+// Range returns the vertex range [lo, hi) of block i. Blocks are the
+// balanced contiguous split boundaries lo = i·N/Dim.
+func (g Grid) Range(i int) (lo, hi uint32) {
+	return uint32(i * g.N / g.Dim), uint32((i + 1) * g.N / g.Dim)
+}
+
+// BlockOf returns the block index owning vertex v.
+func (g Grid) BlockOf(v graph.VertexID) int {
+	return sort.Search(g.Dim-1, func(i int) bool {
+		_, hi := g.Range(i)
+		return v < hi
+	})
+}
+
+// Shard identifies one block-pair task of the grid, 0 ≤ I ≤ J < Dim.
+type Shard struct {
+	I, J int
+}
+
+// NumShards returns the size of the task set, Dim·(Dim+1)/2.
+func (g Grid) NumShards() int { return g.Dim * (g.Dim + 1) / 2 }
+
+// Shards enumerates the full task set in (I, J) lexicographic order.
+func (g Grid) Shards() []Shard {
+	out := make([]Shard, 0, g.NumShards())
+	for i := 0; i < g.Dim; i++ {
+		for j := i; j < g.Dim; j++ {
+			out = append(out, Shard{I: i, J: j})
+		}
+	}
+	return out
+}
+
+// AssignEdge returns the unique shard owning the oriented base edge
+// (u, v): the block pair of its endpoints, normalised so I ≤ J. The
+// orientation u < v is normalised too, so AssignEdge(u, v) and
+// AssignEdge(v, u) agree.
+func (g Grid) AssignEdge(u, v graph.VertexID) Shard {
+	if u > v {
+		u, v = v, u
+	}
+	return Shard{I: g.BlockOf(u), J: g.BlockOf(v)}
+}
+
+// CountShardRef counts, purely in memory, the triangles the shard-pair
+// task (i, j) owns over graph gr: triangles whose base edge (u, v), u < v,
+// has block(u) = i and block(v) = j. It is the oracle the partition fuzz
+// target and the store-backed shard runner are verified against; summing
+// it over Shards() reproduces graph.CountTrianglesReference exactly.
+func (g Grid) CountShardRef(gr *graph.Graph, i, j int) int64 {
+	iLo, iHi := g.Range(i)
+	jLo, jHi := g.Range(j)
+	var total int64
+	for u := iLo; u < iHi; u++ {
+		adjU := gr.Neighbors(u)
+		for _, v := range adjU[intersect.UpperBound(adjU, u):] {
+			if v < jLo || v >= jHi {
+				continue
+			}
+			adjV := gr.Neighbors(v)
+			total += int64(intersect.MergeCount(
+				adjU[intersect.UpperBound(adjU, v):],
+				adjV[intersect.UpperBound(adjV, v):]))
+		}
+	}
+	return total
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/optlab/opt/internal/graph"
+)
+
+func TestNewGridValidates(t *testing.T) {
+	if _, err := NewGrid(0, 10); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	if _, err := NewGrid(-1, 10); err == nil {
+		t.Fatal("negative dim accepted")
+	}
+	if _, err := NewGrid(3, -1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if g, err := NewGrid(8, 3); err != nil || g.Dim != 8 {
+		t.Fatalf("dim > n rejected: %v %+v", err, g)
+	}
+}
+
+// TestGridBlocks pins the block structure: contiguous, sorted, covering
+// [0, N) exactly, with BlockOf the inverse of Range.
+func TestGridBlocks(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 4, 7, 16} {
+		for _, n := range []int{0, 1, 2, 15, 16, 17, 1000} {
+			g, err := NewGrid(dim, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var next uint32
+			for i := 0; i < dim; i++ {
+				lo, hi := g.Range(i)
+				if lo != next {
+					t.Fatalf("dim=%d n=%d: block %d starts at %d, want %d", dim, n, i, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("dim=%d n=%d: block %d inverted [%d, %d)", dim, n, i, lo, hi)
+				}
+				for v := lo; v < hi; v++ {
+					if got := g.BlockOf(v); got != i {
+						t.Fatalf("dim=%d n=%d: BlockOf(%d) = %d, want %d", dim, n, v, got, i)
+					}
+				}
+				next = hi
+			}
+			if int(next) != n {
+				t.Fatalf("dim=%d n=%d: blocks cover [0, %d)", dim, n, next)
+			}
+			// Balance: blocks differ by at most one vertex.
+			min, max := n, 0
+			for i := 0; i < dim; i++ {
+				lo, hi := g.Range(i)
+				sz := int(hi - lo)
+				if sz < min {
+					min = sz
+				}
+				if sz > max {
+					max = sz
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("dim=%d n=%d: block sizes range [%d, %d], want balanced", dim, n, min, max)
+			}
+		}
+	}
+}
+
+func TestShardsEnumeration(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 5} {
+		g, err := NewGrid(dim, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := g.Shards()
+		if len(shards) != g.NumShards() || len(shards) != dim*(dim+1)/2 {
+			t.Fatalf("dim=%d: %d shards, want %d", dim, len(shards), dim*(dim+1)/2)
+		}
+		seen := map[Shard]bool{}
+		for _, s := range shards {
+			if s.I < 0 || s.J < s.I || s.J >= dim {
+				t.Fatalf("dim=%d: shard %+v outside 0 ≤ i ≤ j < dim", dim, s)
+			}
+			if seen[s] {
+				t.Fatalf("dim=%d: duplicate shard %+v", dim, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestAssignEdgeUnique pins the partition property the fuzz target
+// generalises: every oriented edge lands in exactly one shard of the task
+// set, independent of the argument order.
+func TestAssignEdgeUnique(t *testing.T) {
+	g, err := NewGrid(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[Shard]bool{}
+	for _, s := range g.Shards() {
+		valid[s] = true
+	}
+	for u := uint32(0); u < 64; u++ {
+		for v := u + 1; v < 64; v++ {
+			s := g.AssignEdge(u, v)
+			if !valid[s] {
+				t.Fatalf("AssignEdge(%d, %d) = %+v not in the task set", u, v, s)
+			}
+			if r := g.AssignEdge(v, u); r != s {
+				t.Fatalf("AssignEdge not orientation-invariant: (%d,%d)→%+v, (%d,%d)→%+v", u, v, s, v, u, r)
+			}
+			if s.I != g.BlockOf(u) || s.J != g.BlockOf(v) {
+				t.Fatalf("AssignEdge(%d, %d) = %+v, want (%d, %d)", u, v, s, g.BlockOf(u), g.BlockOf(v))
+			}
+		}
+	}
+}
+
+// TestCountShardRefSum is the coverage identity over real graphs: summing
+// the per-shard oracle across the task set reproduces the reference count
+// exactly, for every grid dimension — i.e. every triangle is owned by
+// exactly one shard-pair task.
+func TestCountShardRefSum(t *testing.T) {
+	for name, gr := range workloads(t) {
+		want := graph.CountTrianglesReference(gr)
+		for _, dim := range []int{1, 2, 3, 4, 7} {
+			g, err := NewGrid(dim, gr.NumVertices())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum int64
+			for _, s := range g.Shards() {
+				sum += g.CountShardRef(gr, s.I, s.J)
+			}
+			if sum != want {
+				t.Errorf("%s dim=%d: shard sum %d, reference %d", name, dim, sum, want)
+			}
+		}
+	}
+}

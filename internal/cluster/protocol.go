@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/optlab/opt/internal/storage"
+)
+
+// The coordinator/agent wire protocol is two JSON frames: TaskMessage
+// (coordinator → agent, one shard-pair task) and TaskResultMessage
+// (agent → coordinator, the count plus cost accounting). Frames are
+// self-describing — a task names the grid, the shard coordinates, and a
+// digest of the store it must run against — so an agent can refuse work
+// for a graph it does not hold, and a result can be merged exactly once
+// by task id regardless of which attempt produced it.
+
+// TaskID uniquely identifies one shard-pair task within a distributed
+// job; every attempt of the task (retries, speculative straggler
+// re-dispatches) shares the id, which is what the ledger dedups on.
+type TaskID string
+
+// MakeTaskID derives the canonical task id for shard s of job.
+func MakeTaskID(job string, s Shard) TaskID {
+	return TaskID(fmt.Sprintf("%s/%d-%d", job, s.I, s.J))
+}
+
+// StoreDigest fingerprints the graph store a task must run against. It
+// covers the store identity visible through the header — vertex/edge/page
+// counts, page size, codec — which is enough to catch the operational
+// failure mode (coordinator and agent pointing at different builds of
+// "the same" graph) without hashing gigabytes of pages per task.
+type StoreDigest struct {
+	NumVertices int    `json:"num_vertices"`
+	NumEdges    int64  `json:"num_edges"`
+	NumPages    uint32 `json:"num_pages"`
+	PageSize    int    `json:"page_size"`
+	Codec       string `json:"codec"`
+}
+
+// DigestOf reads the digest fields off an open store.
+func DigestOf(st *storage.Store) StoreDigest {
+	return StoreDigest{
+		NumVertices: st.NumVertices,
+		NumEdges:    st.NumEdges,
+		NumPages:    st.NumPages,
+		PageSize:    st.PageSize,
+		Codec:       st.CodecName(),
+	}
+}
+
+// Sum returns the digest as a short hex string (sha256 over the canonical
+// field encoding), the form carried in TaskMessage frames.
+func (d StoreDigest) Sum() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("optstore|v=%d|e=%d|p=%d|ps=%d|c=%s",
+		d.NumVertices, d.NumEdges, d.NumPages, d.PageSize, d.Codec)))
+	return hex.EncodeToString(h[:8])
+}
+
+// TaskMessage is one coordinator → agent frame: run shard (I, J) of a
+// Grid×Grid decomposition over the agent-local store at Store, whose
+// digest must match Digest.
+type TaskMessage struct {
+	// ID is the ledger identity; all attempts of a task share it.
+	ID TaskID `json:"id"`
+	// Job names the distributed job the task belongs to.
+	Job string `json:"job"`
+	// Grid, I, J are the decomposition coordinates, 0 ≤ I ≤ J < Grid.
+	Grid int `json:"grid"`
+	I    int `json:"i"`
+	J    int `json:"j"`
+	// Store is the agent-local path of the store file.
+	Store string `json:"store"`
+	// Digest is StoreDigest.Sum() of the coordinator's view of the store;
+	// the agent rejects the task if its own store digests differently.
+	Digest string `json:"digest,omitempty"`
+	// Codec and Backend are the per-job engine knobs, forwarded verbatim
+	// into the agent's job options.
+	Codec   string `json:"codec,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	// MemoryPages is the per-task page budget (0 = agent default).
+	MemoryPages int `json:"memory_pages,omitempty"`
+	// Attempt is the 0-based attempt number, for tracing; it does not
+	// change task identity.
+	Attempt int `json:"attempt"`
+}
+
+// Validate checks the frame's internal consistency before dispatch or
+// execution.
+func (t TaskMessage) Validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("cluster: task without id")
+	}
+	if t.Grid < 1 {
+		return fmt.Errorf("cluster: task %s: grid %d, want >= 1", t.ID, t.Grid)
+	}
+	if t.I < 0 || t.J < t.I || t.J >= t.Grid {
+		return fmt.Errorf("cluster: task %s: shard (%d, %d) outside 0 ≤ i ≤ j < %d", t.ID, t.I, t.J, t.Grid)
+	}
+	if t.Store == "" {
+		return fmt.Errorf("cluster: task %s: no store path", t.ID)
+	}
+	if t.MemoryPages < 0 {
+		return fmt.Errorf("cluster: task %s: memory_pages %d, want >= 0", t.ID, t.MemoryPages)
+	}
+	if t.Attempt < 0 {
+		return fmt.Errorf("cluster: task %s: attempt %d, want >= 0", t.ID, t.Attempt)
+	}
+	return nil
+}
+
+// TaskReport is the per-task cost accounting an agent attaches to its
+// result — the distributed analogue of the engine Result counters.
+type TaskReport struct {
+	PagesRead    int64 `json:"pages_read"`
+	IntersectOps int64 `json:"intersect_ops"`
+	ElapsedNS    int64 `json:"elapsed_ns"`
+	// Agent names the node that produced the result (its listen address
+	// under optd), so merge reports show where each shard landed.
+	Agent string `json:"agent,omitempty"`
+}
+
+// TaskResultMessage is one agent → coordinator frame. A transport-level
+// failure surfaces as a Dispatcher error instead; Err carries an
+// agent-side execution failure (store mismatch, injected device fault).
+type TaskResultMessage struct {
+	ID        TaskID     `json:"id"`
+	Attempt   int        `json:"attempt"`
+	Triangles int64      `json:"triangles"`
+	Report    TaskReport `json:"report"`
+	Err       string     `json:"error,omitempty"`
+}

@@ -1,0 +1,306 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/optlab/opt/internal/cluster"
+	"github.com/optlab/opt/internal/events"
+	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/server"
+	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/storage"
+)
+
+// Importing cluster also registers the Shard2D runner, adding it to the
+// single-node differential and fault sweeps in this package.
+
+// distFleet is a set of agent optds serving one store over real HTTP plus
+// the coordinator-side dispatcher pointed at them.
+type distFleet struct {
+	agents []string
+	client *http.Client
+	stop   []func()
+}
+
+// newDistFleet starts n agent optds, each an httptest server over a real
+// job manager with the store registered as "g". middleware (may be nil)
+// wraps agent i's handler — the chaos seam for connection drops and
+// delays. wrapDev (may be nil) wraps agent i's page devices.
+func newDistFleet(t *testing.T, n int, storePath string, middleware func(i int, h http.Handler) http.Handler, wrapDev func(i int) func(ssd.PageDevice) ssd.PageDevice) *distFleet {
+	t.Helper()
+	f := &distFleet{client: &http.Client{Transport: &http.Transport{}}}
+	for i := 0; i < n; i++ {
+		cfg := server.Config{Workers: 2, QueueDepth: 32}
+		if wrapDev != nil {
+			cfg.WrapDevice = wrapDev(i)
+		}
+		mgr := server.New(cfg)
+		if err := mgr.RegisterStore("g", storePath); err != nil {
+			t.Fatal(err)
+		}
+		var h http.Handler = server.NewHandler(mgr)
+		if middleware != nil {
+			h = middleware(i, h)
+		}
+		ts := httptest.NewServer(h)
+		f.agents = append(f.agents, ts.URL)
+		f.stop = append(f.stop, func() {
+			ts.Close()
+			mgr.Drain(5 * time.Second)
+		})
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// Close tears the fleet down; safe to call twice.
+func (f *distFleet) Close() {
+	for _, stop := range f.stop {
+		stop()
+	}
+	f.stop = nil
+	f.client.CloseIdleConnections()
+}
+
+// run drives one distributed job through the coordinator over the wire.
+func (f *distFleet) run(t *testing.T, cfg cluster.CoordinatorConfig) (*cluster.RunReport, error) {
+	t.Helper()
+	cfg.Agents = f.agents
+	coord, err := cluster.NewCoordinator(cfg, &cluster.HTTPDispatcher{Client: f.client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord.Run(context.Background())
+}
+
+// buildStoreFile writes g to a store file and returns its path plus the
+// digest agents must match.
+func buildStoreFile(t *testing.T, g *graph.Graph, codec string) (string, string) {
+	t.Helper()
+	st, _ := buildStoreCodec(t, g, codec)
+	return st.Path, cluster.DigestOf(st).Sum()
+}
+
+// TestDistributedEquivalence is the multi-node differential sweep: a
+// coordinator over {1, 2, 4} real agent optds, for every workload ×
+// codec × grid, must merge exactly the in-memory reference count with no
+// retries, no duplicates, and no leaked goroutines.
+func TestDistributedEquivalence(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for _, w := range workloads(t) {
+		want := graph.CountTrianglesReference(w.g)
+		for _, codec := range codecs {
+			path, digest := buildStoreFile(t, w.g, codec)
+			for _, agents := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("%s/%s/agents=%d", w.name, codec, agents), func(t *testing.T) {
+					fleet := newDistFleet(t, agents, path, nil, nil)
+					defer fleet.Close()
+					for _, grid := range []int{1, 2, 4} {
+						rep, err := fleet.run(t, cluster.CoordinatorConfig{
+							Grid:        grid,
+							Job:         fmt.Sprintf("eq-%d", grid),
+							Store:       "g",
+							Digest:      digest,
+							Codec:       codec,
+							MemoryPages: 8,
+						})
+						if err != nil {
+							t.Fatalf("grid=%d: %v", grid, err)
+						}
+						if rep.Triangles != want {
+							t.Fatalf("grid=%d: merged %d, reference %d", grid, rep.Triangles, want)
+						}
+						tasks := grid * (grid + 1) / 2
+						if rep.Tasks != tasks || len(rep.PerTask) != tasks {
+							t.Fatalf("grid=%d: task accounting off: %+v", grid, rep)
+						}
+						if rep.Retries != 0 || rep.Duplicates != 0 || len(rep.Failed) != 0 {
+							t.Fatalf("grid=%d: healthy fleet reported failures: %+v", grid, rep)
+						}
+					}
+				})
+			}
+		}
+	}
+	waitGoroutines(t, baseline, "distributed equivalence sweep")
+}
+
+// TestDistributedDigestMismatch: an agent holding a different build of the
+// graph must refuse the task inside the protocol frame, and a fleet where
+// someone holds the right build must still converge on the exact count.
+func TestDistributedDigestMismatch(t *testing.T) {
+	g := graph.Complete(25)
+	want := graph.CountTrianglesReference(g)
+	path, digest := buildStoreFile(t, g, storage.CodecRaw)
+	otherPath, _ := buildStoreFile(t, graph.Star(300), storage.CodecRaw)
+
+	// Agent 0 serves the wrong graph under the same store name.
+	fleet := newDistFleet(t, 1, otherPath, nil, nil)
+	right := newDistFleet(t, 1, path, nil, nil)
+	fleet.agents = append(fleet.agents, right.agents...)
+
+	rep, err := fleet.run(t, cluster.CoordinatorConfig{
+		Grid: 2, Job: "digest", Store: "g", Digest: digest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triangles != want {
+		t.Fatalf("merged %d, want %d — wrong-store agent contaminated the count", rep.Triangles, want)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("digest mismatch did not surface as a retried attempt")
+	}
+}
+
+// TestDistributedChaosDeviceFault kills one agent's reads mid-fleet: every
+// task it receives fails with an injected device error inside the result
+// frame, the retry must land on the healthy agent, the merged count must
+// stay exact, and the retries must surface as shard-retried events.
+func TestDistributedChaosDeviceFault(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	g := workloads(t)[3].g // powerlaw
+	want := graph.CountTrianglesReference(g)
+	path, digest := buildStoreFile(t, g, storage.CodecDeltaVarint)
+
+	wrapDev := func(i int) func(ssd.PageDevice) ssd.PageDevice {
+		if i != 0 {
+			return nil
+		}
+		return func(dev ssd.PageDevice) ssd.PageDevice {
+			return &ssd.FaultyDevice{PageDevice: dev, FailEveryN: 1} // every read fails
+		}
+	}
+	fleet := newDistFleet(t, 2, path, nil, wrapDev)
+
+	var retried atomic.Int64
+	rep, err := fleet.run(t, cluster.CoordinatorConfig{
+		Grid: 2, Job: "chaos-dev", Store: "g", Digest: digest, Codec: storage.CodecDeltaVarint,
+		Events: events.Func(func(e events.Event) {
+			if e.Kind == events.ShardRetried {
+				retried.Add(1)
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triangles != want {
+		t.Fatalf("merged %d, want %d", rep.Triangles, want)
+	}
+	if rep.Retries == 0 || retried.Load() == 0 {
+		t.Fatalf("faulty agent produced no retries (report %+v, events %d)", rep, retried.Load())
+	}
+	if rep.Duplicates != 0 || len(rep.Failed) != 0 {
+		t.Fatalf("unexpected duplicates/failures: %+v", rep)
+	}
+	fleet.Close()
+	waitGoroutines(t, baseline, "device-fault chaos")
+}
+
+// TestDistributedChaosAgentKill hard-kills one agent mid-job: after its
+// first served task the agent's connections abort without a response (the
+// crash case, not a polite error frame). Retries must land on the
+// survivor and the merged count must stay exact.
+func TestDistributedChaosAgentKill(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	g := graph.Complete(25)
+	want := graph.CountTrianglesReference(g)
+	path, digest := buildStoreFile(t, g, storage.CodecRaw)
+
+	var served atomic.Int64
+	middleware := func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/tasks" && served.Add(1) > 1 {
+				panic(http.ErrAbortHandler) // drop the connection cold
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+	fleet := newDistFleet(t, 2, path, middleware, nil)
+
+	rep, err := fleet.run(t, cluster.CoordinatorConfig{
+		Grid: 4, Job: "chaos-kill", Store: "g", Digest: digest,
+		SlotsPerAgent: 1, // serialise per agent so the kill lands mid-task-set
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triangles != want {
+		t.Fatalf("merged %d, want %d — a dropped connection corrupted the merge", rep.Triangles, want)
+	}
+	if rep.Retries == 0 {
+		t.Fatalf("killed agent produced no retries: %+v", rep)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("tasks failed despite a healthy survivor: %+v", rep)
+	}
+	fleet.Close()
+	waitGoroutines(t, baseline, "agent-kill chaos")
+}
+
+// TestDistributedChaosStraggler delays one agent far past the straggler
+// deadline: the speculative duplicate on the healthy agent wins, the slow
+// agent's late result still arrives — and must land in the duplicate
+// ledger, never the total.
+func TestDistributedChaosStraggler(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	g := graph.Complete(25)
+	want := graph.CountTrianglesReference(g)
+	path, digest := buildStoreFile(t, g, storage.CodecRaw)
+
+	middleware := func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/tasks" {
+				time.Sleep(300 * time.Millisecond) // well past StragglerAfter
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+	fleet := newDistFleet(t, 2, path, middleware, nil)
+
+	var mu sync.Mutex
+	kinds := map[events.Kind]int{}
+	rep, err := fleet.run(t, cluster.CoordinatorConfig{
+		Grid: 1, Job: "chaos-straggler", Store: "g", Digest: digest,
+		StragglerAfter: 50 * time.Millisecond,
+		Events: events.Func(func(e events.Event) {
+			mu.Lock()
+			kinds[e.Kind]++
+			mu.Unlock()
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triangles != want {
+		t.Fatalf("merged %d, want %d — the straggler's late result double-counted", rep.Triangles, want)
+	}
+	if rep.Stragglers == 0 {
+		t.Fatalf("no speculative re-dispatch: %+v", rep)
+	}
+	if rep.Duplicates == 0 {
+		t.Fatalf("late straggler result never reached the ledger: %+v", rep)
+	}
+	mu.Lock()
+	if kinds[events.ShardMerged] != 1 {
+		t.Fatalf("shard-merged events = %d, want exactly 1 for 1 task", kinds[events.ShardMerged])
+	}
+	mu.Unlock()
+	fleet.Close()
+	waitGoroutines(t, baseline, "straggler chaos")
+}

@@ -84,6 +84,15 @@ type Options struct {
 	TempDir string
 	// Events receives progress events (nil disables the event layer).
 	Events events.Sink
+	// ShardGrid selects the 2D vertex-block grid dimension g of the
+	// distributed layer (DESIGN.md §15): the vertex id space splits into g
+	// contiguous blocks and a run is restricted to one block-pair task.
+	// 0 disables sharding (and is the only value runners without shard
+	// support accept); 1 is a single task covering the whole store.
+	ShardGrid int
+	// ShardI and ShardJ are the block-pair coordinates of the task to run,
+	// 0 ≤ ShardI ≤ ShardJ < ShardGrid. Both must be 0 when ShardGrid is 0.
+	ShardI, ShardJ int
 }
 
 // IterationStat describes one outer-loop iteration of an overlapped run
@@ -169,6 +178,19 @@ func (o Options) Validate(info Info) error {
 		if k.v < 0 {
 			return fmt.Errorf("engine: Options.%s must be non-negative, got %d", k.field, k.v)
 		}
+	}
+	if o.ShardGrid < 0 {
+		return fmt.Errorf("engine: Options.ShardGrid must be non-negative, got %d", o.ShardGrid)
+	}
+	if (o.ShardGrid != 0 || o.ShardI != 0 || o.ShardJ != 0) && !info.Shards {
+		return fmt.Errorf("engine: Options.ShardGrid is unsupported by %s: it has no 2D shard decomposition", info.Name)
+	}
+	if o.ShardGrid == 0 {
+		if o.ShardI != 0 || o.ShardJ != 0 {
+			return fmt.Errorf("engine: Options.ShardI/ShardJ = (%d, %d) require Options.ShardGrid > 0", o.ShardI, o.ShardJ)
+		}
+	} else if o.ShardI < 0 || o.ShardJ < o.ShardI || o.ShardJ >= o.ShardGrid {
+		return fmt.Errorf("engine: Options.ShardI/ShardJ = (%d, %d) outside 0 ≤ i ≤ j < %d", o.ShardI, o.ShardJ, o.ShardGrid)
 	}
 	if f := o.MemoryFraction; f < 0 || f > 1 {
 		return fmt.Errorf("engine: Options.MemoryFraction must lie in (0, 1], got %v", f)

@@ -64,6 +64,7 @@ func TestBudget(t *testing.T) {
 func TestValidate(t *testing.T) {
 	full := Info{Name: "full", ListsTriangles: true, Models: true, Parallel: true}
 	counting := Info{Name: "counting"}
+	sharded := Info{Name: "sharded", Shards: true}
 	cb := func(u, v uint32, ws []uint32) {}
 	cases := []struct {
 		name    string
@@ -84,6 +85,14 @@ func TestValidate(t *testing.T) {
 		{"model on modelled method", Options{Model: ModelVertex}, full, false},
 		{"known codec", Options{Codec: "deltavarint"}, full, false},
 		{"unknown codec", Options{Codec: "zstd"}, full, true},
+		{"shard grid on sharded method", Options{ShardGrid: 4, ShardI: 1, ShardJ: 3}, sharded, false},
+		{"shard grid on unsharded method", Options{ShardGrid: 4}, full, true},
+		{"shard i without grid", Options{ShardI: 1, ShardJ: 1}, sharded, true},
+		{"negative shard grid", Options{ShardGrid: -1}, sharded, true},
+		{"inverted shard pair", Options{ShardGrid: 4, ShardI: 3, ShardJ: 1}, sharded, true},
+		{"shard j at grid", Options{ShardGrid: 4, ShardI: 0, ShardJ: 4}, sharded, true},
+		{"negative shard i", Options{ShardGrid: 4, ShardI: -1, ShardJ: 0}, sharded, true},
+		{"diagonal shard", Options{ShardGrid: 4, ShardI: 2, ShardJ: 2}, sharded, false},
 	}
 	for _, tc := range cases {
 		err := tc.opts.Validate(tc.info)
@@ -113,6 +122,8 @@ func TestValidateNamesOffendingField(t *testing.T) {
 		{"OnTriangles", Options{OnTriangles: func(u, v uint32, ws []uint32) {}}, counting},
 		{"Model", Options{Model: ModelVertex}, counting},
 		{"Codec", Options{Codec: "zstd"}, full},
+		{"ShardGrid", Options{ShardGrid: 2}, full},
+		{"ShardI", Options{ShardI: 1}, Info{Name: "sharded", Shards: true}},
 	}
 	for _, tc := range cases {
 		err := tc.opts.Validate(tc.info)

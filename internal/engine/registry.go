@@ -20,6 +20,9 @@ type Info struct {
 	Models bool
 	// Parallel reports whether the runner uses Options.Threads.
 	Parallel bool
+	// Shards reports whether the runner honours the Options.ShardGrid /
+	// ShardI / ShardJ block-pair restriction of the distributed layer.
+	Shards bool
 }
 
 var (

@@ -61,6 +61,18 @@ const (
 	// back to buffered reads — the store offset or page size is unaligned,
 	// or the filesystem rejected the open (N = 1 per open).
 	DirectFallback
+	// ShardDispatched reports one shard-pair task sent to an agent by the
+	// distributed coordinator (Iteration = task index; N = attempt number,
+	// 1 for the first dispatch).
+	ShardDispatched
+	// ShardRetried reports a shard-pair task re-dispatched after an agent
+	// failure or a straggler deadline (Iteration = task index; N = attempt
+	// number of the replacement dispatch).
+	ShardRetried
+	// ShardMerged reports a shard-pair task result merged exactly once into
+	// the distributed total (Iteration = task index; N = triangles the task
+	// contributed; Elapsed = the task's agent-side wall time).
+	ShardMerged
 )
 
 // String implements fmt.Stringer.
@@ -94,6 +106,12 @@ func (k Kind) String() string {
 		return "ring-depth"
 	case DirectFallback:
 		return "direct-fallback"
+	case ShardDispatched:
+		return "shard-dispatched"
+	case ShardRetried:
+		return "shard-retried"
+	case ShardMerged:
+		return "shard-merged"
 	default:
 		return "unknown-event"
 	}

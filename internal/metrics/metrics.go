@@ -39,6 +39,11 @@ type Collector struct {
 	batchedReads     atomic.Int64 // SQEs covered by those batches
 	ringDepth        atomic.Int64 // SQ entries of the active ring (0 = no ring)
 	directFallbacks  atomic.Int64 // O_DIRECT opens that fell back to buffered
+
+	// Distributed-coordinator counters (DESIGN.md §15).
+	shardsDispatched atomic.Int64 // shard-pair task dispatches (incl. retries)
+	shardsRetried    atomic.Int64 // re-dispatches after agent loss / stragglers
+	shardsMerged     atomic.Int64 // task results merged exactly once
 }
 
 // NewCollector returns an empty Collector.
@@ -142,8 +147,24 @@ func (c *Collector) Event(e events.Event) {
 		c.SetRingDepth(e.N)
 	case events.DirectFallback:
 		c.AddDirectFallbacks(e.N)
+	case events.ShardDispatched:
+		c.shardsDispatched.Add(1)
+	case events.ShardRetried:
+		c.shardsRetried.Add(1)
+	case events.ShardMerged:
+		c.shardsMerged.Add(1)
 	}
 }
+
+// ShardsDispatched returns the shard-pair task dispatches observed
+// (retries included).
+func (c *Collector) ShardsDispatched() int64 { return c.shardsDispatched.Load() }
+
+// ShardsRetried returns the shard-pair re-dispatches observed.
+func (c *Collector) ShardsRetried() int64 { return c.shardsRetried.Load() }
+
+// ShardsMerged returns the shard-pair results merged into the total.
+func (c *Collector) ShardsMerged() int64 { return c.shardsMerged.Load() }
 
 // Iterations returns the number of IterationEnd events observed.
 func (c *Collector) Iterations() int64 { return c.iterations.Load() }
@@ -238,6 +259,9 @@ func (c *Collector) Reset() {
 	c.batchedReads.Store(0)
 	c.ringDepth.Store(0)
 	c.directFallbacks.Store(0)
+	c.shardsDispatched.Store(0)
+	c.shardsRetried.Store(0)
+	c.shardsMerged.Store(0)
 }
 
 // Snapshot is an immutable copy of a Collector's counters. The JSON tags
@@ -263,6 +287,10 @@ type Snapshot struct {
 	BatchedReads     int64 `json:"batched_reads"`
 	RingDepth        int64 `json:"ring_depth"`
 	DirectFallbacks  int64 `json:"direct_fallbacks"`
+
+	ShardsDispatched int64 `json:"shards_dispatched"`
+	ShardsRetried    int64 `json:"shards_retried"`
+	ShardsMerged     int64 `json:"shards_merged"`
 
 	IOWait         time.Duration `json:"io_wait_ns"`
 	ParallelWork   time.Duration `json:"parallel_work_ns"`
@@ -292,6 +320,10 @@ func (c *Collector) Snapshot() Snapshot {
 		RingDepth:        c.ringDepth.Load(),
 		DirectFallbacks:  c.directFallbacks.Load(),
 
+		ShardsDispatched: c.shardsDispatched.Load(),
+		ShardsRetried:    c.shardsRetried.Load(),
+		ShardsMerged:     c.shardsMerged.Load(),
+
 		IOWait:         time.Duration(c.ioWait.Load()),
 		ParallelWork:   time.Duration(c.parallelWork.Load()),
 		SerialWork:     time.Duration(c.serialWork.Load()),
@@ -306,6 +338,10 @@ func (s Snapshot) String() string {
 	if s.RingDepth > 0 || s.SubmittedBatches > 0 || s.DirectFallbacks > 0 {
 		out += fmt.Sprintf(" ring=%d batches=%d(%dr) directfb=%d",
 			s.RingDepth, s.SubmittedBatches, s.BatchedReads, s.DirectFallbacks)
+	}
+	if s.ShardsDispatched > 0 || s.ShardsMerged > 0 {
+		out += fmt.Sprintf(" shards=%d/%dd retried=%d",
+			s.ShardsMerged, s.ShardsDispatched, s.ShardsRetried)
 	}
 	return out
 }

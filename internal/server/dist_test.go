@@ -1,0 +1,350 @@
+// Distributed-layer serving tests: the agent /tasks endpoint, the
+// coordinator /dist/jobs lifecycle over real HTTP agents, the aggregated
+// shard SSE stream, and cancellation.
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/optlab/opt/internal/cluster"
+	"github.com/optlab/opt/internal/graph"
+	"github.com/optlab/opt/internal/server"
+	"github.com/optlab/opt/internal/storage"
+)
+
+// buildDistStore writes g to a store file and returns (path, digest).
+func buildDistStore(t *testing.T, g *graph.Graph) (string, string) {
+	t.Helper()
+	path := buildStore(t, g, 128)
+	st, err := storage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, cluster.DigestOf(st).Sum()
+}
+
+// newAgent starts one agent optd over HTTP with the store registered as
+// "g", torn down (server first, then drain) at test end.
+func newAgent(t *testing.T, storePath string) (*httptest.Server, *server.Manager) {
+	t.Helper()
+	mgr := server.New(server.Config{Workers: 2, QueueDepth: 16})
+	if err := mgr.RegisterStore("g", storePath); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewHandler(mgr))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Drain(5 * time.Second)
+	})
+	return ts, mgr
+}
+
+func postTask(t *testing.T, ts *httptest.Server, task cluster.TaskMessage) (int, cluster.TaskResultMessage) {
+	t.Helper()
+	body, err := json.Marshal(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/tasks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res cluster.TaskResultMessage
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, res
+}
+
+// TestTasksEndpoint drives the agent role over the wire: a valid frame
+// executes through the job substrate and answers with the exact per-shard
+// count; digest drift and malformed frames are rejected the right way
+// (inside the frame vs. as an HTTP error).
+func TestTasksEndpoint(t *testing.T) {
+	g := graph.Complete(20)
+	path, digest := buildDistStore(t, g)
+	ts, mgr := newAgent(t, path)
+
+	grid, err := cluster.NewGrid(2, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, s := range grid.Shards() {
+		task := cluster.TaskMessage{
+			ID: cluster.MakeTaskID("w", s), Job: "w",
+			Grid: 2, I: s.I, J: s.J,
+			Store: "g", Digest: digest,
+		}
+		code, res := postTask(t, ts, task)
+		if code != http.StatusOK {
+			t.Fatalf("shard %+v: status %d", s, code)
+		}
+		if res.Err != "" {
+			t.Fatalf("shard %+v: frame error %q", s, res.Err)
+		}
+		if res.ID != task.ID {
+			t.Fatalf("shard %+v: result id %q", s, res.ID)
+		}
+		if ref := grid.CountShardRef(g, s.I, s.J); res.Triangles != ref {
+			t.Fatalf("shard %+v: %d, oracle %d", s, res.Triangles, ref)
+		}
+		sum += res.Triangles
+	}
+	if want := graph.CountTrianglesReference(g); sum != want {
+		t.Fatalf("shard sum %d, reference %d", sum, want)
+	}
+
+	// Digest drift: an execution failure inside the frame, not an HTTP
+	// error — another agent may hold the right build.
+	code, res := postTask(t, ts, cluster.TaskMessage{
+		ID: "w/0-0", Job: "w", Grid: 1, Store: "g", Digest: "0000000000000000",
+	})
+	if code != http.StatusOK || res.Err == "" {
+		t.Fatalf("digest drift: status %d, frame err %q; want 200 + in-frame error", code, res.Err)
+	}
+
+	// Malformed frames and unknown stores are admission failures.
+	if code, _ := postTask(t, ts, cluster.TaskMessage{ID: "w/1-0", Job: "w", Grid: 2, I: 1, J: 0, Store: "g"}); code != http.StatusBadRequest {
+		t.Fatalf("inverted shard: status %d, want 400", code)
+	}
+	if code, _ := postTask(t, ts, cluster.TaskMessage{ID: "w/0-0", Job: "w", Grid: 1, Store: "nope"}); code != http.StatusBadRequest {
+		t.Fatalf("unknown store: status %d, want 400", code)
+	}
+
+	// The substrate's result cache serves a re-dispatched twin: same task
+	// again must hit the digest cache.
+	before := mgr.CacheHits()
+	if code, _ := postTask(t, ts, cluster.TaskMessage{
+		ID: cluster.MakeTaskID("w", cluster.Shard{I: 0, J: 1}), Job: "w",
+		Grid: 2, I: 0, J: 1, Store: "g", Digest: digest,
+	}); code != http.StatusOK {
+		t.Fatalf("re-dispatch: status %d", code)
+	}
+	if mgr.CacheHits() == before {
+		t.Fatal("re-dispatched twin missed the result cache")
+	}
+}
+
+// TestDistJobLifecycle is the coordinator E2E over real HTTP agents:
+// submit via POST /dist/jobs, watch the aggregated shard SSE stream, and
+// read back the exact merged report.
+func TestDistJobLifecycle(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	// Registered before the agents so it runs after their teardown (LIFO).
+	t.Cleanup(func() { waitGoroutines(t, baseline) })
+	g := graph.Complete(25)
+	want := graph.CountTrianglesReference(g)
+	path, _ := buildDistStore(t, g)
+	agent1, _ := newAgent(t, path)
+	agent2, _ := newAgent(t, path)
+
+	coord := server.New(server.Config{Workers: 2, QueueDepth: 16})
+	if err := coord.RegisterStore("g", path); err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(server.NewHandler(coord))
+	defer func() {
+		cts.Close()
+		coord.Drain(5 * time.Second)
+	}()
+
+	spec := server.DistSpec{
+		Store:  "g",
+		Agents: []string{agent1.URL, agent2.URL},
+		Grid:   2,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := cts.Client().Post(cts.URL+"/dist/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.DistStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, st.ID)
+	}
+	if st.Tasks != 3 {
+		t.Fatalf("tasks = %d, want 3 for a 2×2 grid", st.Tasks)
+	}
+
+	// The SSE stream aggregates per-shard progress; reading to the "done"
+	// frame doubles as completion wait.
+	sresp, err := cts.Client().Get(cts.URL + "/dist/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	kinds := map[string]int{}
+	var done bool
+	scanner := bufio.NewScanner(sresp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, "event: done") {
+			done = true
+		}
+		if strings.HasPrefix(line, "data: ") && !done {
+			var e struct {
+				Kind string `json:"kind"`
+			}
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &e); err == nil {
+				kinds[e.Kind]++
+			}
+		}
+		if done && strings.HasPrefix(line, "data: ") {
+			break
+		}
+	}
+	if !done {
+		t.Fatalf("stream ended without a done frame (kinds %v)", kinds)
+	}
+	if kinds["shard-dispatched"] != 3 || kinds["shard-merged"] != 3 {
+		t.Fatalf("shard event kinds = %v, want 3 dispatched + 3 merged", kinds)
+	}
+
+	// Final status: exact merge, metrics attached, listed.
+	gresp, err := cts.Client().Get(cts.URL + "/dist/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final server.DistStatus
+	if err := json.NewDecoder(gresp.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if final.State != "done" {
+		t.Fatalf("state %q, error %q", final.State, final.Error)
+	}
+	if final.Report == nil || final.Report.Triangles != want {
+		t.Fatalf("report %+v, want %d triangles", final.Report, want)
+	}
+	if final.Report.Duplicates != 0 || len(final.Report.Failed) != 0 {
+		t.Fatalf("clean fleet reported %+v", final.Report)
+	}
+	if final.Metrics == nil || final.Metrics.ShardsMerged != 3 {
+		t.Fatalf("metrics %+v, want 3 shards merged", final.Metrics)
+	}
+
+	lresp, err := cts.Client().Get(cts.URL + "/dist/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []server.DistStatus
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+// TestSubmitDistValidation covers the admission failures of the
+// distributed submit path.
+func TestSubmitDistValidation(t *testing.T) {
+	g := graph.Complete(10)
+	path, _ := buildDistStore(t, g)
+	mgr := server.New(server.Config{})
+	t.Cleanup(func() { mgr.Drain(time.Second) })
+	if err := mgr.RegisterStore("g", path); err != nil {
+		t.Fatal(err)
+	}
+	cases := []server.DistSpec{
+		{Store: "g"},                                              // no agents, no default fleet
+		{Store: "g", Agents: []string{"http://a"}, Grid: -1},      // bad grid
+		{Store: "nope", Agents: []string{"http://a"}},             // unknown store
+		{Store: "g", Agents: []string{"http://a"}, Timeout: "x"},  // bad duration
+		{Store: "g", Agents: []string{"http://a"}, RetryBackoff: "-1s"},
+		{Store: "g", Agents: []string{"http://a"}, StragglerAfter: "zzz"},
+	}
+	for i, spec := range cases {
+		if _, err := mgr.SubmitDist(spec); err == nil {
+			t.Errorf("case %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+// TestDistCancel: a distributed job stuck on unreachable agents is
+// cancelled via the manager and lands in the canceled state with a partial
+// (empty) report.
+func TestDistCancel(t *testing.T) {
+	g := graph.Complete(10)
+	path, _ := buildDistStore(t, g)
+	blocked := make(chan struct{})
+	mgr := server.New(server.Config{
+		Dispatcher: cluster.DispatchFunc(func(ctx context.Context, agent string, task cluster.TaskMessage) (cluster.TaskResultMessage, error) {
+			select {
+			case <-blocked:
+			case <-ctx.Done():
+			}
+			return cluster.TaskResultMessage{}, ctx.Err()
+		}),
+	})
+	t.Cleanup(func() { close(blocked); mgr.Drain(5 * time.Second) })
+	if err := mgr.RegisterStore("g", path); err != nil {
+		t.Fatal(err)
+	}
+	job, err := mgr.SubmitDist(server.DistSpec{Store: "g", Agents: []string{"a"}, Grid: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.CancelDist(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled job never terminated")
+	}
+	if got := job.State().String(); got != "canceled" {
+		t.Fatalf("state %q, want canceled", got)
+	}
+	if _, err := mgr.CancelDist("d999"); err == nil {
+		t.Fatal("cancel of unknown dist job succeeded")
+	}
+}
+
+// TestDistDefaultAgents: a spec naming no agents falls back to the
+// manager's configured fleet (the optd -agents flag).
+func TestDistDefaultAgents(t *testing.T) {
+	g := graph.Complete(15)
+	want := graph.CountTrianglesReference(g)
+	path, _ := buildDistStore(t, g)
+	agent, _ := newAgent(t, path)
+
+	mgr := server.New(server.Config{DefaultAgents: []string{agent.URL}})
+	t.Cleanup(func() { mgr.Drain(5 * time.Second) })
+	if err := mgr.RegisterStore("g", path); err != nil {
+		t.Fatal(err)
+	}
+	job, err := mgr.SubmitDist(server.DistSpec{Store: "g", Grid: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	rep, err := job.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triangles != want {
+		t.Fatalf("merged %d, want %d", rep.Triangles, want)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"github.com/optlab/opt/internal/cluster"
 )
 
 // retryAfterSeconds is the backpressure hint sent with 429/503 responses.
@@ -22,6 +24,16 @@ const retryAfterSeconds = "1"
 //	GET    /jobs/{id}/events server-sent progress events
 //	GET    /stores           registered store names
 //	GET    /healthz          daemon stats (queue, budget, cache)
+//
+// The distributed layer adds:
+//
+//	POST   /tasks                 execute one shard-pair task (agent role);
+//	                              runs through the ordinary job substrate
+//	POST   /dist/jobs             submit a distributed job (coordinator role)
+//	GET    /dist/jobs             list distributed jobs
+//	GET    /dist/jobs/{id}        distributed job status and merge report
+//	DELETE /dist/jobs/{id}        cancel a distributed job
+//	GET    /dist/jobs/{id}/events aggregated per-shard progress (SSE)
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	h := &api{m: m}
@@ -32,6 +44,12 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/events", h.stream)
 	mux.HandleFunc("GET /stores", h.stores)
 	mux.HandleFunc("GET /healthz", h.health)
+	mux.HandleFunc("POST /tasks", h.task)
+	mux.HandleFunc("POST /dist/jobs", h.distSubmit)
+	mux.HandleFunc("GET /dist/jobs", h.distList)
+	mux.HandleFunc("GET /dist/jobs/{id}", h.distGet)
+	mux.HandleFunc("DELETE /dist/jobs/{id}", h.distCancel)
+	mux.HandleFunc("GET /dist/jobs/{id}/events", h.distStream)
 	return mux
 }
 
@@ -123,6 +141,13 @@ func (h *api) stream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, ErrNotFound)
 		return
 	}
+	streamHub(w, r, job.hub, func() any { return job.Status() })
+}
+
+// streamHub is the shared SSE pump behind the local and distributed event
+// endpoints: replay, then live events, then one "done" frame with the
+// final status once the hub closes.
+func streamHub(w http.ResponseWriter, r *http.Request, hub *eventHub, final func() any) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, errors.New("server: streaming unsupported by this connection"))
@@ -132,7 +157,7 @@ func (h *api) stream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	replay, live, cancel := job.hub.Subscribe()
+	replay, live, cancel := hub.Subscribe()
 	defer cancel()
 	for _, e := range replay {
 		if err := writeSSE(w, "progress", sseEvent{
@@ -147,7 +172,7 @@ func (h *api) stream(w http.ResponseWriter, r *http.Request) {
 		case e, ok := <-live:
 			if !ok {
 				// Hub closed: the job is terminal; send the final status.
-				_ = writeSSE(w, "done", job.Status())
+				_ = writeSSE(w, "done", final())
 				flusher.Flush()
 				return
 			}
@@ -161,6 +186,72 @@ func (h *api) stream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// task is the agent role's endpoint: execute one shard-pair task frame
+// through the local job substrate and answer with the result frame.
+func (h *api) task(w http.ResponseWriter, r *http.Request) {
+	var t cluster.TaskMessage
+	if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+		writeError(w, errors.Join(ErrBadRequest, err))
+		return
+	}
+	res, err := h.m.RunTask(r.Context(), t)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (h *api) distSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec DistSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, errors.Join(ErrBadRequest, err))
+		return
+	}
+	job, err := h.m.SubmitDist(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (h *api) distList(w http.ResponseWriter, r *http.Request) {
+	jobs := h.m.DistJobs()
+	out := make([]DistStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *api) distGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.m.GetDist(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (h *api) distCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := h.m.CancelDist(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (h *api) distStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.m.GetDist(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNotFound)
+		return
+	}
+	streamHub(w, r, job.hub, func() any { return job.Status() })
 }
 
 func (h *api) stores(w http.ResponseWriter, r *http.Request) {

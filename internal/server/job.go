@@ -83,6 +83,13 @@ type Spec struct {
 	// ("portable", "native", "auto"; empty resolves via OPT_BACKEND then
 	// portable). Unknown names are rejected at admission.
 	Backend string `json:"backend,omitempty"`
+	// ShardGrid, ShardI, ShardJ restrict the job to one block-pair task of
+	// the 2D distributed decomposition (0/0/0 = unsharded). Only shard-aware
+	// algorithms accept them; agent optds receive their tasks as ordinary
+	// jobs carrying these fields.
+	ShardGrid int `json:"shard_grid,omitempty"`
+	ShardI    int `json:"shard_i,omitempty"`
+	ShardJ    int `json:"shard_j,omitempty"`
 }
 
 // engineOptions translates the spec into engine.Options (without an event
@@ -98,6 +105,9 @@ func (s Spec) engineOptions() (engine.Options, error) {
 		CollectIterStats: s.CollectIterStats,
 		Codec:            s.Codec,
 		Backend:          s.Backend,
+		ShardGrid:        s.ShardGrid,
+		ShardI:           s.ShardI,
+		ShardJ:           s.ShardJ,
 	}
 	switch s.Model {
 	case "", "edge":
@@ -133,6 +143,9 @@ func (s Spec) digest(storePath string) string {
 	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00%d\x00%v\x00%d\x00%d\x00%d\x00%v\x00%s\x00%s",
 		storePath, s.Algorithm, s.Model, s.Threads, s.MemoryPages, s.MemoryFraction,
 		s.QueueDepth, s.MaxCoalescePages, s.PrefetchDepth, s.CollectIterStats, s.Codec, s.Backend)
+	// The shard coordinates are part of the computation's identity: two
+	// block-pair tasks over the same store must never share a cache entry.
+	fmt.Fprintf(h, "\x00%d\x00%d\x00%d", s.ShardGrid, s.ShardI, s.ShardJ)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

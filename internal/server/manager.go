@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/optlab/opt/internal/cluster"
 	"github.com/optlab/opt/internal/engine"
 	"github.com/optlab/opt/internal/events"
 	"github.com/optlab/opt/internal/metrics"
@@ -64,6 +65,16 @@ type Config struct {
 	// (inUse, total) — the accounting hook the backpressure tests assert
 	// the never-exceeded invariant through.
 	OnBudget func(inUse, total int)
+	// WrapDevice, when non-nil, wraps every job's page device before the
+	// run starts — the fault-injection seam the distributed chaos tests use
+	// to make one agent's reads fail mid-shard.
+	WrapDevice func(ssd.PageDevice) ssd.PageDevice
+	// Dispatcher overrides how distributed jobs reach their agents (nil
+	// selects the HTTP wire protocol).
+	Dispatcher cluster.Dispatcher
+	// DefaultAgents are the agent identities a distributed job falls back
+	// to when its spec names none (the optd -agents flag).
+	DefaultAgents []string
 }
 
 // Manager owns the job table, the worker pool, and the admission state.
@@ -85,6 +96,10 @@ type Manager struct {
 	opened   map[string]*storage.Store
 	cache    map[string]*cacheEntry
 	hits     int64
+
+	distSeq   int64
+	distJobs  map[string]*DistJob
+	distOrder []*DistJob
 }
 
 // cacheEntry is a digest-keyed completed result.
@@ -108,10 +123,11 @@ func New(cfg Config) *Manager {
 		cfg:    cfg,
 		budget: NewPageBudget(cfg.TotalPages),
 		queue:  make(chan *Job, cfg.QueueDepth),
-		jobs:   make(map[string]*Job),
-		stores: make(map[string]string),
-		opened: make(map[string]*storage.Store),
-		cache:  make(map[string]*cacheEntry),
+		jobs:     make(map[string]*Job),
+		stores:   make(map[string]string),
+		opened:   make(map[string]*storage.Store),
+		cache:    make(map[string]*cacheEntry),
+		distJobs: make(map[string]*DistJob),
 	}
 	m.budget.SetHook(cfg.OnBudget)
 	m.rootCtx, m.cancelJobs = context.WithCancel(context.Background())
@@ -402,6 +418,9 @@ func (m *Manager) run(job *Job) {
 	if err != nil {
 		job.finish(StateFailed, nil, fmt.Errorf("server: job %s opening device: %w", job.ID, err))
 		return
+	}
+	if m.cfg.WrapDevice != nil {
+		dev = m.cfg.WrapDevice(dev)
 	}
 
 	tempDir, err := os.MkdirTemp(m.cfg.TempDir, "optd-job-")

@@ -16,6 +16,7 @@ import (
 	_ "github.com/optlab/opt/internal/baselines/cc"
 	_ "github.com/optlab/opt/internal/baselines/gchi"
 	_ "github.com/optlab/opt/internal/baselines/mgt"
+	_ "github.com/optlab/opt/internal/cluster"
 	_ "github.com/optlab/opt/internal/core"
 )
 
@@ -124,6 +125,11 @@ const (
 	// GraphChiTri is GraphChi's triangle-counting application (counting
 	// only).
 	GraphChiTri
+	// Shard2D is one block-pair task of the distributed 2D decomposition
+	// (DESIGN.md §15): with ShardGrid 0 it is a full single-task count; with
+	// a grid it counts only the triangles whose base edge spans blocks
+	// (ShardI, ShardJ). Agent optds run distributed tasks through it.
+	Shard2D
 )
 
 // String implements fmt.Stringer. The spelling doubles as the execution
@@ -142,6 +148,8 @@ func (a Algorithm) String() string {
 		return "CC-DS"
 	case GraphChiTri:
 		return "GraphChi-Tri"
+	case Shard2D:
+		return "Shard2D"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -193,6 +201,11 @@ const (
 	EventPagesWritten   = events.PagesWritten
 	EventTrianglesFound = events.TrianglesFound
 	EventMorph          = events.Morph
+	// Distributed-layer kinds, emitted by the optd coordinator while a
+	// sharded job progresses.
+	EventShardDispatched = events.ShardDispatched
+	EventShardRetried    = events.ShardRetried
+	EventShardMerged     = events.ShardMerged
 )
 
 // Options configures Triangulate.
@@ -247,6 +260,12 @@ type Options struct {
 	// environment variable and then defaults to portable. Off Linux the
 	// native and auto backends open the portable device.
 	Backend string
+	// ShardGrid, ShardI, ShardJ restrict a shard-aware algorithm (Shard2D)
+	// to one block-pair task of the distributed 2D decomposition:
+	// 0 ≤ ShardI ≤ ShardJ < ShardGrid. All zero disables sharding.
+	ShardGrid int
+	ShardI    int
+	ShardJ    int
 }
 
 // IterationStat mirrors engine.IterationStat for the public API.
@@ -341,6 +360,9 @@ func TriangulateContext(ctx context.Context, s *Store, opts Options) (res *Resul
 		TempDir:          opts.TempDir,
 		Codec:            opts.Codec,
 		Backend:          opts.Backend,
+		ShardGrid:        opts.ShardGrid,
+		ShardI:           opts.ShardI,
+		ShardJ:           opts.ShardJ,
 		Events:           sink,
 	})
 	if eres == nil {
