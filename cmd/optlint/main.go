@@ -16,7 +16,10 @@
 // -parallel N fans the per-package analyzer runs over N workers (findings
 // are position-sorted, so the output is identical at any width).
 // -debug-summary dumps each function's computed summary as JSON, one per
-// line, instead of running the analyzers.
+// line, instead of running the analyzers. -graph dumps the module's
+// lock-order graph (DESIGN.md §16) as GraphViz DOT instead of findings.
+// -rules prints the registered analyzer table — one "name<TAB>doc" line
+// per rule, or a JSON array under -json — without loading any packages.
 //
 // Usage:
 //
@@ -25,9 +28,12 @@
 //	go run ./cmd/optlint -sarif ./... > optlint.sarif
 //	go run ./cmd/optlint -summary-cache /tmp/optlint.summaries ./...
 //	go run ./cmd/optlint -debug-summary ./internal/core
+//	go run ./cmd/optlint -graph ./... | dot -Tsvg > locks.svg
+//	go run ./cmd/optlint -rules -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,10 +51,21 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of concurrent per-package analyzer workers")
 	cacheFile := flag.String("summary-cache", "", "read/write interprocedural summaries at this path, keyed by a source fingerprint")
 	debugSummary := flag.Bool("debug-summary", false, "print every function summary as JSON (one per line) and exit")
+	dumpGraph := flag.Bool("graph", false, "print the module's lock-order graph as GraphViz DOT and exit")
+	listRules := flag.Bool("rules", false, "print the analyzer table (name and one-line doc) and exit; -json for machine-readable output")
 	flag.Parse()
 
 	if *jsonOut && *sarifOut {
 		fatal(fmt.Errorf("-json and -sarif are mutually exclusive"))
+	}
+	if *listRules {
+		if *sarifOut {
+			fatal(fmt.Errorf("-rules supports text or -json output only"))
+		}
+		if err := writeRules(os.Stdout, lint.Default(""), *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	patterns := flag.Args()
@@ -81,6 +98,15 @@ func main() {
 			if err := prog.DebugSummaries(os.Stdout); err != nil {
 				return nil, false, err
 			}
+			os.Exit(0)
+		}
+		if *dumpGraph {
+			if err := prog.WriteLockGraphDOT(os.Stdout); err != nil {
+				return nil, false, err
+			}
+			nodes, edges, cycles := prog.LockGraphSize()
+			fmt.Fprintf(os.Stderr, "optlint: lock graph: %d locks, %d order edges, %d cycles\n",
+				nodes, edges, cycles)
 			os.Exit(0)
 		}
 		findings = lint.AnalyzeProgram(prog, pkgs, analyzers, *parallel)
@@ -179,6 +205,32 @@ func buildProgram(pkgs []*lint.Package, cacheFile string) (*lint.Program, error)
 		}
 	}
 	return prog, nil
+}
+
+// writeRules prints the registered analyzer table: one "name<TAB>doc"
+// line per rule in registration order, or a JSON array of {name, doc}
+// objects when asJSON is set. The driver test diffs this against the
+// table README.md documents, so the two cannot drift apart.
+func writeRules(w io.Writer, analyzers []*lint.Analyzer, asJSON bool) error {
+	if asJSON {
+		type rule struct {
+			Name string `json:"name"`
+			Doc  string `json:"doc"`
+		}
+		rules := make([]rule, 0, len(analyzers))
+		for _, a := range analyzers {
+			rules = append(rules, rule{Name: a.Name, Doc: a.Doc})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rules)
+	}
+	for _, a := range analyzers {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", a.Name, a.Doc); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeFile replaces path's content, preserving its permission bits.

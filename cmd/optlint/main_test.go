@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -149,6 +150,98 @@ func TestDriverParallelDeterminism(t *testing.T) {
 				t.Fatalf("-parallel %s round %d output diverges:\nbase:\n%s\ngot:\n%s", workers, round, base, out)
 			}
 		}
+	}
+}
+
+// TestDriverRules pins the -rules contract and cross-checks it against
+// the analyzer table README.md documents: same rules, same order, so the
+// docs cannot drift from the binary.
+func TestDriverRules(t *testing.T) {
+	out, stderr, code := runOptlint(t, "-rules")
+	if code != 0 {
+		t.Fatalf("-rules exited %d\nstderr: %s", code, stderr)
+	}
+	var textNames []string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		name, doc, ok := strings.Cut(line, "\t")
+		if !ok || name == "" || doc == "" {
+			t.Fatalf("-rules line is not name<TAB>doc: %q", line)
+		}
+		textNames = append(textNames, name)
+	}
+
+	jsonOut, stderr, code := runOptlint(t, "-rules", "-json")
+	if code != 0 {
+		t.Fatalf("-rules -json exited %d\nstderr: %s", code, stderr)
+	}
+	var rules []struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &rules); err != nil {
+		t.Fatalf("-rules -json output is not a JSON array: %v\n%s", err, jsonOut)
+	}
+	var jsonNames []string
+	for _, r := range rules {
+		if r.Name == "" || r.Doc == "" {
+			t.Fatalf("-rules -json entry missing name or doc: %+v", r)
+		}
+		jsonNames = append(jsonNames, r.Name)
+	}
+	if strings.Join(textNames, ",") != strings.Join(jsonNames, ",") {
+		t.Fatalf("-rules text and -json disagree:\ntext: %v\njson: %v", textNames, jsonNames)
+	}
+
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	var docNames []string
+	inTable := false
+	for _, line := range strings.Split(string(readme), "\n") {
+		if strings.HasPrefix(line, "| Rule |") {
+			inTable = true
+			continue
+		}
+		if !inTable {
+			continue
+		}
+		m := readmeRuleRow.FindStringSubmatch(line)
+		if m == nil {
+			if !strings.HasPrefix(line, "|---") {
+				break // past the analyzer table
+			}
+			continue
+		}
+		docNames = append(docNames, m[1])
+	}
+	if strings.Join(docNames, ",") != strings.Join(jsonNames, ",") {
+		t.Fatalf("README.md analyzer table diverges from `optlint -rules`:\nREADME: %v\nbinary: %v",
+			docNames, jsonNames)
+	}
+}
+
+// readmeRuleRow matches one row of README's analyzer table (scanned only
+// under its "| Rule | Checks |" header): a backticked rule name cell
+// followed by the description cell.
+var readmeRuleRow = regexp.MustCompile("^\\| `([a-z]+)` \\| .+ \\|$")
+
+// TestDriverLockGraph: -graph emits a well-formed DOT digraph of the
+// module's abstract locks and logs the graph shape on stderr. The tree is
+// deadlock-free, so the summary line must report zero cycles.
+func TestDriverLockGraph(t *testing.T) {
+	out, stderr, code := runOptlint(t, "-graph", "./...")
+	if code != 0 {
+		t.Fatalf("-graph exited %d\nstderr: %s", code, stderr)
+	}
+	if !strings.HasPrefix(out, "digraph lockorder {") || !strings.HasSuffix(strings.TrimRight(out, "\n"), "}") {
+		t.Fatalf("-graph output is not a DOT digraph:\n%s", out)
+	}
+	if !strings.Contains(out, "internal/server.Manager.mu") {
+		t.Errorf("-graph output does not list the server manager lock:\n%s", out)
+	}
+	if !regexp.MustCompile(`lock graph: \d+ locks, \d+ order edges, 0 cycles`).MatchString(stderr) {
+		t.Errorf("-graph stderr missing the zero-cycle shape line:\n%s", stderr)
 	}
 }
 

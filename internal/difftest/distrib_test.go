@@ -17,6 +17,7 @@ import (
 	"github.com/optlab/opt/internal/server"
 	"github.com/optlab/opt/internal/ssd"
 	"github.com/optlab/opt/internal/storage"
+	"github.com/optlab/opt/internal/testutil"
 )
 
 // Importing cluster also registers the Shard2D runner, adding it to the
@@ -130,7 +131,7 @@ func TestDistributedEquivalence(t *testing.T) {
 			}
 		}
 	}
-	waitGoroutines(t, baseline, "distributed equivalence sweep")
+	testutil.WaitGoroutines(t, baseline, "distributed equivalence sweep")
 }
 
 // TestDistributedDigestMismatch: an agent holding a different build of the
@@ -203,7 +204,7 @@ func TestDistributedChaosDeviceFault(t *testing.T) {
 		t.Fatalf("unexpected duplicates/failures: %+v", rep)
 	}
 	fleet.Close()
-	waitGoroutines(t, baseline, "device-fault chaos")
+	testutil.WaitGoroutines(t, baseline, "device-fault chaos")
 }
 
 // TestDistributedChaosAgentKill hard-kills one agent mid-job: after its
@@ -247,7 +248,7 @@ func TestDistributedChaosAgentKill(t *testing.T) {
 		t.Fatalf("tasks failed despite a healthy survivor: %+v", rep)
 	}
 	fleet.Close()
-	waitGoroutines(t, baseline, "agent-kill chaos")
+	testutil.WaitGoroutines(t, baseline, "agent-kill chaos")
 }
 
 // TestDistributedChaosStraggler delays one agent far past the straggler
@@ -302,5 +303,5 @@ func TestDistributedChaosStraggler(t *testing.T) {
 	}
 	mu.Unlock()
 	fleet.Close()
-	waitGoroutines(t, baseline, "straggler chaos")
+	testutil.WaitGoroutines(t, baseline, "straggler chaos")
 }

@@ -6,31 +6,13 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
-	"time"
 
 	"github.com/optlab/opt/internal/engine"
 	"github.com/optlab/opt/internal/gen"
 	"github.com/optlab/opt/internal/graph"
 	"github.com/optlab/opt/internal/ssd"
+	"github.com/optlab/opt/internal/testutil"
 )
-
-// waitGoroutines polls until the live goroutine count is back at the
-// baseline, reporting the stacks of the leak otherwise.
-func waitGoroutines(t *testing.T, baseline int, label string) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline {
-			return
-		}
-		runtime.Gosched()
-		time.Sleep(5 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("%s leaked goroutines: %d live, baseline %d\n%s",
-		label, runtime.NumGoroutine(), baseline, buf[:n])
-}
 
 // TestFaultSweepNative repeats the fault contract around the native Linux
 // backend: FaultyDevice wrapping a native device (which demotes the async
@@ -90,7 +72,7 @@ func TestFaultSweepNative(t *testing.T) {
 					if res == nil || res.Triangles < 0 || res.Triangles > want {
 						t.Fatalf("partial result %+v outside [0, %d]", res, want)
 					}
-					waitGoroutines(t, baseline, fmt.Sprintf("native %s k=%d", name, k))
+					testutil.WaitGoroutines(t, baseline, fmt.Sprintf("native %s k=%d", name, k))
 				})
 			}
 		})
@@ -179,7 +161,7 @@ func TestFaultSweep(t *testing.T) {
 					if got := faulty.Reads(); got < k {
 						t.Fatalf("device observed %d reads, the fault at %d never fired", got, k)
 					}
-					waitGoroutines(t, baseline, fmt.Sprintf("%s k=%d", name, k))
+					testutil.WaitGoroutines(t, baseline, fmt.Sprintf("%s k=%d", name, k))
 				})
 			}
 		})

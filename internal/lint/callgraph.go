@@ -58,6 +58,14 @@ type Program struct {
 	callerCount map[string]int               // statically resolved call sites per callee
 	methods     map[string]map[string]string // "pkgpath.Type" → method name → key
 	order       [][]string                   // SCCs of the call graph, callees first
+
+	// Module-wide lock-order graph (lockorder.go), rebuilt from summaries
+	// on every run — including warm-cache runs, since the edge facts ride
+	// in the serialized summaries.
+	lockNodes  []string
+	lockAdj    map[string][]string
+	lockWit    map[[2]string]lockWitness
+	lockCycles []lockCycle
 }
 
 // maxDispatch bounds how many concrete implementations an interface call
@@ -150,6 +158,7 @@ func BuildProgramCached(pkgs []*Package, cached map[string]*FuncSummary) *Progra
 	} else {
 		p.computeSummaries()
 	}
+	p.buildLockGraph()
 	return p
 }
 

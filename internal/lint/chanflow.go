@@ -1,0 +1,374 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewChanflow builds the chanflow analyzer: no potentially blocking
+// channel operation while holding a mutex, anywhere in the module. This
+// is lockheld's invariant (DESIGN.md §7) generalized from the three
+// overlap-critical packages to the whole tree, with the discharges that
+// make it livable at module scale:
+//
+//   - a select with a default clause never blocks;
+//   - a send on a channel provably buffered (every binding is
+//     `make(chan T, N)` with constant N ≥ 1, traced through the package's
+//     assignments) is accepted when the bounded-occupancy argument holds:
+//     the package's send sites on that channel number at most N and the
+//     flagged send is not inside a loop;
+//   - sync.Cond.Wait is exempt (it releases the mutex while parked);
+//   - //optlint:ignore chanflow <reason> for the residue.
+//
+// Flagged under a definitely-held lock (the CFG must-analysis, so
+// branch-released locks do not count): channel sends and receives, select
+// without default, sync.WaitGroup.Wait, and calls to in-module functions
+// whose summary proves they always block. The packages lockheld already
+// polices are skipped — one finding per site, under the stricter rule.
+func NewChanflow(skip []string) *Analyzer {
+	cf := &chanflow{skip: skip}
+	return &Analyzer{
+		Name: "chanflow",
+		Doc:  "no blocking channel op, WaitGroup.Wait, or always-blocking call under a held mutex, unless select-default or provably-buffered",
+		Run:  cf.run,
+	}
+}
+
+type chanflow struct {
+	skip []string
+}
+
+func (cf *chanflow) run(pass *Pass) {
+	if anyPathWithin(pass.Pkg.Path, cf.skip) {
+		return // lockheld owns these packages with the stricter rule
+	}
+	for _, file := range pass.Pkg.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			cf.checkBody(pass, body)
+		})
+	}
+}
+
+// checkBody analyzes one function (or literal) body.
+func (cf *chanflow) checkBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	// Cheap gate: a body with no mutex acquisition cannot hold a lock.
+	hasLock := false
+	topLevelStmts(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, op := mutexOp(info, call); op == opLock {
+				hasLock = true
+				return false
+			}
+		}
+		return !hasLock
+	})
+	if !hasLock {
+		return
+	}
+
+	g := buildCFG(body, info)
+	heldAt := heldLocks(g, info)
+	par := parents(body)
+
+	// The comm statement of a select clause is part of the select's own
+	// blocking decision, not an independent op.
+	commOps := map[ast.Node]bool{}
+	topLevelStmts(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+				commOps[cc.Comm] = true
+				ast.Inspect(cc.Comm, func(x ast.Node) bool {
+					commOps[x] = true
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	report := func(n ast.Node, pos token.Pos, format string, args ...any) {
+		held := heldSetAt(g, heldAt, n)
+		if len(held) == 0 {
+			return
+		}
+		args = append(args, lockNames(held))
+		pass.Reportf(pos, format+" while holding %s: a blocked goroutine wedges every waiter of the lock", args...)
+	}
+
+	topLevelStmts(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if commOps[x] {
+				return true
+			}
+			if cf.bufferedDischarge(pass, par, x) {
+				return true
+			}
+			report(x, x.Arrow, "blocking channel send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !commOps[x] {
+				report(x, x.OpPos, "blocking channel receive")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				// The select itself is not a CFG node (its comm statements
+				// are); the held set at entry is the one at any comm clause.
+				probe := ast.Node(x)
+				for _, clause := range x.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						probe = cc.Comm
+						break
+					}
+				}
+				report(probe, x.Select, "select without default (blocks until a case is ready)")
+			}
+		case *ast.CallExpr:
+			if commOps[x] {
+				return true
+			}
+			if isWaitGroupMethod(info, x, "Wait") {
+				report(x, x.Pos(), "sync.WaitGroup.Wait")
+				return true
+			}
+			if name := condMethod(info, x); name == "Wait" {
+				return true // Cond.Wait releases the lock while parked
+			}
+			if pass.Prog != nil {
+				if key, ok := pass.Prog.staticCallee(info, x); ok {
+					if cs := pass.Prog.Summaries[key]; cs != nil && cs.Blocks {
+						report(x, x.Pos(), "call to "+key+", which always blocks ("+cs.BlocksWhy+"),")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selectHasDefault reports whether sel carries a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// heldSetAt returns the must-held lockset in force at node n: the set
+// recorded for n itself when n is a CFG node, otherwise the innermost
+// recorded node containing n (deterministic over g.blocks order).
+func heldSetAt(g *cfg, heldAt map[ast.Node]lockset, n ast.Node) lockset {
+	if s, ok := heldAt[n]; ok {
+		return s
+	}
+	var best ast.Node
+	var bestHeld lockset
+	for _, blk := range g.blocks {
+		for _, cand := range blk.nodes {
+			if cand.Pos() <= n.Pos() && n.End() <= cand.End() {
+				if best == nil || (cand.Pos() >= best.Pos() && cand.End() <= best.End()) {
+					best = cand
+					bestHeld = heldAt[cand]
+				}
+			}
+		}
+	}
+	return bestHeld
+}
+
+// lockNames renders a lockset's keys sorted, for stable messages.
+func lockNames(s lockset) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// bufferedDischarge reports whether send is discharged by the
+// provably-buffered rule: the channel resolves to a variable or field
+// whose every binding in this package is make(chan T, N) with one
+// constant N ≥ 1, the package's send sites on it number ≤ N, and this
+// send is not inside a loop.
+func (cf *chanflow) bufferedDischarge(pass *Pass, par map[ast.Node]ast.Node, send *ast.SendStmt) bool {
+	obj := chanObject(pass.Pkg.Info, send.Chan)
+	if obj == nil {
+		return false
+	}
+	capN, ok := chanMakeCap(pass.Pkg.Info, pass.Pkg.Files, obj)
+	if !ok {
+		return false
+	}
+	if inLoop(par, send) {
+		return false
+	}
+	sends, looped := packageSends(pass.Pkg.Info, pass.Pkg.Files, obj)
+	return !looped && int64(sends) <= capN
+}
+
+// chanObject resolves a channel expression to the variable or field it
+// names, nil when it is anything more dynamic.
+func chanObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// chanMakeCap traces every binding of obj across the package's files:
+// assignments, value specs, and composite-literal fields. It succeeds
+// only when at least one binding exists, every binding is a make with the
+// same constant capacity, and that capacity is ≥ 1.
+func chanMakeCap(info *types.Info, files []*ast.File, obj types.Object) (int64, bool) {
+	capN := int64(-1)
+	sound := true
+	record := func(rhs ast.Expr) {
+		c, ok := makeChanCap(info, rhs)
+		if !ok {
+			sound = false
+			return
+		}
+		if capN == -1 {
+			capN = c
+		} else if capN != c {
+			sound = false
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					for _, lhs := range st.Lhs {
+						if bindsObject(info, lhs, obj) {
+							sound = false // tuple assignment: can't trace the make
+						}
+					}
+					return true
+				}
+				for i, lhs := range st.Lhs {
+					if bindsObject(info, lhs, obj) {
+						record(st.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					o := info.Defs[name]
+					if o != obj {
+						continue
+					}
+					if i < len(st.Values) {
+						record(st.Values[i])
+					} else if len(st.Values) != 0 {
+						sound = false
+					}
+					// A bare `var ch chan T` binds nil; nil channels block
+					// forever, but a later make assignment is the binding that
+					// counts and is recorded when seen.
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := st.Key.(*ast.Ident); ok && info.Uses[id] == obj {
+					record(st.Value)
+				}
+			}
+			return true
+		})
+	}
+	return capN, sound && capN >= 1
+}
+
+// bindsObject reports whether assignment target lhs names obj.
+func bindsObject(info *types.Info, lhs ast.Expr, obj types.Object) bool {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if info.Defs[x] == obj || info.Uses[x] == obj {
+			return true
+		}
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel] == obj
+	}
+	return false
+}
+
+// makeChanCap matches `make(chan T, N)` with constant N, returning N.
+func makeChanCap(info *types.Info, e ast.Expr) (int64, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return 0, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	if b, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "make" {
+		return 0, false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return 0, false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return 0, false
+	}
+	cv, ok := info.Types[call.Args[1]]
+	if !ok || cv.Value == nil {
+		return 0, false
+	}
+	n, exact := constant.Int64Val(constant.ToInt(cv.Value))
+	return n, exact
+}
+
+// packageSends counts the package's send statements on obj and whether
+// any of them sits inside a loop.
+func packageSends(info *types.Info, files []*ast.File, obj types.Object) (count int, looped bool) {
+	for _, f := range files {
+		par := parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if chanObject(info, send.Chan) != obj {
+				return true
+			}
+			count++
+			if inLoop(par, send) {
+				looped = true
+			}
+			return true
+		})
+	}
+	return count, looped
+}
+
+// inLoop reports whether n sits inside a for or range statement (within
+// the same function: the walk stops at function boundaries).
+func inLoop(par map[ast.Node]ast.Node, n ast.Node) bool {
+	for cur := par[n]; cur != nil; cur = par[cur] {
+		switch cur.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}

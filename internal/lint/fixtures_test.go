@@ -160,6 +160,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 			"github.com/optlab/opt/internal/buffer",
 			"github.com/optlab/opt/internal/storage",
 		)},
+		{"lockorder", lint.NewLockorder()},
+		{"chanflow", lint.NewChanflow(nil)},
+		{"waitjoin", lint.NewWaitjoin()},
 	}
 	for _, tc := range cases {
 		for _, variant := range []string{"bad", "ok"} {
@@ -194,6 +197,52 @@ func TestInterprocFixtures(t *testing.T) {
 			findings := lint.Analyze([]*lint.Package{helper, pkg}, analyzers)
 			diffWant(t, filepath.Join("testdata", "interproc", variant), findings)
 		})
+	}
+}
+
+// TestLockorderCrossPackage proves the lock-order graph spans package
+// boundaries: the cycle closes between fixture/lockorder/multi and
+// fixture/lockorder/multihelper, and the witness chain names the
+// acquisition site inside the helper package plus the call (LockShared)
+// that reaches it. The helper package itself must stay silent — the
+// cycle is owned by the anchor witness in multi.
+func TestLockorderCrossPackage(t *testing.T) {
+	helper := loadFixture(t, "lockorder", "multihelper")
+	pkg := loadFixture(t, "lockorder", "multi")
+	findings := lint.Analyze([]*lint.Package{helper, pkg}, []*lint.Analyzer{lint.NewLockorder()})
+	diffWant(t, filepath.Join("testdata", "lockorder", "multi"), findings)
+}
+
+// TestConcurrencyDeterminism pins the acceptance bar for the v4 rules:
+// byte-identical output whatever the -parallel width. The fixture mix
+// exercises every new analyzer plus the cross-package cycle, so the
+// precomputed-in-Program reporting paths race against per-package ones.
+func TestConcurrencyDeterminism(t *testing.T) {
+	pkgs := []*lint.Package{
+		loadFixture(t, "lockorder", "multihelper"),
+		loadFixture(t, "lockorder", "multi"),
+		loadFixture(t, "lockorder", "bad"),
+		loadFixture(t, "chanflow", "bad"),
+		loadFixture(t, "waitjoin", "bad"),
+	}
+	analyzers := []*lint.Analyzer{lint.NewLockorder(), lint.NewChanflow(nil), lint.NewWaitjoin()}
+	var base string
+	for _, workers := range []int{1, 2, 8} {
+		var out strings.Builder
+		findings := lint.AnalyzeParallel(pkgs, analyzers, workers)
+		if err := lint.WriteText(&out, findings); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("-parallel %d produced no findings at all", workers)
+		}
+		if base == "" {
+			base = out.String()
+			continue
+		}
+		if out.String() != base {
+			t.Errorf("-parallel %d output differs from -parallel 1:\n%s\nvs\n%s", workers, out.String(), base)
+		}
 	}
 }
 
@@ -237,7 +286,7 @@ func TestDefaultRegistry(t *testing.T) {
 	want := []string{
 		"ctxflow", "lockheld", "ioconfine", "closecheck", "eventkind",
 		"cancelfree", "poolpair", "atomicfield", "condguard", "gojoin",
-		"arenaescape",
+		"arenaescape", "lockorder", "chanflow", "waitjoin",
 	}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("Default() = %v, want %v", names, want)

@@ -46,6 +46,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportAt records a finding at an already-resolved position — the shape
+// used by analyzers replaying facts from (possibly cached) summaries,
+// which carry positions rather than token.Pos values.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Finding{Pos: pos, Rule: p.rule, Message: fmt.Sprintf(format, args...)})
+}
+
 // Analyzer is one registered rule.
 type Analyzer struct {
 	// Name is the rule identifier printed in findings.

@@ -39,5 +39,15 @@ func Default(module string) []*Analyzer {
 			module+"/internal/buffer",
 			module+"/internal/storage",
 		),
+		// The whole-module concurrency layer (DESIGN.md §16). chanflow skips
+		// the packages lockheld already polices with the stricter
+		// no-blocking-at-all rule, so every site gets exactly one finding.
+		NewLockorder(),
+		NewChanflow([]string{
+			module + "/internal/core",
+			module + "/internal/ssd",
+			module + "/internal/engine",
+		}),
+		NewWaitjoin(),
 	}
 }

@@ -90,6 +90,16 @@ type FuncSummary struct {
 	RequiresHeld bool          `json:"requiresHeld,omitempty"`
 	HeldWhy      string        `json:"heldWhy,omitempty"`
 	Uncovered    []UncoveredOp `json:"uncovered,omitempty"`
+	// Acquires: abstract locks the function may take in its dynamic extent,
+	// directly or through callees (lockfacts.go); Chain names the call path.
+	Acquires []LockAcq `json:"acquires,omitempty"`
+	// AcqEdges: lock-order facts "may acquire Acq while Held is definitely
+	// held" — the module-wide lock graph is the union of these.
+	AcqEdges []LockEdge `json:"acqEdges,omitempty"`
+	// LockReports: conflicts proven outright during the scan (self-deadlock,
+	// RLock→Lock upgrade), replayed by the lockorder analyzer so warm-cache
+	// runs still report them.
+	LockReports []LockReport `json:"lockReports,omitempty"`
 }
 
 // argSlot maps a call-site argument index onto a summary slot; -1 when the
@@ -195,6 +205,7 @@ func (p *Program) computeSummary(fi *FuncInfo) *FuncSummary {
 	p.scanResultFacts(fi, s)
 	p.scanBlocks(fi, s)
 	p.scanHeld(fi, s)
+	p.scanLockFacts(fi, s)
 	p.scanAlias(fi, slotOf, s)
 	return s
 }

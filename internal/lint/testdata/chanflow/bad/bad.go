@@ -1,0 +1,52 @@
+// Package bad holds the blocking-under-mutex shapes chanflow must flag:
+// send, receive, select without default, WaitGroup.Wait, and a call to
+// an in-module function whose summary proves it always blocks.
+package bad
+
+import "sync"
+
+type hub struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sendUnderLock(h *hub) {
+	h.mu.Lock()
+	h.ch <- 1 // want "blocking channel send while holding h\\.mu"
+	h.mu.Unlock()
+}
+
+func recvUnderLock(h *hub) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return <-h.ch // want "blocking channel receive while holding h\\.mu"
+}
+
+func selectUnderLock(h *hub, done chan struct{}) {
+	h.mu.Lock()
+	select { // want "select without default .* while holding h\\.mu"
+	case v := <-h.ch:
+		_ = v
+	case <-done:
+	}
+	h.mu.Unlock()
+}
+
+func waitUnderLock(h *hub, wg *sync.WaitGroup) {
+	h.mu.Lock()
+	wg.Wait() // want "sync\\.WaitGroup\\.Wait while holding h\\.mu"
+	h.mu.Unlock()
+}
+
+// drainOne blocks on every path — its summary carries Blocks, so calling
+// it under the lock is as bad as the receive itself.
+func drainOne(h *hub) int {
+	return <-h.ch
+}
+
+func callBlockingUnderLock(h *hub) int {
+	h.mu.Lock()
+	v := drainOne(h) // want "call to fixture/chanflow/bad\\.drainOne, which always blocks .* while holding h\\.mu"
+	h.mu.Unlock()
+	return v
+}

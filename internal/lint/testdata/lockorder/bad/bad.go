@@ -1,0 +1,67 @@
+// Package bad seeds the lock-order analyzer's deadlock shapes: an AB/BA
+// cycle whose witness must name both acquisition sites, a same-lock
+// reacquisition, the same through a callee, and an RLock→Lock upgrade.
+package bad
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// abFirst takes muA and then muB through a helper — one half of the
+// seeded cycle; the witness chain must name lockB.
+func abFirst() {
+	muA.Lock()
+	lockB()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockB() {
+	muB.Lock() // want "lock-order cycle .*muA → .*muB → .*muA: .*abFirst acquires .*muB at .*bad\\.go:\\d+:\\d+ via fixture/lockorder/bad\\.lockB while holding .*muA \\(acquired at .*bad\\.go:\\d+:\\d+\\); .*baFirst acquires .*muA at .*bad\\.go:\\d+:\\d+ while holding .*muB \\(acquired at .*bad\\.go:\\d+:\\d+\\)"
+}
+
+// baFirst takes the same two locks in the opposite order — the other
+// half of the cycle.
+func baFirst() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var muC sync.Mutex
+
+// reenter acquires a lock it already holds: sync.Mutex is not reentrant,
+// the second Lock parks forever.
+func reenter() {
+	muC.Lock()
+	muC.Lock() // want "Lock of .*muC while the same lock is already held \\(acquired at .*bad\\.go:\\d+:\\d+\\): guaranteed self-deadlock"
+	muC.Unlock()
+	muC.Unlock()
+}
+
+func lockC() {
+	muC.Lock()
+}
+
+// reenterViaCall does the same through a callee, so the summary lift has
+// to carry the acquisition back to the held site.
+func reenterViaCall() {
+	muC.Lock()
+	lockC() // want "call acquires .*muC at .*bad\\.go:\\d+:\\d+ via fixture/lockorder/bad\\.lockC while the same lock is already held .*: guaranteed self-deadlock"
+	muC.Unlock()
+}
+
+var rw sync.RWMutex
+
+// upgrade promotes a read hold to a write hold: the writer waits for all
+// readers — including itself.
+func upgrade() {
+	rw.RLock()
+	rw.Lock() // want "Lock of .*rw upgrades a read hold \\(RLock at .*bad\\.go:\\d+:\\d+\\) to a write hold: guaranteed self-deadlock"
+	rw.Unlock()
+	rw.RUnlock()
+}

@@ -1,0 +1,32 @@
+// Package multi closes a lock-order cycle across a package boundary:
+// the local lock is held while multihelper's lock is taken through its
+// exported helper, and the reverse order is taken directly. The reported
+// witness must name the acquisition site inside multihelper and the call
+// chain (LockShared) that reaches it.
+package multi
+
+import (
+	"sync"
+
+	"fixture/lockorder/multihelper"
+)
+
+var muLocal sync.Mutex
+
+// localFirst holds the local lock while taking the helper package's lock
+// through its exported helper — the A→B half.
+func localFirst() {
+	muLocal.Lock()
+	multihelper.LockShared()
+	multihelper.UnlockShared()
+	muLocal.Unlock()
+}
+
+// helperFirst takes the helper package's lock directly, then the local
+// lock — the B→A half.
+func helperFirst() {
+	multihelper.Mu.Lock()
+	muLocal.Lock() // want "lock-order cycle .*multi\\.muLocal → .*multihelper\\.Mu → .*multi\\.muLocal: .*localFirst acquires .*multihelper\\.Mu at .*multihelper\\.go:\\d+:\\d+ via fixture/lockorder/multihelper\\.LockShared while holding .*muLocal.*; .*helperFirst acquires .*muLocal at .*multi\\.go:\\d+:\\d+ while holding .*multihelper\\.Mu"
+	muLocal.Unlock()
+	multihelper.Mu.Unlock()
+}

@@ -1,0 +1,19 @@
+// Package multihelper is the far side of the cross-package lock-order
+// fixture: it owns a lock and exports a locking helper, so the cycle's
+// witness chain has to cross a package boundary to name this site.
+package multihelper
+
+import "sync"
+
+// Mu is the helper package's lock.
+var Mu sync.Mutex
+
+// LockShared takes the package lock on behalf of callers.
+func LockShared() {
+	Mu.Lock()
+}
+
+// UnlockShared releases it.
+func UnlockShared() {
+	Mu.Unlock()
+}

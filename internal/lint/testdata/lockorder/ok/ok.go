@@ -1,0 +1,69 @@
+// Package ok holds the conforming shapes lockorder must stay silent on:
+// a consistent lock hierarchy, release-before-reverse, read re-entry on
+// distinct goroutine paths, and callee-acquired locks in sanctioned
+// order.
+package ok
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// first and second both follow the sanctioned order muA → muB, directly
+// and through a helper: two edges, no cycle.
+func first() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func second() {
+	muA.Lock()
+	lockB()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockB() {
+	muB.Lock()
+}
+
+// reversedButReleased takes the locks in the other order but never holds
+// both at once — no edge, no cycle.
+func reversedButReleased() {
+	muB.Lock()
+	muB.Unlock()
+	muA.Lock()
+	muA.Unlock()
+}
+
+var rw sync.RWMutex
+
+// readers and a distinct writer don't upgrade: RLock/RUnlock and a
+// self-contained Lock/Unlock are each fine.
+func readers() int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return 1
+}
+
+func writer() {
+	rw.Lock()
+	rw.Unlock()
+}
+
+// branchHeld releases on one path: muB is not must-held at the muA
+// acquisition, so no edge forms from the conditional path.
+func branchHeld(flip bool) {
+	muB.Lock()
+	if flip {
+		muB.Unlock()
+	} else {
+		muB.Unlock()
+	}
+	muA.Lock()
+	muA.Unlock()
+}

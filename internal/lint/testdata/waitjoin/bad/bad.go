@@ -1,0 +1,52 @@
+// Package bad holds the wait-for cycles waitjoin must catch: a
+// WaitGroup.Wait executed while holding a lock the joined goroutines
+// still need — through a spawned literal calling a locking method, and
+// through a spawned named worker locking directly.
+package bad
+
+import "sync"
+
+type pool struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (p *pool) add(v int) {
+	p.mu.Lock()
+	p.items = append(p.items, v)
+	p.mu.Unlock()
+}
+
+// flush joins workers that need p.mu while holding p.mu: the workers
+// park in Lock, Wait parks forever.
+func flush(p *pool) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.add(1)
+		}()
+	}
+	p.mu.Lock()
+	wg.Wait() // want "WaitGroup\\.Wait while holding .*pool\\.mu \\(acquired at .*bad\\.go:\\d+:\\d+\\), but the goroutine spawned at .*bad\\.go:\\d+:\\d+ .*acquires .*pool\\.mu at .*bad\\.go:\\d+:\\d+ via \\(fixture/waitjoin/bad\\.pool\\)\\.add: .*wait-for cycle"
+	p.mu.Unlock()
+}
+
+// worker locks the pool directly.
+func worker(p *pool, wg *sync.WaitGroup) {
+	defer wg.Done()
+	p.mu.Lock()
+	p.items = append(p.items, 0)
+	p.mu.Unlock()
+}
+
+// run spawns the named worker and then waits under the lock it needs.
+func run(p *pool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(p, &wg)
+	p.mu.Lock()
+	wg.Wait() // want "WaitGroup\\.Wait while holding .*pool\\.mu.*goroutine spawned at .*bad\\.go:\\d+:\\d+ \\(fixture/waitjoin/bad\\.worker\\) acquires .*pool\\.mu.*wait-for cycle"
+	p.mu.Unlock()
+}

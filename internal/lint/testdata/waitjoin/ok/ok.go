@@ -1,0 +1,87 @@
+// Package ok holds the joining shapes waitjoin must accept: Wait after
+// the lock is released, workers that touch no held lock, and read-read
+// overlap on an RWMutex.
+package ok
+
+import "sync"
+
+type pool struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (p *pool) add(v int) {
+	p.mu.Lock()
+	p.items = append(p.items, v)
+	p.mu.Unlock()
+}
+
+// flush joins first, locks after: the workers get the lock, finish, and
+// Wait returns.
+func flush(p *pool) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.add(1)
+		}()
+	}
+	wg.Wait()
+	p.mu.Lock()
+	p.items = p.items[:0]
+	p.mu.Unlock()
+}
+
+// gather holds its own lock while joining workers that only touch a
+// different one — no overlap, no cycle.
+type twoLocks struct {
+	muA sync.Mutex
+	muB sync.Mutex
+	n   int
+}
+
+func (t *twoLocks) bump() {
+	t.muB.Lock()
+	t.n++
+	t.muB.Unlock()
+}
+
+func gather(t *twoLocks) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.bump()
+	}()
+	t.muA.Lock()
+	wg.Wait()
+	t.muA.Unlock()
+}
+
+// snapshot read-holds while the worker read-holds: RWMutex readers admit
+// each other, so the join completes.
+type stats struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (s *stats) read() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func snapshot(s *stats) int {
+	var wg sync.WaitGroup
+	var v int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v = s.read()
+	}()
+	s.mu.RLock()
+	wg.Wait()
+	s.mu.RUnlock()
+	return v
+}

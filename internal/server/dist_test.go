@@ -19,6 +19,7 @@ import (
 	"github.com/optlab/opt/internal/graph"
 	"github.com/optlab/opt/internal/server"
 	"github.com/optlab/opt/internal/storage"
+	"github.com/optlab/opt/internal/testutil"
 )
 
 // buildDistStore writes g to a store file and returns (path, digest).
@@ -144,7 +145,7 @@ func TestTasksEndpoint(t *testing.T) {
 func TestDistJobLifecycle(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	// Registered before the agents so it runs after their teardown (LIFO).
-	t.Cleanup(func() { waitGoroutines(t, baseline) })
+	t.Cleanup(func() { testutil.WaitGoroutines(t, baseline, "distributed fleet") })
 	g := graph.Complete(25)
 	want := graph.CountTrianglesReference(g)
 	path, _ := buildDistStore(t, g)

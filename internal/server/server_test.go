@@ -27,6 +27,7 @@ import (
 	"github.com/optlab/opt/internal/server"
 	"github.com/optlab/opt/internal/ssd"
 	"github.com/optlab/opt/internal/storage"
+	"github.com/optlab/opt/internal/testutil"
 
 	_ "github.com/optlab/opt/internal/baselines/mgt" // registers "MGT"
 )
@@ -135,24 +136,6 @@ func waitState(t *testing.T, m *server.Manager, id, want string) {
 	}
 	j, _ := m.Get(id)
 	t.Fatalf("job %s never reached %q (state %v)", id, want, j.State())
-}
-
-// waitGoroutines polls until the live goroutine count drops back to the
-// baseline, failing the leak check otherwise.
-func waitGoroutines(t *testing.T, baseline int) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline {
-			return
-		}
-		runtime.Gosched()
-		time.Sleep(10 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutines leaked: %d live, baseline %d\n%s",
-		runtime.NumGoroutine(), baseline, buf[:n])
 }
 
 // TestBackpressureE2E is the acceptance scenario: a daemon with worker
@@ -291,7 +274,7 @@ func TestBackpressureE2E(t *testing.T) {
 	}
 	ts.Close()
 	ts.Client().CloseIdleConnections()
-	waitGoroutines(t, baseline)
+	testutil.WaitGoroutines(t, baseline, "job manager drain")
 }
 
 // TestDrainDeadlineForcesCancel pins the forced path: a job parked past
@@ -330,7 +313,7 @@ func TestDrainDeadlineForcesCancel(t *testing.T) {
 	if m.Drain(time.Millisecond) {
 		t.Fatal("second drain reported forced")
 	}
-	waitGoroutines(t, baseline)
+	testutil.WaitGoroutines(t, baseline, "job manager drain")
 }
 
 // TestCancelQueuedAndRunning covers DELETE for both lifecycle positions:

@@ -1,0 +1,41 @@
+// Package testutil holds small helpers shared by the repository's test
+// suites. Production packages must not import it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitGoroutines polls until the live goroutine count has returned to at
+// most baseline, failing the test with a full stack dump otherwise. It is
+// the zero-leaked-goroutines assertion every concurrency suite shares:
+// capture runtime.NumGoroutine() before the scenario, call this after.
+// label names the scenario in the failure message.
+func WaitGoroutines(t testing.TB, baseline int, label string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if label == "" {
+		label = "test"
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("%s leaked goroutines: %d live, baseline %d\n%s",
+		label, runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+// LeakCheck captures the current goroutine count and registers a cleanup
+// that runs WaitGoroutines against it when the test finishes — the
+// one-liner form for tests whose whole body is the scenario.
+func LeakCheck(t testing.TB, label string) {
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() { WaitGoroutines(t, baseline, label) })
+}

@@ -1,0 +1,31 @@
+package testutil
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestWaitGoroutinesSettles: a goroutine alive when the check starts but
+// released before the deadline must not fail the test — the poll loop has
+// to observe the count coming back down, not just the instant snapshot.
+func TestWaitGoroutinesSettles(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-release
+		close(done)
+	}()
+	close(release)
+	WaitGoroutines(t, baseline, "settling goroutine")
+	<-done
+}
+
+// TestLeakCheckClean: the cleanup-registered form passes on a test that
+// spawns and joins everything it starts.
+func TestLeakCheckClean(t *testing.T) {
+	LeakCheck(t, "clean scenario")
+	done := make(chan struct{})
+	go close(done)
+	<-done
+}

@@ -10,11 +10,11 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"time"
 
 	"github.com/optlab/opt/internal/engine"
 	"github.com/optlab/opt/internal/ssd"
 	"github.com/optlab/opt/internal/storage"
+	"github.com/optlab/opt/internal/testutil"
 )
 
 func TestPublicQuickstartFlow(t *testing.T) {
@@ -289,24 +289,6 @@ func TestBuildStoreStreamingPublic(t *testing.T) {
 	}
 }
 
-// settleGoroutines fails the test if the goroutine count has not returned
-// to at most `before` within a grace period — the leak check for the
-// cancellation and device-error paths.
-func settleGoroutines(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		runtime.Gosched()
-		time.Sleep(10 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
-}
-
 func TestTriangulateContextPreCancelled(t *testing.T) {
 	g := PaperExampleGraph()
 	st, err := BuildStore(filepath.Join(t.TempDir(), "g.optstore"), g, 64)
@@ -325,7 +307,7 @@ func TestTriangulateContextPreCancelled(t *testing.T) {
 			t.Errorf("%v: pre-cancelled run returned result %+v", alg, res)
 		}
 	}
-	settleGoroutines(t, before)
+	testutil.WaitGoroutines(t, before, "pre-cancelled runs")
 }
 
 func TestTriangulateContextMidRunCancel(t *testing.T) {
@@ -364,7 +346,7 @@ func TestTriangulateContextMidRunCancel(t *testing.T) {
 	if res.Elapsed <= 0 {
 		t.Errorf("partial result Elapsed = %v", res.Elapsed)
 	}
-	settleGoroutines(t, before)
+	testutil.WaitGoroutines(t, before, "mid-run cancel")
 }
 
 func TestDeviceErrorPropagation(t *testing.T) {
@@ -396,7 +378,7 @@ func TestDeviceErrorPropagation(t *testing.T) {
 			t.Errorf("%s: err = %v, want ssd.ErrInjected in the chain", name, err)
 		}
 	}
-	settleGoroutines(t, before)
+	testutil.WaitGoroutines(t, before, "device-error propagation")
 }
 
 func TestPublicOptionValidation(t *testing.T) {
